@@ -1,0 +1,46 @@
+"""§II.A trade-off: the MPI execution model's missing fault tolerance.
+
+The paper accepts that wrapping everything in one MPI job sacrifices fault
+tolerance ("the price for this extra flexibility and portability").  This
+bench quantifies the price on the modelled 1024-core protein run: at
+realistic failure rates the whole-job restart risk is negligible next to
+the HTC path's per-task redo cost; at pathological rates it dominates.
+"""
+
+from repro.cluster import (
+    FaultModel,
+    compare_fault_costs,
+    protein_workload,
+    ranger,
+    simulate_blast_run,
+)
+
+
+def test_fault_tolerance_tradeoff(benchmark, print_table):
+    run = benchmark(simulate_blast_run, ranger(1024), protein_workload())
+
+    rows = []
+    for rate, label in ((1e-6, "healthy cluster"), (1e-4, "stressed cluster"),
+                        (2e-3, "pathological")):
+        cmp = compare_fault_costs(run, FaultModel(failures_per_core_hour=rate))
+        rows.append([
+            label,
+            f"{rate:g}",
+            f"{cmp.mpi_survival * 100:.1f}%",
+            f"{cmp.mpi_overhead_fraction * 100:.2f}%",
+            f"{cmp.htc_overhead_fraction * 100:.4f}%",
+        ])
+    print_table(
+        "Fault-tolerance trade-off (1024-core blastp run)",
+        ["scenario", "fail/core-h", "MPI job survival", "MPI restart overhead",
+         "HTC redo overhead"],
+        rows,
+    )
+
+    healthy = compare_fault_costs(run, FaultModel(failures_per_core_hour=1e-6))
+    worst = compare_fault_costs(run, FaultModel(failures_per_core_hour=2e-3))
+    # On a healthy machine the paper's trade is nearly free...
+    assert healthy.mpi_survival > 0.99
+    assert healthy.mpi_overhead_fraction < 0.01
+    # ...on a pathological one the MPI path pays much more than HTC.
+    assert worst.mpi_overhead_fraction > 10 * worst.htc_overhead_fraction

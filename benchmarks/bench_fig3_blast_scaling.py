@@ -1,0 +1,42 @@
+"""Figure 3: MR-MPI BLAST wall-clock vs cores for four query-set series.
+
+Regenerates the chart's data series on the Ranger model and benchmarks the
+full sweep.  Shape assertions encode the paper's claims so a regression in
+the model fails the bench, not just changes a number silently.
+"""
+
+from repro.figures.blast_scaling import fig3_blast_scaling
+
+CORES = (32, 64, 128, 256, 512, 1024)
+
+
+def test_fig3_series(benchmark, print_table):
+    series = benchmark(fig3_blast_scaling, CORES)
+
+    rows = [
+        [name] + [f"{p.wall_minutes:.1f}" for p in pts] for name, pts in series.items()
+    ]
+    print_table(
+        "Fig. 3 — wall-clock minutes vs cores (log-log in the paper)",
+        ["series \\ cores"] + [str(c) for c in CORES],
+        rows,
+    )
+
+    # Every series speeds up monotonically with cores.
+    for pts in series.values():
+        walls = [p.wall_minutes for p in pts]
+        assert all(a >= b for a, b in zip(walls, walls[1:]))
+    # Bigger inputs take longer at every core count (1000-seq series).
+    for c_idx in range(len(CORES)):
+        assert (
+            series["12K"][c_idx].wall_minutes
+            < series["40K"][c_idx].wall_minutes
+            < series["80K"][c_idx].wall_minutes
+        )
+    # "The large core counts are only efficient for large input datasets":
+    # the 12K series gains almost nothing from 512 -> 1024 cores while the
+    # 80K series still improves.
+    gain_12k = series["12K"][4].wall_minutes / series["12K"][5].wall_minutes
+    gain_80k = series["80K"][4].wall_minutes / series["80K"][5].wall_minutes
+    assert gain_12k < 1.1
+    assert gain_80k > 1.2

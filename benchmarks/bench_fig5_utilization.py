@@ -1,0 +1,27 @@
+"""Figure 5: useful CPU utilisation during the 1024-core protein BLAST run.
+
+The paper's curve: a high plateau (protein BLAST is CPU-bound) with a taper
+at the very end as the remaining work units run out and cores idle.
+"""
+
+from repro.figures.utilization import fig5_utilization
+
+
+def test_fig5_utilization_trace(benchmark, print_table):
+    trace = benchmark(fig5_utilization, 1024, 100)
+
+    rows = [
+        [f"{m:.0f}", f"{u:.3f}"]
+        for m, u in zip(trace.minutes[::10], trace.utilization[::10])
+    ]
+    print_table("Fig. 5 — useful CPU utilisation vs wall-clock minute", ["minute", "utilisation"], rows)
+
+    assert trace.plateau > 0.9, "protein BLAST should run a high utilisation plateau"
+    assert trace.utilization.max() <= 1.0 + 1e-9
+    # Taper confined to the tail of the run.
+    assert trace.taper_start_fraction > 0.7
+    # Final bins show substantial idling (cores out of work).
+    assert trace.utilization[-1] < 0.5 * trace.plateau
+    # Utilisation is roughly flat over the middle (no mid-run starvation).
+    mid = trace.utilization[len(trace.utilization) // 4 : 3 * len(trace.utilization) // 4]
+    assert mid.min() > 0.85 * trace.plateau

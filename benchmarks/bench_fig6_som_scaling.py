@@ -1,0 +1,39 @@
+"""Figure 6: MR-MPI batch SOM scaling (81 920 × 256-d vectors, 50×50 map).
+
+Paper anchors: excellent linear scaling across all core counts; 96 %
+efficiency at 1024 cores relative to 32; 80-vector work units produce
+identical timings to 40-vector units.
+"""
+
+from repro.figures.som_scaling import fig6_som_scaling
+
+CORES = (32, 64, 128, 256, 512, 1024)
+
+
+def test_fig6_som_scaling(benchmark, print_table):
+    points = benchmark(fig6_som_scaling, CORES)
+
+    print_table(
+        "Fig. 6 — batch SOM wall-clock and efficiency",
+        ["cores", "wall minutes", "efficiency vs 32"],
+        [[p.cores, f"{p.wall_minutes:.2f}", f"{p.efficiency_vs_32:.3f}"] for p in points],
+    )
+
+    walls = [p.wall_minutes for p in points]
+    assert all(a > b for a, b in zip(walls, walls[1:]))
+    # Paper anchor: 96 % efficiency at 1024 cores vs 32.
+    assert points[-1].efficiency_vs_32 > 0.93
+    # Near-linear everywhere.
+    assert min(p.efficiency_vs_32 for p in points) > 0.9
+
+
+def test_fig6_block_size_insensitive(benchmark, print_table):
+    """Work units of 80 vectors 'produced the identical timings'."""
+    p40 = benchmark(lambda: fig6_som_scaling(cores_list=(512,), block_rows=40)[0])
+    p80 = fig6_som_scaling(cores_list=(512,), block_rows=80)[0]
+    print_table(
+        "Fig. 6 note — block-size sensitivity at 512 cores",
+        ["block rows", "wall minutes"],
+        [[40, f"{p40.wall_minutes:.3f}"], [80, f"{p80.wall_minutes:.3f}"]],
+    )
+    assert abs(p40.wall_minutes - p80.wall_minutes) / p40.wall_minutes < 0.02

@@ -1,0 +1,37 @@
+"""Figure 7: 50×50 SOM trained on 100 random RGB vectors.
+
+The paper uses this as the classic visual correctness check: similar
+colours cluster into smooth patches.  We quantify what the picture shows:
+neighbouring neurons carry similar colours (low neighbour contrast) and the
+map preserves topology.  Training here is the *real* batch SOM, not the
+performance model.
+"""
+
+from repro.figures.som_maps import fig7_rgb_clustering
+
+
+def test_fig7_rgb_clustering(benchmark, print_table):
+    # Paper-size grid, modest epochs: ~2500 units x 100 vectors is light.
+    result = benchmark.pedantic(
+        fig7_rgb_clustering, kwargs=dict(rows=50, cols=50, epochs=20), rounds=1, iterations=1
+    )
+
+    print_table(
+        "Fig. 7 — RGB map quality metrics",
+        ["metric", "value"],
+        [
+            ["grid", f"{result.grid.rows}x{result.grid.cols}"],
+            ["quantization error", f"{result.quantization_error:.4f}"],
+            ["topographic error", f"{result.topographic_error:.4f}"],
+            ["neighbor contrast (lower = smoother)", f"{result.neighbor_contrast:.4f}"],
+            ["u-matrix mean", f"{result.umatrix.mean():.4f}"],
+        ],
+    )
+
+    # Smooth colour patches: grid neighbours are far closer in RGB space
+    # than random unit pairs.
+    assert result.neighbor_contrast < 0.2
+    # With 2500 units for 100 vectors, quantisation is near-interpolative.
+    assert result.quantization_error < 0.1
+    # Weights stay inside the RGB cube.
+    assert result.codebook.min() >= -0.05 and result.codebook.max() <= 1.05

@@ -1,0 +1,76 @@
+"""Why the paper parallelises the *batch* SOM, quantified.
+
+§II.D: the batch formulation "is not influenced by the order in which the
+input vectors are presented" and "maps very well to the coarse-grained
+parallelism model of the MapReduce", while the online rule updates the
+codebook after every vector — a serial dependency that defeats data-
+parallel decomposition.  This bench shows the two trainers reach comparable
+map quality, while only batch training decomposes (and it is also faster
+serially here, being fully vectorised per epoch).
+"""
+
+import numpy as np
+import pytest
+
+from repro.som import BatchSOM, OnlineSOM, SOMGrid, quantization_error, topographic_error
+
+
+@pytest.fixture(scope="module")
+def rgb_data():
+    return np.random.default_rng(17).random((400, 3))
+
+
+GRID = (14, 14)
+EPOCHS = 12
+
+
+def test_bench_batch_som(benchmark, rgb_data, print_table):
+    def train():
+        return BatchSOM(SOMGrid(*GRID), dim=3).train(rgb_data, epochs=EPOCHS)
+
+    codebook = benchmark.pedantic(train, rounds=3, iterations=1)
+    qe = quantization_error(rgb_data, codebook)
+    te = topographic_error(rgb_data, codebook, SOMGrid(*GRID))
+    print_table(
+        "batch SOM quality",
+        ["metric", "value"],
+        [["quantization error", f"{qe:.4f}"], ["topographic error", f"{te:.4f}"]],
+    )
+    assert qe < 0.12
+
+
+def test_bench_online_som(benchmark, rgb_data, print_table):
+    def train():
+        return OnlineSOM(SOMGrid(*GRID), dim=3).train(rgb_data, epochs=EPOCHS)
+
+    codebook = benchmark.pedantic(train, rounds=3, iterations=1)
+    qe = quantization_error(rgb_data, codebook)
+    print_table("online SOM quality", ["metric", "value"],
+                [["quantization error", f"{qe:.4f}"]])
+    assert qe < 0.15
+
+
+def test_quality_comparable_but_only_batch_decomposes(benchmark, rgb_data, print_table):
+    grid = SOMGrid(*GRID)
+    batch_cb = benchmark.pedantic(
+        lambda: BatchSOM(grid, dim=3).train(rgb_data, epochs=EPOCHS),
+        rounds=1,
+        iterations=1,
+    )
+    online_cb = OnlineSOM(grid, dim=3).train(rgb_data, epochs=EPOCHS)
+    qe_batch = quantization_error(rgb_data, batch_cb)
+    qe_online = quantization_error(rgb_data, online_cb)
+    print_table(
+        "batch vs online",
+        ["trainer", "quantization error"],
+        [["batch", f"{qe_batch:.4f}"], ["online", f"{qe_online:.4f}"]],
+    )
+    # Comparable quality (within 2x of each other).
+    assert qe_batch < 2 * qe_online and qe_online < 2.5 * qe_batch
+
+    # Order invariance: the decomposability premise holds for batch only.
+    perm = np.random.default_rng(1).permutation(rgb_data.shape[0])
+    batch_perm = BatchSOM(grid, dim=3).train(rgb_data[perm], epochs=EPOCHS)
+    online_perm = OnlineSOM(grid, dim=3).train(rgb_data[perm], epochs=EPOCHS)
+    assert np.allclose(batch_cb, batch_perm, atol=1e-8)
+    assert not np.allclose(online_cb, online_perm, atol=1e-8)

@@ -1,0 +1,70 @@
+"""End-to-end functional benches: the real pipelines on the in-process MPI.
+
+Not a paper figure — this benchmarks the functional substrate itself (the
+full mrblast map/collate/reduce cycle and an mrsom epoch loop on real data)
+and re-asserts parallel == serial on the way.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bio import shred_records, synthetic_community, synthetic_nt_database
+from repro.blast import BlastOptions, format_database
+from repro.core import MrBlastConfig, MrSomConfig, mrblast_spmd, mrsom_spmd
+from repro.core.baselines import run_serial_batch_som, run_serial_blast
+from repro.core.mrblast.merge import collect_rank_hits
+from repro.core.mrsom.mmap_input import write_matrix_file
+from repro.som.codebook import SOMGrid
+
+
+@pytest.fixture(scope="module")
+def blast_workload(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("bench_nt")
+    com = synthetic_community(n_genomes=3, genome_length=2000, seed=7)
+    db = synthetic_nt_database(com, n_decoys=2, decoy_length=1200, seed=8)
+    alias = format_database(db, tmp, "nt", kind="dna", max_volume_bytes=1500)
+    reads = list(shred_records(com.genomes))[:8]
+    blocks = [reads[i : i + 2] for i in range(0, len(reads), 2)]
+    return str(alias), blocks, BlastOptions.blastn(evalue=1e-4, max_hits=20)
+
+
+def test_bench_mrblast_pipeline(benchmark, blast_workload, tmp_path):
+    alias, blocks, options = blast_workload
+
+    counter = [0]
+
+    def run():
+        counter[0] += 1
+        out = tmp_path / f"run{counter[0]}"
+        results = mrblast_spmd(
+            4,
+            MrBlastConfig(
+                alias_path=alias, query_blocks=blocks, options=options, output_dir=str(out)
+            ),
+        )
+        return collect_rank_hits([r.output_path for r in results])
+
+    merged = benchmark.pedantic(run, rounds=3, iterations=1)
+    serial = run_serial_blast(alias, blocks, options)
+    assert set(merged) == set(serial)
+
+
+def test_bench_serial_blast(benchmark, blast_workload):
+    alias, blocks, options = blast_workload
+    result = benchmark.pedantic(
+        run_serial_blast, args=(alias, blocks, options), rounds=3, iterations=1
+    )
+    assert result
+
+
+def test_bench_mrsom_epochs(benchmark, tmp_path):
+    rng = np.random.default_rng(3)
+    data = rng.random((600, 16))
+    path = write_matrix_file(tmp_path / "m.mat", data)
+    config = MrSomConfig(matrix_path=str(path), grid=SOMGrid(8, 8), epochs=4, block_rows=40)
+
+    def run():
+        return mrsom_spmd(3, config)[0].codebook
+
+    codebook = benchmark.pedantic(run, rounds=3, iterations=1)
+    np.testing.assert_allclose(codebook, run_serial_batch_som(config), atol=1e-9)

@@ -1,0 +1,28 @@
+"""In-text §IV.A: protein BLAST scaling (512 vs 1024 cores).
+
+Paper anchors: "the 1024 core run used only 6% more core*min per query
+compared to the 512 core run (294 min absolute wall clock time using 1024
+cores)".
+"""
+
+from repro.figures.blast_scaling import protein_scaling_result
+
+
+def test_protein_scaling(benchmark, print_table):
+    result = benchmark(protein_scaling_result)
+
+    print_table(
+        "§IV.A — protein BLAST (env_nr subset vs UniRef100, 58 partitions)",
+        ["metric", "paper", "measured"],
+        [
+            ["wall @512 cores (min)", "-", f"{result.wall_512_minutes:.0f}"],
+            ["wall @1024 cores (min)", "294", f"{result.wall_1024_minutes:.0f}"],
+            ["extra core-min/query at 1024", "+6%", f"+{result.extra_cost_percent:.1f}%"],
+        ],
+    )
+
+    assert 240 < result.wall_1024_minutes < 350
+    assert 0 < result.extra_cost_percent < 12
+    # Doubling cores nearly halves the wall time (CPU-bound workload).
+    speedup = result.wall_512_minutes / result.wall_1024_minutes
+    assert speedup > 1.75

@@ -1,0 +1,18 @@
+"""Shared benchmark fixtures and table printing."""
+
+import pytest
+
+from repro.figures.report import format_table
+
+
+@pytest.fixture
+def print_table(capsys):
+    """Print a labelled table so ``pytest benchmarks/ -s`` shows the series
+    each figure bench regenerates (EXPERIMENTS.md records the same data)."""
+
+    def _print(title, headers, rows):
+        with capsys.disabled():
+            print(f"\n=== {title} ===")
+            print(format_table(headers, rows))
+
+    return _print

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's scaling story on the Ranger model (Figs. 3-6).
+
+Prints the four Fig. 3 series, the Fig. 4 block-size crossover with its
+superlinear caching region, the Fig. 5 utilisation trace as ASCII art, the
+protein scaling numbers, and the Fig. 6 SOM scaling — each annotated with
+the paper's anchor values.
+
+Run:  python examples/cluster_scaling.py
+"""
+
+from repro.figures import (
+    fig3_blast_scaling,
+    fig4_block_size,
+    fig5_utilization,
+    fig6_som_scaling,
+    format_table,
+    protein_scaling_result,
+)
+
+CORES = (32, 64, 128, 256, 512, 1024)
+
+
+def main() -> None:
+    print("Fig. 3 — MR-MPI BLAST wall-clock minutes (log-log straight lines)")
+    fig3 = fig3_blast_scaling(CORES)
+    rows = [[name] + [f"{p.wall_minutes:.1f}" for p in pts] for name, pts in fig3.items()]
+    print(format_table(["series \\ cores"] + [str(c) for c in CORES], rows))
+
+    print("\nFig. 4 — core-minutes per 1000 queries (crossover + superlinear region)")
+    fig4 = fig4_block_size(CORES)
+    rows = [
+        [name] + [f"{p.core_minutes_per_query * 1000:.2f}" for p in pts]
+        for name, pts in fig4.items()
+    ]
+    print(format_table(["series \\ cores"] + [str(c) for c in CORES], rows))
+    small = fig4["80 blocks x 1000"]
+    eff128 = small[0].core_minutes_per_query / small[2].core_minutes_per_query
+    eff1024 = small[0].core_minutes_per_query / small[5].core_minutes_per_query
+    print(f"  efficiency 128 vs 32 cores: {eff128 * 100:.0f}%   (paper: 167%)")
+    print(f"  efficiency 1024 vs 32 cores: {eff1024 * 100:.0f}%  (paper: 95%)")
+
+    print("\nFig. 5 — useful CPU utilisation over the 1024-core protein run")
+    trace = fig5_utilization(n_bins=60)
+    bars = "".join("#" if u > 0.9 else ("+" if u > 0.5 else ".") for u in trace.utilization)
+    print(f"  [{bars}]")
+    print(f"  plateau {trace.plateau:.2f}; taper starts at "
+          f"{trace.taper_start_fraction * 100:.0f}% of the run")
+
+    prot = protein_scaling_result()
+    print("\n§IV.A — protein BLAST scaling")
+    print(f"  wall @1024 cores: {prot.wall_1024_minutes:.0f} min      (paper: 294 min)")
+    print(f"  extra core-min/query at 1024 vs 512: +{prot.extra_cost_percent:.0f}%  (paper: +6%)")
+
+    print("\nFig. 6 — batch SOM scaling (81,920 x 256-d vectors, 50x50 map)")
+    fig6 = fig6_som_scaling(CORES)
+    print(
+        format_table(
+            ["cores", "wall minutes", "efficiency vs 32"],
+            [[p.cores, f"{p.wall_minutes:.2f}", f"{p.efficiency_vs_32:.3f}"] for p in fig6],
+        )
+    )
+    print(f"  efficiency at 1024 cores: {fig6[-1].efficiency_vs_32 * 100:.0f}%  (paper: 96%)")
+
+
+if __name__ == "__main__":
+    main()

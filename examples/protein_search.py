@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Protein BLAST through the MapReduce pipeline (the paper's blastp case).
+
+Builds synthetic protein families (mutated copies of ancestral sequences,
+standing in for env_nr vs UniRef100), formats a partitioned protein DB, and
+runs blastp with the E-value cutoff the paper used (1e-4) through mrblast
+on 3 ranks.  Shows per-family recovery and the tabular (outfmt-6) output.
+
+Run:  python examples/protein_search.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.bio import synthetic_protein_database
+from repro.blast import BlastOptions, format_database
+from repro.core import MrBlastConfig, mrblast_spmd
+from repro.core.mrblast.merge import collect_rank_hits
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="repro_blastp_"))
+    queries, db_records = synthetic_protein_database(
+        n_families=4, members_per_family=3, length=220, mutation_rate=0.3, seed=4
+    )
+    alias_path = format_database(db_records, workdir / "db", name="uniref_demo",
+                                 kind="protein", max_volume_bytes=4096)
+    print(f"{len(db_records)} database proteins, {len(queries)} family queries")
+
+    # One block per pair of queries; E-value cutoff per the paper's run.
+    blocks = [queries[i : i + 2] for i in range(0, len(queries), 2)]
+    options = BlastOptions.blastp(evalue=1e-4, max_hits=25)
+    config = MrBlastConfig(
+        alias_path=str(alias_path),
+        query_blocks=blocks,
+        options=options,
+        output_dir=str(workdir / "out"),
+    )
+    results = mrblast_spmd(3, config)
+    merged = collect_rank_hits([r.output_path for r in results])
+
+    print("\nper-family recovery (every query should hit all 3 family members):")
+    for qid in sorted(merged):
+        subjects = [h.subject_id for h in merged[qid]]
+        family = qid[-2:]
+        in_family = sum(1 for s in subjects if s.startswith(f"fam{family}"))
+        print(f"  {qid}: {in_family}/3 family members, 0 cross-family false hits"
+              if in_family == len(subjects)
+              else f"  {qid}: WARNING cross-family hits {subjects}")
+
+    print("\ntabular output (BLAST outfmt 6):")
+    some_rank_file = next(r.output_path for r in results if r.hits_written)
+    with open(some_rank_file) as fh:
+        for line in list(fh)[:6]:
+            print("  " + line.rstrip())
+
+
+if __name__ == "__main__":
+    main()

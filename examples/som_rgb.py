@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Figure 7's visual test, in the terminal: SOM clustering of RGB colours.
+
+Trains a SOM on random RGB vectors with the parallel driver, then renders
+(a) the colour map itself as ANSI background colours and (b) the U-matrix
+as ASCII shading — the same pair of panels the paper's Fig. 7 shows.
+
+Run:  python examples/som_rgb.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import MrSomConfig, mrsom_spmd
+from repro.core.mrsom.mmap_input import write_matrix_file
+from repro.som import SOMGrid, quantization_error, topographic_error, umatrix
+from repro.som.umatrix import render_ascii
+
+
+def ansi_map(codebook: np.ndarray, grid: SOMGrid) -> str:
+    """Render each neuron as a 24-bit colour block."""
+    lines = []
+    weights = np.clip(codebook.reshape(grid.rows, grid.cols, 3), 0.0, 1.0)
+    for r in range(grid.rows):
+        cells = []
+        for c in range(grid.cols):
+            red, green, blue = (weights[r, c] * 255).astype(int)
+            cells.append(f"\x1b[48;2;{red};{green};{blue}m  \x1b[0m")
+        lines.append("".join(cells))
+    return "\n".join(lines)
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="repro_rgb_"))
+    rng = np.random.default_rng(0)
+    data = rng.random((100, 3))  # the paper's 100 random RGB feature vectors
+
+    grid = SOMGrid(20, 20)  # terminal-sized stand-in for the paper's 50x50
+    matrix_path = write_matrix_file(workdir / "rgb.mat", data)
+    config = MrSomConfig(matrix_path=str(matrix_path), grid=grid, epochs=30, block_rows=10)
+    codebook = mrsom_spmd(4, config)[0].codebook
+
+    print("colour map (smooth patches = correct clustering):")
+    print(ansi_map(codebook, grid))
+
+    print("\nU-matrix (dark = cluster boundary):")
+    print(render_ascii(umatrix(grid, codebook)))
+
+    qe = quantization_error(data, codebook)
+    te = topographic_error(data, codebook, grid)
+    print(f"\nquantization error {qe:.4f}, topographic error {te:.4f}")
+
+    # Persist the two Fig. 7 panels as image files.
+    from repro.som import codebook_to_rgb, write_pgm, write_ppm
+
+    ppm = write_ppm(codebook_to_rgb(grid, codebook, scale=8), workdir / "fig7_colors.ppm")
+    pgm = write_pgm(umatrix(grid, codebook), workdir / "fig7_umatrix.pgm", invert=True)
+    print(f"images written: {ppm} and {pgm}")
+
+
+if __name__ == "__main__":
+    main()

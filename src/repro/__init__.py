@@ -1,0 +1,27 @@
+"""repro — reproduction of "Parallelizing BLAST and SOM algorithms with
+MapReduce-MPI library" (Sul & Tovchigrechko, IPDPS 2011).
+
+The package contains every substrate the paper depends on, implemented from
+scratch in Python:
+
+- :mod:`repro.mpi` — an in-process SPMD MPI runtime (mpi4py-style API).
+- :mod:`repro.mrmpi` — a Python port of Sandia's MapReduce-MPI library.
+- :mod:`repro.blast` — a from-scratch seed-and-extend BLAST (blastn/blastp)
+  with Karlin-Altschul statistics and partitioned 2-bit databases.
+- :mod:`repro.som` — online and batch Self-Organizing Maps.
+- :mod:`repro.core` — the paper's contributions: MR-MPI BLAST (Fig. 1) and
+  MR-MPI batch SOM (Fig. 2), plus serial/HTC/mpiBLAST-like baselines.
+- :mod:`repro.simtime` / :mod:`repro.cluster` — a discrete-event cluster
+  simulator (TACC Ranger model) used to regenerate the paper's scaling
+  figures at 32-1024 cores.
+- :mod:`repro.bio` — FASTA handling, synthetic sequence workloads,
+  composition vectors.
+- :mod:`repro.figures` — one entry point per paper figure.
+
+See ``DESIGN.md`` for the full system inventory and ``EXPERIMENTS.md`` for
+paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

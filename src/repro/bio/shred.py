@@ -1,0 +1,70 @@
+"""Read shredding: the paper's query-set construction.
+
+"We have built the query dataset from those RefSeq sequences ... and
+shredded them into 400 bp fragments overlapping by 200 bp.  This procedure
+simulated sequencing reads per our primary BLAST use case of the
+metagenomic taxonomic classification."
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.bio.seq import SeqRecord
+
+__all__ = ["shred_record", "shred_records", "parent_id"]
+
+
+def shred_record(
+    record: SeqRecord,
+    fragment: int = 400,
+    overlap: int = 200,
+    keep_tail: bool = True,
+) -> Iterator[SeqRecord]:
+    """Yield overlapping fragments of one sequence.
+
+    Fragment ``i`` covers ``[i*step, i*step + fragment)`` with
+    ``step = fragment - overlap``.  A final partial fragment shorter than
+    ``fragment`` (but at least ``overlap`` long when possible) is kept by
+    default, since real shredders do not discard genome ends.
+    Fragment ids are ``{parent}/{start}-{end}`` so self-hit exclusion can
+    recover the parent id.
+    """
+    if fragment <= 0:
+        raise ValueError(f"fragment must be positive, got {fragment}")
+    if not (0 <= overlap < fragment):
+        raise ValueError(f"overlap must satisfy 0 <= overlap < fragment, got {overlap}")
+    step = fragment - overlap
+    n = len(record.seq)
+    if n == 0:
+        return
+    if n <= fragment:
+        yield SeqRecord(f"{record.id}/0-{n}", record.seq, record.description)
+        return
+    start = 0
+    while start < n:
+        end = min(start + fragment, n)
+        if end - start < step and start > 0 and not keep_tail:
+            break
+        if start > 0 and end - start < min(overlap, fragment) and not keep_tail:
+            break
+        yield SeqRecord(f"{record.id}/{start}-{end}", record.seq[start:end], record.description)
+        if end == n:
+            break
+        start += step
+
+
+def shred_records(
+    records: Iterable[SeqRecord],
+    fragment: int = 400,
+    overlap: int = 200,
+    keep_tail: bool = True,
+) -> Iterator[SeqRecord]:
+    """Shred every record in turn (order preserved)."""
+    for rec in records:
+        yield from shred_record(rec, fragment=fragment, overlap=overlap, keep_tail=keep_tail)
+
+
+def parent_id(fragment_id: str) -> str:
+    """Recover the parent sequence id from a shredded fragment id."""
+    return fragment_id.rsplit("/", 1)[0]

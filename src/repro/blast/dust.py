@@ -1,0 +1,85 @@
+"""DUST low-complexity masking for nucleotide queries.
+
+BLAST seeds in low-complexity sequence (poly-A runs, microsatellites) match
+half the database by chance; NCBI blastn therefore DUST-masks queries by
+default, and the paper notes that "the low-complexity filtering is usually
+requested".  This is the classic windowed DUST: the score of a window is
+based on triplet over-representation,
+
+    score(window) = 10 · Σ_t c_t·(c_t − 1)/2 / (w − 3)
+
+(c_t = count of triplet t in the window); positions inside windows scoring
+above the threshold are soft-masked — excluded from *seeding* but still
+available to extensions, matching BLAST's soft-mask semantics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bio.alphabet import DNA
+
+__all__ = ["dust_mask", "dust_intervals"]
+
+_DEFAULT_WINDOW = 64
+_DEFAULT_THRESHOLD = 20.0
+
+
+def _triplet_indices(codes: np.ndarray) -> np.ndarray:
+    """Packed 6-bit triplet index at every position (length n-2)."""
+    if codes.size < 3:
+        return np.empty(0, dtype=np.int64)
+    c = codes.astype(np.int64)
+    return c[:-2] * 16 + c[1:-1] * 4 + c[2:]
+
+
+def dust_score(codes: np.ndarray) -> float:
+    """DUST score of one window of encoded bases."""
+    trips = _triplet_indices(codes)
+    if trips.size < 1:
+        return 0.0
+    counts = np.bincount(trips, minlength=64)
+    rep = float((counts * (counts - 1)).sum()) / 2.0
+    return 10.0 * rep / trips.size
+
+
+def dust_mask(
+    seq: str,
+    window: int = _DEFAULT_WINDOW,
+    threshold: float = _DEFAULT_THRESHOLD,
+    step: int = 32,
+) -> np.ndarray:
+    """Boolean mask (True = masked) over the sequence positions."""
+    if window < 8:
+        raise ValueError(f"window must be >= 8, got {window}")
+    if step < 1:
+        raise ValueError(f"step must be >= 1, got {step}")
+    codes = DNA.encode(seq)
+    n = codes.size
+    mask = np.zeros(n, dtype=bool)
+    if n < 3:
+        return mask
+    for start in range(0, max(n - 2, 1), step):
+        end = min(start + window, n)
+        if dust_score(codes[start:end]) > threshold:
+            mask[start:end] = True
+        if end == n:
+            break
+    return mask
+
+
+def dust_intervals(seq: str, window: int = _DEFAULT_WINDOW,
+                   threshold: float = _DEFAULT_THRESHOLD) -> list[tuple[int, int]]:
+    """Masked regions as half-open (start, end) intervals."""
+    mask = dust_mask(seq, window=window, threshold=threshold)
+    intervals: list[tuple[int, int]] = []
+    start = None
+    for i, m in enumerate(mask):
+        if m and start is None:
+            start = i
+        elif not m and start is not None:
+            intervals.append((start, i))
+            start = None
+    if start is not None:
+        intervals.append((start, len(mask)))
+    return intervals

@@ -1,0 +1,279 @@
+"""The serial BLAST engine: scan → ungapped extend → gapped extend → stats.
+
+This is the "unmodified serial algorithm" layer of the paper's architecture:
+mrblast calls :meth:`BlastEngine.search_block` once per work unit (one query
+block against one DB partition) exactly as the paper's map() calls the NCBI
+C++ toolkit search, passing the whole-database statistics so E-values match
+an unsplit search.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.bio.seq import SeqRecord
+from repro.blast.dbreader import DbPartition
+from repro.blast.extend import ungapped_extend
+from repro.blast.gapped import extend_gapped
+from repro.blast.hsp import HSP, cull_overlapping, top_hits
+from repro.blast.karlin import gapped_params, karlin_params
+from repro.blast.lookup import NucleotideLookup, ProteinLookup, QueryBlock
+from repro.blast.matrices import BLOSUM62, nucleotide_matrix
+from repro.blast.options import BlastOptions
+from repro.blast.statistics import bit_score, evalue
+
+__all__ = ["BlastnEngine", "BlastpEngine", "make_engine", "SearchStats"]
+
+
+@dataclass
+class SearchStats:
+    """Instrumentation for one search_block call.
+
+    ``busy_seconds`` is the in-search wall time — the quantity the paper's
+    Fig. 5 divides by elapsed time to chart "useful CPU utilisation".
+    """
+
+    n_subjects: int = 0
+    n_word_hits: int = 0
+    n_ungapped: int = 0
+    n_gapped: int = 0
+    n_reported: int = 0
+    busy_seconds: float = 0.0
+
+    def merge(self, other: "SearchStats") -> None:
+        self.n_subjects += other.n_subjects
+        self.n_word_hits += other.n_word_hits
+        self.n_ungapped += other.n_ungapped
+        self.n_gapped += other.n_gapped
+        self.n_reported += other.n_reported
+        self.busy_seconds += other.busy_seconds
+
+
+class _EngineBase:
+    """Shared search pipeline; subclasses provide alphabet specifics."""
+
+    program: str
+
+    def __init__(self, options: BlastOptions) -> None:
+        if options.program != self.program:
+            raise ValueError(f"options are for {options.program!r}, engine is {self.program!r}")
+        self.options = options
+        self.matrix = self._make_matrix()
+        self.ungapped_params = karlin_params(
+            program=self.program, reward=options.reward, penalty=options.penalty
+        )
+        self.gapped_stats_params = gapped_params(
+            program=self.program,
+            reward=options.reward,
+            penalty=options.penalty,
+            gap_open=options.gap_open,
+            gap_extend=options.gap_extend,
+        )
+        self.last_stats = SearchStats()
+
+    # ---- subclass hooks ----------------------------------------------------
+
+    def _make_matrix(self) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _make_lookup(self, block: QueryBlock):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    # ---- public API ----------------------------------------------------------
+
+    def search_block(
+        self,
+        queries: Sequence[SeqRecord],
+        partition: DbPartition,
+    ) -> list[HSP]:
+        """Search a query block against one DB partition.
+
+        Returns per-query top-K HSPs (the per-partition cutoff the paper's
+        complexity analysis discusses: K hits per partition survive to the
+        collate stage).  E-values use the DB-size overrides when set.
+        """
+        t0 = time.perf_counter()
+        stats = SearchStats()
+        opts = self.options
+        block = QueryBlock(queries, self.program, use_mask=self._masking_enabled())
+        lookup = self._make_lookup(block)
+        db_len = opts.db_length_override or partition.total_length
+        db_seqs = opts.db_num_seqs_override or partition.num_seqs
+
+        all_hits: list[HSP] = []
+        for sid, s_codes in partition:
+            stats.n_subjects += 1
+            all_hits.extend(
+                self._search_subject(block, lookup, sid, s_codes, db_len, db_seqs, stats)
+            )
+
+        # Per-query E-value filter + top-K (the per-partition hit list).
+        by_query: dict[str, list[HSP]] = {}
+        for h in all_hits:
+            by_query.setdefault(h.query_id, []).append(h)
+        out: list[HSP] = []
+        for rec in block.records:  # preserve query input order
+            hits = by_query.get(rec.id)
+            if hits:
+                out.extend(top_hits(hits, opts.max_hits, opts.evalue))
+        stats.n_reported = len(out)
+        stats.busy_seconds = time.perf_counter() - t0
+        self.last_stats = stats
+        return out
+
+    # ---- pipeline ------------------------------------------------------------
+
+    def _masking_enabled(self) -> bool:
+        return self.options.dust if self.program == "blastn" else self.options.seg
+
+    def _search_subject(
+        self,
+        block: QueryBlock,
+        lookup,
+        subject_id: str,
+        s_codes: np.ndarray,
+        db_len: int,
+        db_seqs: int,
+        stats: SearchStats,
+    ) -> list[HSP]:
+        opts = self.options
+        qpos_concat, spos_arr = lookup.scan(s_codes)
+        stats.n_word_hits += int(qpos_concat.size)
+        if qpos_concat.size == 0:
+            return []
+        ctx_indices = np.asarray(block.context_of(qpos_concat))
+
+        # Process hits grouped by context, ordered along the subject so the
+        # per-diagonal bookkeeping sees hits left to right.
+        order = np.lexsort((spos_arr, qpos_concat, ctx_indices))
+        found: list[HSP] = []
+        two_hit = self.program == "blastp" and opts.two_hit_window > 0
+
+        current_ctx = -1
+        diag_last: dict[int, int] = {}
+        diag_covered: dict[int, int] = {}
+        for idx in order:
+            ci = int(ctx_indices[idx])
+            if ci != current_ctx:
+                current_ctx = ci
+                diag_last = {}
+                diag_covered = {}
+            ctx = block.contexts[ci]
+            q_pos = int(qpos_concat[idx] - ctx.offset)
+            s_pos = int(spos_arr[idx])
+            diag = s_pos - q_pos
+
+            if s_pos < diag_covered.get(diag, 0):
+                continue  # inside an already-extended region on this diagonal
+
+            if two_hit:
+                # NCBI's two-hit rule: remember the *end* of the last word
+                # hit on this diagonal; a new hit overlapping it is ignored
+                # outright (the anchor survives), a non-overlapping hit
+                # within the window triggers extension, and a hit beyond the
+                # window becomes the new anchor.
+                last_end = diag_last.get(diag)
+                if last_end is None:
+                    diag_last[diag] = s_pos + opts.word_size
+                    continue
+                if s_pos < last_end:
+                    continue
+                if s_pos - last_end > opts.two_hit_window:
+                    diag_last[diag] = s_pos + opts.word_size
+                    continue
+                diag_last[diag] = s_pos + opts.word_size
+
+            u = ungapped_extend(
+                ctx.codes, s_codes, q_pos, s_pos, opts.word_size, self.matrix, opts.xdrop_ungapped
+            )
+            stats.n_ungapped += 1
+            diag_covered[diag] = u.s_end
+            if bit_score(u.score, self.ungapped_params) < opts.ungapped_cutoff_bits:
+                continue
+
+            q_seed, s_seed = u.seed_point()
+            g = extend_gapped(
+                ctx.codes,
+                s_codes,
+                q_seed,
+                s_seed,
+                self.matrix,
+                opts.gap_open,
+                opts.gap_extend,
+                opts.xdrop_gapped,
+                opts.band_width,
+            )
+            stats.n_gapped += 1
+            if g is None:
+                continue
+            diag_covered[diag] = max(diag_covered[diag], g.s_end)
+
+            rec = block.records[ctx.query_index]
+            e = evalue(g.score, self.gapped_stats_params, len(rec.seq), db_len, db_seqs)
+            if e > opts.evalue:
+                continue
+            if ctx.strand == 1:
+                q_start, q_end = g.q_start, g.q_end
+            else:
+                q_start, q_end = ctx.length - g.q_end, ctx.length - g.q_start
+            found.append(
+                HSP(
+                    query_id=rec.id,
+                    subject_id=subject_id,
+                    score=g.score,
+                    bit_score=bit_score(g.score, self.gapped_stats_params),
+                    evalue=e,
+                    q_start=q_start,
+                    q_end=q_end,
+                    s_start=g.s_start,
+                    s_end=g.s_end,
+                    identities=g.identities,
+                    align_len=g.align_len,
+                    gaps=g.gaps,
+                    strand=ctx.strand,
+                )
+            )
+        return cull_overlapping(found)
+
+
+class BlastnEngine(_EngineBase):
+    """Nucleotide search: exact-word seeding, one-hit trigger, both strands."""
+
+    program = "blastn"
+
+    def _make_matrix(self) -> np.ndarray:
+        return nucleotide_matrix(self.options.reward, self.options.penalty)
+
+    def _make_lookup(self, block: QueryBlock) -> NucleotideLookup:
+        return NucleotideLookup(block, word_size=self.options.word_size)
+
+
+class BlastpEngine(_EngineBase):
+    """Protein search: neighbourhood-word seeding, two-hit trigger, BLOSUM62."""
+
+    program = "blastp"
+
+    def _make_matrix(self) -> np.ndarray:
+        return BLOSUM62
+
+    def _make_lookup(self, block: QueryBlock) -> ProteinLookup:
+        return ProteinLookup(
+            block, word_size=self.options.word_size, threshold=self.options.neighbor_threshold
+        )
+
+
+def make_engine(options: BlastOptions):
+    """Engine factory keyed on ``options.program``."""
+    if options.program == "blastn":
+        return BlastnEngine(options)
+    if options.program == "blastp":
+        return BlastpEngine(options)
+    if options.program == "blastx":
+        from repro.blast.blastx import BlastxEngine
+
+        return BlastxEngine(options)
+    raise ValueError(f"unknown program {options.program!r}")

@@ -1,0 +1,208 @@
+"""Stage 1 of BLAST: word lookup tables over a query block.
+
+NCBI BLAST "iteratively loads the next concatenated subset of query
+sequences, builds a word lookup table out of them, and streams the database
+past this lookup table" (paper §II.B).  This module is that machinery:
+
+- a :class:`QueryBlock` concatenates the encoded queries (both strands for
+  nucleotide searches) into *contexts* with offset bookkeeping;
+- :class:`NucleotideLookup` indexes exact packed words (default size 11);
+- :class:`ProteinLookup` indexes BLOSUM62 *neighbourhood* words of size 3
+  scoring at least T against a query word, which is what lets blastp find
+  remote homologies (and why protein search examines many more candidate
+  matches — the CPU-bound behaviour the paper's Fig. 5 relies on).
+
+Soft-masked query positions (DUST/SEG) produce no words, but extensions may
+still run through them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.bio.alphabet import DNA, PROTEIN
+from repro.bio.seq import SeqRecord, reverse_complement
+from repro.blast.dust import dust_mask
+from repro.blast.matrices import BLOSUM62
+from repro.blast.seg import seg_mask
+
+__all__ = ["QueryContext", "QueryBlock", "NucleotideLookup", "ProteinLookup"]
+
+
+@dataclass
+class QueryContext:
+    """One searchable strand of one query sequence."""
+
+    query_index: int
+    strand: int  # +1 or -1
+    codes: np.ndarray  # encoded residues of this strand
+    mask: np.ndarray  # True = soft-masked (no seeding)
+    offset: int = 0  # start position in the concatenated coordinate space
+
+    @property
+    def length(self) -> int:
+        return int(self.codes.size)
+
+
+class QueryBlock:
+    """Concatenated query contexts with global-position bookkeeping."""
+
+    def __init__(self, records: Sequence[SeqRecord], program: str, use_mask: bool) -> None:
+        if not records:
+            raise ValueError("query block must contain at least one sequence")
+        self.records = list(records)
+        self.program = program
+        self.contexts: list[QueryContext] = []
+        offset = 0
+        for qi, rec in enumerate(self.records):
+            strands = [(1, rec.seq)]
+            if program == "blastn":
+                strands.append((-1, reverse_complement(rec.seq)))
+            for strand, seq in strands:
+                if program == "blastn":
+                    codes = DNA.encode(seq)
+                    mask = dust_mask(seq) if use_mask else np.zeros(len(seq), dtype=bool)
+                else:
+                    codes = PROTEIN.encode(seq)
+                    mask = seg_mask(seq) if use_mask else np.zeros(len(seq), dtype=bool)
+                self.contexts.append(QueryContext(qi, strand, codes, mask, offset))
+                offset += codes.size
+        self.total_length = offset
+        self._starts = np.array([c.offset for c in self.contexts], dtype=np.int64)
+
+    def context_of(self, concat_pos: int | np.ndarray):
+        """Context index (or array of indices) for concatenated positions."""
+        return np.searchsorted(self._starts, concat_pos, side="right") - 1
+
+
+def _pack_words(codes: np.ndarray, word_size: int, alphabet_size: int) -> np.ndarray:
+    """Packed integer of every window of ``word_size`` letters (vectorised)."""
+    n = codes.size - word_size + 1
+    if n <= 0:
+        return np.empty(0, dtype=np.int64)
+    weights = alphabet_size ** np.arange(word_size - 1, -1, -1, dtype=np.int64)
+    windows = np.lib.stride_tricks.sliding_window_view(codes.astype(np.int64), word_size)
+    return windows @ weights
+
+
+def _window_unmasked(mask: np.ndarray, word_size: int) -> np.ndarray:
+    """True where a window of ``word_size`` contains no masked position."""
+    n = mask.size - word_size + 1
+    if n <= 0:
+        return np.empty(0, dtype=bool)
+    windows = np.lib.stride_tricks.sliding_window_view(mask, word_size)
+    return ~windows.any(axis=1)
+
+
+class _LookupBase:
+    """Shared scan machinery: word table + vectorised subject scanning."""
+
+    word_size: int
+    alphabet_size: int
+
+    def __init__(self, block: QueryBlock) -> None:
+        self.block = block
+        self._table: dict[int, np.ndarray] = {}
+        self._build()
+        # Sorted key array for fast membership pre-filtering during scans.
+        self._keys = np.array(sorted(self._table), dtype=np.int64)
+
+    # subclasses fill self._table: word -> concatenated query positions
+    def _build(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    @property
+    def n_words(self) -> int:
+        return len(self._table)
+
+    def scan(self, subject_codes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """All word hits against one subject.
+
+        Returns ``(query_concat_positions, subject_positions)`` arrays of
+        equal length.  Purely vectorised pre-filtering keeps the Python-level
+        loop proportional to the number of *matching* windows only.
+        """
+        sub = subject_codes
+        if self.alphabet_size == 20:
+            # Protein subjects may contain ambiguity codes >= 20: windows
+            # containing them cannot be looked up (give them an impossible
+            # word id so they never match).
+            valid = _window_unmasked(sub >= 20, self.word_size)
+            words = _pack_words(np.minimum(sub, 19), self.word_size, self.alphabet_size)
+            words = np.where(valid, words, -1)
+        else:
+            words = _pack_words(sub, self.word_size, self.alphabet_size)
+        if words.size == 0 or self._keys.size == 0:
+            return (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        candidate = np.isin(words, self._keys)
+        spos_list = np.nonzero(candidate)[0]
+        q_out: list[np.ndarray] = []
+        s_out: list[np.ndarray] = []
+        for spos in spos_list:
+            qpositions = self._table[int(words[spos])]
+            q_out.append(qpositions)
+            s_out.append(np.full(qpositions.size, spos, dtype=np.int64))
+        if not q_out:
+            return (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        return np.concatenate(q_out), np.concatenate(s_out)
+
+
+class NucleotideLookup(_LookupBase):
+    """Exact-word lookup (blastn stage-1)."""
+
+    def __init__(self, block: QueryBlock, word_size: int = 11) -> None:
+        if word_size < 4 or word_size > 31:
+            raise ValueError(f"nucleotide word_size must be in [4, 31], got {word_size}")
+        self.word_size = word_size
+        self.alphabet_size = 4
+        super().__init__(block)
+
+    def _build(self) -> None:
+        table: dict[int, list[int]] = {}
+        for ctx in self.block.contexts:
+            words = _pack_words(ctx.codes, self.word_size, 4)
+            usable = _window_unmasked(ctx.mask, self.word_size)
+            for local_pos in np.nonzero(usable)[0]:
+                table.setdefault(int(words[local_pos]), []).append(ctx.offset + int(local_pos))
+        self._table = {w: np.array(ps, dtype=np.int64) for w, ps in table.items()}
+
+
+class ProteinLookup(_LookupBase):
+    """Neighbourhood-word lookup (blastp stage-1).
+
+    For each query word position, every word of the 20-letter alphabet whose
+    BLOSUM62 score against the query word is at least ``threshold`` (T) is
+    added to the table pointing back at that position.
+    """
+
+    def __init__(self, block: QueryBlock, word_size: int = 3, threshold: int = 11) -> None:
+        if word_size != 3:
+            raise ValueError(f"protein lookup supports word_size 3, got {word_size}")
+        self.word_size = word_size
+        self.alphabet_size = 20
+        self.threshold = threshold
+        super().__init__(block)
+
+    def _build(self) -> None:
+        B = BLOSUM62[:20, :20]
+        table: dict[int, list[int]] = {}
+        for ctx in self.block.contexts:
+            codes = ctx.codes
+            usable = _window_unmasked(ctx.mask | (codes >= 20), self.word_size)
+            n = codes.size - self.word_size + 1
+            for local_pos in range(max(n, 0)):
+                if not usable[local_pos]:
+                    continue
+                a, b, c = codes[local_pos], codes[local_pos + 1], codes[local_pos + 2]
+                scores = (
+                    B[a][:, None, None] + B[b][None, :, None] + B[c][None, None, :]
+                )
+                hits = np.nonzero(scores >= self.threshold)
+                words = hits[0] * 400 + hits[1] * 20 + hits[2]
+                gpos = ctx.offset + local_pos
+                for w in words:
+                    table.setdefault(int(w), []).append(gpos)
+        self._table = {w: np.array(ps, dtype=np.int64) for w, ps in table.items()}

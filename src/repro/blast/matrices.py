@@ -1,0 +1,91 @@
+"""Score matrices: BLOSUM62 and match/mismatch nucleotide matrices.
+
+BLOSUM62 is stored in the alphabet order of :data:`repro.bio.alphabet.PROTEIN`
+(``ARNDCQEGHILKMFPSTWYVBZX*``) so that ``BLOSUM62[code_a, code_b]`` is a raw
+score with no index translation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bio.alphabet import DNA, PROTEIN
+
+__all__ = ["BLOSUM62", "nucleotide_matrix", "background_frequencies"]
+
+_B62_ROWS = """
+ 4 -1 -2 -2  0 -1 -1  0 -2 -1 -1 -1 -1 -2 -1  1  0 -3 -2  0 -2 -1  0 -4
+-1  5  0 -2 -3  1  0 -2  0 -3 -2  2 -1 -3 -2 -1 -1 -3 -2 -3 -1  0 -1 -4
+-2  0  6  1 -3  0  0  0  1 -3 -3  0 -2 -3 -2  1  0 -4 -2 -3  3  0 -1 -4
+-2 -2  1  6 -3  0  2 -1 -1 -3 -4 -1 -3 -3 -1  0 -1 -4 -3 -3  4  1 -1 -4
+ 0 -3 -3 -3  9 -3 -4 -3 -3 -1 -1 -3 -1 -2 -3 -1 -1 -2 -2 -1 -3 -3 -2 -4
+-1  1  0  0 -3  5  2 -2  0 -3 -2  1  0 -3 -1  0 -1 -2 -1 -2  0  3 -1 -4
+-1  0  0  2 -4  2  5 -2  0 -3 -3  1 -2 -3 -1  0 -1 -3 -2 -2  1  4 -1 -4
+ 0 -2  0 -1 -3 -2 -2  6 -2 -4 -4 -2 -3 -3 -2  0 -2 -2 -3 -3 -1 -2 -1 -4
+-2  0  1 -1 -3  0  0 -2  8 -3 -3 -1 -2 -1 -2 -1 -2 -2  2 -3  0  0 -1 -4
+-1 -3 -3 -3 -1 -3 -3 -4 -3  4  2 -3  1  0 -3 -2 -1 -3 -1  3 -3 -3 -1 -4
+-1 -2 -3 -4 -1 -2 -3 -4 -3  2  4 -2  2  0 -3 -2 -1 -2 -1  1 -4 -3 -1 -4
+-1  2  0 -1 -3  1  1 -2 -1 -3 -2  5 -1 -3 -1  0 -1 -3 -2 -2  0  1 -1 -4
+-1 -1 -2 -3 -1  0 -2 -3 -2  1  2 -1  5  0 -2 -1 -1 -1 -1  1 -3 -1 -1 -4
+-2 -3 -3 -3 -2 -3 -3 -3 -1  0  0 -3  0  6 -4 -2 -2  1  3 -1 -3 -3 -1 -4
+-1 -2 -2 -1 -3 -1 -1 -2 -2 -3 -3 -1 -2 -4  7 -1 -1 -4 -3 -2 -2 -1 -2 -4
+ 1 -1  1  0 -1  0  0  0 -1 -2 -2  0 -1 -2 -1  4  1 -3 -2 -2  0  0  0 -4
+ 0 -1  0 -1 -1 -1 -1 -2 -2 -1 -1 -1 -1 -2 -1  1  5 -2 -2  0 -1 -1  0 -4
+-3 -3 -4 -4 -2 -2 -3 -2 -2 -3 -2 -3 -1  1 -4 -3 -2 11  2 -3 -4 -3 -2 -4
+-2 -2 -2 -3 -2 -1 -2 -3  2 -1 -1 -2 -1  3 -3 -2 -2  2  7 -1 -3 -2 -1 -4
+ 0 -3 -3 -3 -1 -2 -2 -3 -3  3  1 -2  1 -1 -2 -2  0 -3 -1  4 -3 -2 -1 -4
+-2 -1  3  4 -3  0  1 -1  0 -3 -4  0 -3 -3 -2  0 -1 -4 -3 -3  4  1 -1 -4
+-1  0  0  1 -3  3  4 -2  0 -3 -3  1 -1 -3 -1  0 -1 -3 -2 -2  1  4 -1 -4
+ 0 -1 -1 -1 -2 -1 -1 -1 -1 -1 -1 -1 -1 -1 -2  0  0 -2 -1 -1 -1 -1 -1 -4
+-4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4  1
+"""
+
+#: BLOSUM62 as a (24, 24) int32 matrix in PROTEIN alphabet order.
+BLOSUM62 = np.array(
+    [[int(x) for x in row.split()] for row in _B62_ROWS.strip().splitlines()],
+    dtype=np.int32,
+)
+assert BLOSUM62.shape == (len(PROTEIN.letters), len(PROTEIN.letters))
+assert (BLOSUM62 == BLOSUM62.T).all(), "BLOSUM62 must be symmetric"
+
+
+def nucleotide_matrix(reward: int = 1, penalty: int = -2) -> np.ndarray:
+    """Match/mismatch matrix over the DNA alphabet (A, C, G, T).
+
+    Defaults (+1/-2) are the classic blastn reward/penalty the ungapped
+    Karlin tables are published for.
+    """
+    if reward <= 0:
+        raise ValueError(f"reward must be positive, got {reward}")
+    if penalty >= 0:
+        raise ValueError(f"penalty must be negative, got {penalty}")
+    n = DNA.size
+    m = np.full((n, n), penalty, dtype=np.int32)
+    np.fill_diagonal(m, reward)
+    return m
+
+
+#: Robinson & Robinson amino-acid background frequencies (NCBI's default for
+#: Karlin parameter computation), indexed by the first 20 PROTEIN codes.
+_ROBINSON = {
+    "A": 78.05, "R": 51.29, "N": 44.87, "D": 53.64, "C": 19.25,
+    "Q": 42.64, "E": 62.95, "G": 73.77, "H": 21.99, "I": 51.42,
+    "L": 90.19, "K": 57.44, "M": 22.43, "F": 38.56, "P": 52.03,
+    "S": 71.20, "T": 58.41, "W": 13.30, "Y": 32.13, "V": 64.41,
+}
+
+
+def background_frequencies(kind: str) -> np.ndarray:
+    """Letter background frequencies for Karlin statistics.
+
+    ``"dna"`` → uniform over ACGT; ``"protein"`` → Robinson & Robinson over
+    the 20 standard residues (ambiguity codes get zero weight, as in NCBI).
+    """
+    if kind == "dna":
+        return np.full(4, 0.25)
+    if kind == "protein":
+        freqs = np.zeros(PROTEIN.size)
+        for aa, w in _ROBINSON.items():
+            freqs[PROTEIN.letters.index(aa)] = w
+        return freqs / freqs.sum()
+    raise ValueError(f"unknown alphabet kind {kind!r} (use 'dna' or 'protein')")

@@ -1,0 +1,164 @@
+"""Classic BLAST pairwise alignment rendering.
+
+The tabular format carries coordinates and statistics; humans inspecting
+individual matches want the traditional pairwise view::
+
+    Query  1    ACGTACGTAC-GTACGT  16
+                |||||| ||| ||||||
+    Sbjct  101  ACGTACTTACAGTACGT  117
+
+``render_pairwise`` realigns an HSP's ranges (the engine keeps HSPs lean;
+the alignment path is recomputed on demand with the same gapped-extension
+machinery, seeded at the range start) and renders blocks of configurable
+width with 1-based coordinates, matching NCBI's layout conventions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bio.alphabet import DNA, PROTEIN
+from repro.bio.seq import reverse_complement
+from repro.blast.gapped import GappedAlignment, extend_gapped
+from repro.blast.hsp import HSP
+from repro.blast.matrices import BLOSUM62, nucleotide_matrix
+from repro.blast.options import BlastOptions
+
+__all__ = ["align_ranges", "render_pairwise"]
+
+
+def align_ranges(
+    q_codes: np.ndarray,
+    s_codes: np.ndarray,
+    matrix: np.ndarray,
+    gap_open: int,
+    gap_extend: int,
+    band: int = 64,
+) -> GappedAlignment | None:
+    """Full alignment of two already-trimmed ranges (global-start both ends).
+
+    Runs the gapped extension seeded at (0, 0) with a generous X-drop so the
+    optimal path over the ranges is recovered along with its operations.
+    """
+    xdrop = 10.0 * max(abs(int(matrix.min())), int(matrix.max())) * max(
+        q_codes.size, s_codes.size
+    )
+    return extend_gapped(
+        q_codes, s_codes, 0, 0, matrix, gap_open, gap_extend, xdrop=xdrop, band=band
+    )
+
+
+def _midline_char(a: str, b: str, matrix: np.ndarray, alphabet) -> str:
+    if a == b:
+        return "|"
+    score = matrix[alphabet.encode(a)[0], alphabet.encode(b)[0]]
+    return "+" if score > 0 else " "
+
+
+def render_pairwise(
+    hsp: HSP,
+    query_seq: str,
+    subject_seq: str,
+    options: BlastOptions | None = None,
+    width: int = 60,
+) -> str:
+    """Render one HSP as NCBI-style pairwise alignment text.
+
+    ``query_seq``/``subject_seq`` are the *full* plus-strand sequences the
+    HSP refers to; minus-strand nucleotide HSPs are rendered on the query's
+    reverse complement with descending subject coordinates, as BLAST does.
+    Translated-search HSPs are not supported (their two sides live in
+    different alphabets).
+    """
+    if hsp.frame != 0:
+        raise ValueError("pairwise rendering supports untranslated HSPs only")
+    if width < 10:
+        raise ValueError(f"width must be >= 10, got {width}")
+    options = options or BlastOptions.blastn()
+    if options.program == "blastn":
+        alphabet = DNA
+        matrix = nucleotide_matrix(options.reward, options.penalty)
+    else:
+        alphabet = PROTEIN
+        matrix = BLOSUM62
+
+    q_text = query_seq[hsp.q_start : hsp.q_end]
+    s_text = subject_seq[hsp.s_start : hsp.s_end]
+    if hsp.strand == -1:
+        q_text = reverse_complement(q_text)
+
+    alignment = align_ranges(
+        alphabet.encode(q_text),
+        alphabet.encode(s_text),
+        matrix,
+        options.gap_open,
+        options.gap_extend,
+        band=max(options.band_width, abs(len(q_text) - len(s_text)) + 8),
+    )
+    if alignment is None:
+        raise ValueError("ranges do not produce a positive-scoring alignment")
+
+    # Build the three display rows from the operation string.
+    q_row: list[str] = []
+    mid: list[str] = []
+    s_row: list[str] = []
+    qi = si = 0
+    for op in alignment.ops:
+        if op == "M":
+            a, b = q_text[qi], s_text[si]
+            q_row.append(a)
+            s_row.append(b)
+            mid.append(_midline_char(a, b, matrix, alphabet))
+            qi += 1
+            si += 1
+        elif op == "I":  # query residue against a gap
+            q_row.append(q_text[qi])
+            s_row.append("-")
+            mid.append(" ")
+            qi += 1
+        else:  # "D": gap in query
+            q_row.append("-")
+            s_row.append(s_text[si])
+            mid.append(" ")
+            si += 1
+
+    header = (
+        f" Score = {hsp.bit_score:.1f} bits ({hsp.score}), "
+        f"Expect = {hsp.evalue:.2g}\n"
+        f" Identities = {hsp.identities}/{hsp.align_len} ({hsp.pident:.0f}%), "
+        f"Gaps = {hsp.gaps}/{hsp.align_len}\n"
+        f" Strand = Plus/{'Plus' if hsp.strand == 1 else 'Minus'}\n"
+    )
+
+    # Coordinate bookkeeping (1-based inclusive; minus strand descends on
+    # the query per BLAST convention for Plus/Minus presentation).
+    if hsp.strand == 1:
+        q_pos = hsp.q_start + 1
+        q_step = 1
+    else:
+        q_pos = hsp.q_end
+        q_step = -1
+    s_pos = hsp.s_start + 1
+
+    num_width = max(
+        len(str(hsp.q_end)), len(str(hsp.s_end)), len(str(q_pos))
+    )
+    blocks: list[str] = []
+    for off in range(0, len(q_row), width):
+        q_chunk = "".join(q_row[off : off + width])
+        m_chunk = "".join(mid[off : off + width])
+        s_chunk = "".join(s_row[off : off + width])
+        q_consumed = sum(1 for c in q_chunk if c != "-")
+        s_consumed = sum(1 for c in s_chunk if c != "-")
+        q_last = q_pos + q_step * (q_consumed - 1) if q_consumed else q_pos
+        s_last = s_pos + s_consumed - 1 if s_consumed else s_pos
+        blocks.append(
+            f"Query  {q_pos:<{num_width}}  {q_chunk}  {q_last}\n"
+            f"       {'':<{num_width}}  {m_chunk}\n"
+            f"Sbjct  {s_pos:<{num_width}}  {s_chunk}  {s_last}\n"
+        )
+        if q_consumed:
+            q_pos = q_last + q_step
+        if s_consumed:
+            s_pos = s_last + 1
+    return header + "\n" + "\n".join(blocks)

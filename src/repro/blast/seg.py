@@ -1,0 +1,52 @@
+"""Entropy-based low-complexity masking for protein queries.
+
+A windowed Shannon-entropy criterion standing in for SEG (Wootton &
+Federhen): windows of ``window`` residues whose entropy falls below
+``threshold`` bits are soft-masked.  True SEG refines window boundaries with
+a probability criterion; for seeding suppression the entropy core is the
+operative part, and the engine applies the same soft-mask semantics as DUST
+(no seeds in masked regions, extensions may cross).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bio.alphabet import PROTEIN
+
+__all__ = ["seg_mask", "window_entropy"]
+
+_DEFAULT_WINDOW = 12
+_DEFAULT_THRESHOLD = 2.2  # bits; random protein is ~4.1 bits
+
+
+def window_entropy(codes: np.ndarray) -> float:
+    """Shannon entropy (bits) of residue composition of one window."""
+    if codes.size == 0:
+        return 0.0
+    counts = np.bincount(codes, minlength=PROTEIN.size).astype(np.float64)
+    p = counts[counts > 0] / codes.size
+    return float(-(p * np.log2(p)).sum())
+
+
+def seg_mask(
+    seq: str,
+    window: int = _DEFAULT_WINDOW,
+    threshold: float = _DEFAULT_THRESHOLD,
+) -> np.ndarray:
+    """Boolean mask (True = masked) over protein positions."""
+    if window < 4:
+        raise ValueError(f"window must be >= 4, got {window}")
+    if threshold <= 0:
+        raise ValueError(f"threshold must be positive, got {threshold}")
+    codes = PROTEIN.encode(seq)
+    n = codes.size
+    mask = np.zeros(n, dtype=bool)
+    if n < window:
+        if n and window_entropy(codes) < threshold * (n / window):
+            mask[:] = True
+        return mask
+    for start in range(0, n - window + 1):
+        if window_entropy(codes[start : start + window]) < threshold:
+            mask[start : start + window] = True
+    return mask

@@ -1,0 +1,155 @@
+"""tblastn: protein query against a translated nucleotide database.
+
+The complement of :mod:`repro.blast.blastx` — the database side is
+translated in all six frames.  Used when characterised proteins must be
+located in uncharacterised nucleotide data (e.g. finding genes in
+metagenomic contigs), the other direction of the paper's annotation story.
+
+Each DNA subject expands into up to six translated virtual subjects
+(``id|frame±k``); the inner blastp engine searches them; hits map back to
+*nucleotide* subject coordinates (frame ±k at nt length L):
+
+- frame +k:  nt = (k-1) + 3*aa
+- frame -k:  nt = L - (k-1) - 3*aa   (minus strand)
+
+E-values use the whole database's *amino-acid* search space (total
+nucleotide length / 3), the standard tblastn convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.bio.alphabet import PROTEIN
+from repro.bio.seq import SeqRecord, reverse_complement, translate
+from repro.blast.dbreader import DbPartition
+from repro.blast.engine import BlastpEngine
+from repro.blast.hsp import HSP, top_hits
+from repro.blast.options import BlastOptions
+
+__all__ = ["TblastnEngine", "TranslatedPartition"]
+
+_FRAME_SEP = "|frame"
+
+
+class TranslatedPartition:
+    """Adapter presenting a DNA partition as six-frame protein subjects.
+
+    Satisfies the iteration/stats surface the blastp engine's scan loop
+    uses; translation happens lazily per subject and is not cached (each
+    subject is visited once per search, like the packed volumes).
+    """
+
+    def __init__(self, partition: DbPartition, min_aa: int = 10) -> None:
+        if partition.kind != "dna":
+            raise ValueError("TranslatedPartition wraps nucleotide partitions")
+        self._partition = partition
+        self.min_aa = min_aa
+        #: nt lengths by original subject id (for coordinate mapping)
+        self.nt_lengths = dict(zip(partition.ids, partition.lengths))
+
+    @property
+    def name(self) -> str:
+        return self._partition.name + "|translated"
+
+    @property
+    def num_seqs(self) -> int:
+        return self._partition.num_seqs  # original subject count (stats)
+
+    @property
+    def total_length(self) -> int:
+        return max(self._partition.total_length // 3, 1)  # aa search space
+
+    def _frames(self, sid: str, codes: np.ndarray) -> Iterator[tuple[str, np.ndarray]]:
+        from repro.bio.alphabet import DNA
+
+        seq = DNA.decode(codes)
+        rc = reverse_complement(seq)
+        for k in (1, 2, 3):
+            for strand_seq, signed in ((seq, k), (rc, -k)):
+                # Translate through stops ("*", scored -4): truncating at the
+                # first stop would hide genes behind untranslated flanks.
+                protein = translate(strand_seq, frame=k - 1, stop=False)
+                if len(protein) >= self.min_aa:
+                    yield f"{sid}{_FRAME_SEP}{signed:+d}", PROTEIN.encode(protein)
+
+    def __iter__(self) -> Iterator[tuple[str, np.ndarray]]:
+        for sid, codes in self._partition:
+            yield from self._frames(sid, codes)
+
+
+class TblastnEngine:
+    """Translated-database search built on the blastp engine."""
+
+    program = "tblastn"
+
+    def __init__(self, options: BlastOptions, min_frame_aa: int = 10) -> None:
+        if options.program not in ("blastp", "tblastn", "blastx"):
+            raise ValueError(
+                "TblastnEngine takes blastp-style options (protein scoring); "
+                f"got program {options.program!r}"
+            )
+        self.options = options
+        self.min_frame_aa = min_frame_aa
+        inner = replace(options, program="blastp")
+        if inner.db_length_override is not None:
+            # DB-split overrides arrive in nucleotides; the translated
+            # search space is measured in amino acids.
+            inner = replace(
+                inner, db_length_override=max(inner.db_length_override // 3, 1)
+            )
+        self._inner = BlastpEngine(inner)
+
+    @property
+    def last_stats(self):
+        return self._inner.last_stats
+
+    def search_block(
+        self, queries: Sequence[SeqRecord], partition: DbPartition
+    ) -> list[HSP]:
+        """Search protein queries against one nucleotide partition."""
+        translated = TranslatedPartition(partition, min_aa=self.min_frame_aa)
+        aa_hits = self._inner.search_block(queries, translated)
+
+        by_query: dict[str, list[HSP]] = {}
+        for h in aa_hits:
+            sid, frame_txt = h.subject_id.rsplit(_FRAME_SEP, 1)
+            signed = int(frame_txt)
+            frame = abs(signed)
+            nt_len = translated.nt_lengths[sid]
+            if signed > 0:
+                s_start = (frame - 1) + 3 * h.s_start
+                s_end = (frame - 1) + 3 * h.s_end
+                strand = 1
+            else:
+                s_start = nt_len - (frame - 1) - 3 * h.s_end
+                s_end = nt_len - (frame - 1) - 3 * h.s_start
+                strand = -1
+            by_query.setdefault(h.query_id, []).append(
+                HSP(
+                    query_id=h.query_id,
+                    subject_id=sid,
+                    score=h.score,
+                    bit_score=h.bit_score,
+                    evalue=h.evalue,
+                    q_start=h.q_start,
+                    q_end=h.q_end,
+                    s_start=s_start,
+                    s_end=s_end,
+                    identities=h.identities,
+                    align_len=h.align_len,
+                    gaps=h.gaps,
+                    strand=strand,
+                    frame=signed,
+                )
+            )
+
+        out: list[HSP] = []
+        for rec in queries:
+            hits = by_query.get(rec.id)
+            if hits:
+                out.extend(top_hits(hits, self.options.max_hits, self.options.evalue))
+        return out

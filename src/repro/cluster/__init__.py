@@ -1,0 +1,48 @@
+"""Cluster performance models: the paper's Ranger runs, rebuilt in a DES.
+
+The functional pipelines in :mod:`repro.core` prove *correctness* on the
+in-process MPI runtime; this package reproduces the *performance* results
+(Figs. 3-6 and the in-text scaling numbers) on a discrete-event model of
+TACC Ranger: 16-core/32 GB nodes, a shared Lustre file system with no
+node-local scratch, and master/worker work dispatch.
+
+The mechanisms modelled are exactly the ones the paper's analysis invokes:
+
+- work-unit granularity vs. core count (load-balancing tail, Figs. 3-4);
+- DB partition reload cost vs. RAM caching of memory-mapped volumes (the
+  superlinear region of Fig. 4);
+- heavy-tailed, unpredictable per-unit BLAST times (the straggler delays
+  of §IV.A and the Fig. 5 taper);
+- collective communication costs (SOM bcast/reduce, Fig. 6).
+
+Absolute constants are calibrated (see :mod:`repro.cluster.machine`); the
+experiments compare *shapes* against the paper's anchors, which is the
+scope a simulation substitute can honestly claim.
+"""
+
+from repro.cluster.machine import ClusterSpec, ranger
+from repro.cluster.pagecache import PartitionCache
+from repro.cluster.blast_model import BlastWorkloadModel, protein_workload, nucleotide_workload
+from repro.cluster.dispatch import SimResult, simulate_blast_run
+from repro.cluster.som_model import SomScalingModel, simulate_som_run
+from repro.cluster.glidein import GlideinSpec, simulate_glidein_run
+from repro.cluster.faults import FaultModel, compare_fault_costs
+from repro.cluster.trace import utilization_curve
+
+__all__ = [
+    "ClusterSpec",
+    "ranger",
+    "PartitionCache",
+    "BlastWorkloadModel",
+    "nucleotide_workload",
+    "protein_workload",
+    "SimResult",
+    "simulate_blast_run",
+    "SomScalingModel",
+    "simulate_som_run",
+    "GlideinSpec",
+    "simulate_glidein_run",
+    "FaultModel",
+    "compare_fault_costs",
+    "utilization_curve",
+]

@@ -1,0 +1,232 @@
+"""DES replay of the MR-MPI BLAST map phase on a modelled cluster.
+
+Workers (cores minus the rank-0 master) pull (query block, DB partition)
+units from a scheduler, pay a dispatch round trip, reload the partition when
+it differs from the one they hold (cost depending on the page cache), then
+compute.  Three schedulers:
+
+- ``master_worker`` — the paper's FIFO dispatch (units in partition-major
+  order, first free worker gets the next unit);
+- ``static`` — mpiBLAST-style ownership: partition p belongs to worker
+  ``p % W``; no work stealing;
+- ``affinity`` — the paper's §V *future work*: the master prefers a unit
+  whose partition the requesting worker already holds ("distribute the work
+  unit tuples to those ranks that have already been processing the same DB
+  partitions").
+
+The collate/reduce phases are appended analytically (personalised
+all-to-all of the emitted KV volume), since the paper's scaling behaviour
+is dominated by the map phase.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+
+from repro.cluster.blast_model import BlastWorkloadModel
+from repro.cluster.machine import ClusterSpec
+from repro.cluster.pagecache import PartitionCache
+from repro.simtime.events import Environment
+
+__all__ = ["SimResult", "WorkerTrace", "simulate_blast_run"]
+
+
+@dataclass
+class WorkerTrace:
+    """Per-worker activity log: (start, io_end, end) per unit."""
+
+    worker: int
+    intervals: list[tuple[float, float, float]] = field(default_factory=list)
+    units: int = 0
+    reloads: int = 0
+    io_seconds: float = 0.0
+    compute_seconds: float = 0.0
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulated run."""
+
+    cluster: ClusterSpec
+    workload: BlastWorkloadModel
+    scheduler: str
+    map_makespan: float
+    collate_seconds: float
+    reduce_seconds: float
+    traces: list[WorkerTrace]
+    cache_hits: int
+    cache_misses: int
+
+    @property
+    def makespan(self) -> float:
+        return self.map_makespan + self.collate_seconds + self.reduce_seconds
+
+    @property
+    def total_compute_seconds(self) -> float:
+        return sum(t.compute_seconds for t in self.traces)
+
+    @property
+    def total_io_seconds(self) -> float:
+        return sum(t.io_seconds for t in self.traces)
+
+    @property
+    def total_reloads(self) -> int:
+        return sum(t.reloads for t in self.traces)
+
+    @property
+    def core_seconds(self) -> float:
+        """Allocated core time (what the batch system charges)."""
+        return self.makespan * self.cluster.cores
+
+    @property
+    def core_minutes_per_query(self) -> float:
+        """Fig. 4's y-axis: allocated core minutes per query sequence."""
+        return self.core_seconds / 60.0 / self.workload.total_queries
+
+    def efficiency_vs(self, baseline: "SimResult") -> float:
+        """Relative parallel efficiency against another run of the same
+        workload: (baseline core·s per query) / (this core·s per query)."""
+        if baseline.workload.total_queries != self.workload.total_queries:
+            raise ValueError("efficiency comparison requires the same workload size")
+        return baseline.core_seconds / self.core_seconds
+
+
+class _Scheduler:
+    """Synchronous unit source; the DES charges dispatch latency around it."""
+
+    def __init__(
+        self,
+        workload: BlastWorkloadModel,
+        policy: str,
+        workers: int,
+        order: str = "query_major",
+    ) -> None:
+        self.policy = policy
+        if order == "query_major":
+            # For each query block, sweep all DB partitions — the order that
+            # reproduces the paper's caching behaviour (every rank re-opens a
+            # different partition per unit, so the page cache does the work).
+            units = [
+                (b, p)
+                for b in range(workload.n_blocks)
+                for p in range(workload.n_partitions)
+            ]
+        elif order == "partition_major":
+            units = [
+                (b, p)
+                for p in range(workload.n_partitions)
+                for b in range(workload.n_blocks)
+            ]
+        else:
+            raise ValueError(f"unknown unit order {order!r}")
+        if policy == "master_worker":
+            self._fifo = deque(units)
+        elif policy == "affinity":
+            self._by_partition: dict[int, deque] = defaultdict(deque)
+            for b, p in units:
+                self._by_partition[p].append((b, p))
+            self._order = deque(range(workload.n_partitions))
+        elif policy == "static":
+            self._per_worker: list[deque] = [deque() for _ in range(workers)]
+            for b, p in units:
+                self._per_worker[p % workers].append((b, p))
+        else:
+            raise ValueError(f"unknown scheduler policy {policy!r}")
+
+    def next_unit(self, worker: int, current_partition: int | None):
+        if self.policy == "master_worker":
+            return self._fifo.popleft() if self._fifo else None
+        if self.policy == "static":
+            q = self._per_worker[worker]
+            return q.popleft() if q else None
+        # affinity: keep feeding the worker its current partition; otherwise
+        # let it *claim* the next unclaimed partition (removing it from the
+        # claim order so other workers pick different ones); when no
+        # unclaimed partitions remain, steal from the fullest queue.
+        if current_partition is not None:
+            q = self._by_partition.get(current_partition)
+            if q:
+                return q.popleft()
+        while self._order:
+            p = self._order.popleft()
+            q = self._by_partition.get(p)
+            if q:
+                return q.popleft()
+        remaining = [p for p, q in self._by_partition.items() if q]
+        if not remaining:
+            return None
+        victim = max(remaining, key=lambda p: len(self._by_partition[p]))
+        return self._by_partition[victim].popleft()
+
+
+def simulate_blast_run(
+    cluster: ClusterSpec,
+    workload: BlastWorkloadModel,
+    scheduler: str = "master_worker",
+    order: str = "query_major",
+) -> SimResult:
+    """Simulate one map+collate+reduce cycle; deterministic per inputs."""
+    env = Environment()
+    workers = cluster.workers if scheduler != "static" else cluster.cores
+    cache = PartitionCache(cluster.page_cache_gb)
+    sched = _Scheduler(workload, scheduler, workers, order=order)
+    traces = [WorkerTrace(w) for w in range(workers)]
+
+    def worker_proc(env: Environment, wid: int):
+        trace = traces[wid]
+        current: int | None = None
+        while True:
+            unit = sched.next_unit(wid, current)
+            if unit is None:
+                return
+            block, partition = unit
+            yield env.timeout(cluster.dispatch_latency)
+            start = env.now
+            io = 0.0
+            if partition != current:
+                cached = cache.access(partition, workload.partition_gb)
+                io = cluster.load_seconds(workload.partition_gb, cached)
+                yield env.timeout(io)
+                trace.reloads += 1
+                current = partition
+            compute = workload.compute_seconds(block, partition)
+            yield env.timeout(compute)
+            trace.intervals.append((start, start + io, env.now))
+            trace.units += 1
+            trace.io_seconds += io
+            trace.compute_seconds += compute
+
+    for w in range(workers):
+        env.process(worker_proc(env, w))
+    env.run()
+    map_makespan = env.now
+
+    # Shuffle model: every rank holds kv_total/P and exchanges (P-1)/P of it
+    # in a personalised all-to-all limited by per-link bandwidth.
+    kv_total_gb = (
+        sum(
+            workload.kv_bytes(b, p)
+            for p in range(workload.n_partitions)
+            for b in range(workload.n_blocks)
+        )
+        / 1e9
+    )
+    per_rank_gb = kv_total_gb / max(cluster.cores, 1)
+    collate_seconds = per_rank_gb / cluster.net_bw_gbps + cluster.net_latency * max(
+        cluster.cores - 1, 1
+    ) * 0.01
+    # Reduce: sort + file append of the per-rank share (disk-rate bound).
+    reduce_seconds = per_rank_gb / 0.2
+
+    return SimResult(
+        cluster=cluster,
+        workload=workload,
+        scheduler=scheduler,
+        map_makespan=map_makespan,
+        collate_seconds=collate_seconds,
+        reduce_seconds=reduce_seconds,
+        traces=traces,
+        cache_hits=cache.hits,
+        cache_misses=cache.misses,
+    )

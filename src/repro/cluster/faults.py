@@ -1,0 +1,108 @@
+"""Fault-tolerance trade-off: the price of the MPI execution model.
+
+"The price for this extra flexibility and portability is a lack of
+fault-tolerance inherent in the underlying MPI execution model" (§II.A).
+An MPI job dies whole when any rank dies; an HTC workflow only re-runs the
+failed task.  This module quantifies that trade-off analytically:
+
+- an MPI job of W cores running T hours survives with probability
+  ``exp(-λ·W·T)`` for a per-core-hour failure rate λ, and the *expected*
+  completed-work cost includes full restarts (geometric retry);
+- the HTC workflow pays only the failed tasks again, so its expected
+  overhead is ≈ λ·(core-hours)·(mean task hours).
+
+``compare_fault_costs`` puts the two side by side for a simulated run —
+at small λ·W·T the MPI path is essentially free; the crossover where
+restarts start to dominate is where checkpointing or HTC decompositions
+earn their keep.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cluster.dispatch import SimResult
+
+__all__ = ["FaultModel", "compare_fault_costs"]
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Exponential per-core failure model."""
+
+    #: failures per core-hour (clusters see roughly 1e-6 .. 1e-4)
+    failures_per_core_hour: float = 1e-5
+
+    def __post_init__(self) -> None:
+        if self.failures_per_core_hour < 0:
+            raise ValueError("failure rate must be >= 0")
+
+    def job_survival(self, cores: int, hours: float) -> float:
+        """P(an MPI job of this size and length sees no failure)."""
+        if cores < 1 or hours < 0:
+            raise ValueError("cores must be >= 1 and hours >= 0")
+        return math.exp(-self.failures_per_core_hour * cores * hours)
+
+    def expected_mpi_attempts(self, cores: int, hours: float) -> float:
+        """Expected number of full runs until one completes (geometric).
+
+        Conservative model: a failed attempt costs a full run's core-hours
+        (failures near the end dominate the expectation anyway for small
+        rates).  Infinite when survival is ~0.
+        """
+        p = self.job_survival(cores, hours)
+        if p <= 0:
+            return math.inf
+        return 1.0 / p
+
+    def expected_htc_overhead_fraction(self, mean_task_hours: float) -> float:
+        """Extra fraction of core-hours the HTC path re-runs on failures.
+
+        Each failure costs one task redo: overhead ≈ λ × mean task length.
+        """
+        if mean_task_hours < 0:
+            raise ValueError("mean_task_hours must be >= 0")
+        return self.failures_per_core_hour * mean_task_hours
+
+
+@dataclass(frozen=True)
+class FaultComparison:
+    mpi_survival: float
+    mpi_expected_core_hours: float
+    htc_expected_core_hours: float
+    base_core_hours: float
+
+    @property
+    def mpi_overhead_fraction(self) -> float:
+        return self.mpi_expected_core_hours / self.base_core_hours - 1.0
+
+    @property
+    def htc_overhead_fraction(self) -> float:
+        return self.htc_expected_core_hours / self.base_core_hours - 1.0
+
+
+def compare_fault_costs(
+    result: SimResult,
+    model: FaultModel | None = None,
+    mean_task_hours: float | None = None,
+) -> FaultComparison:
+    """Fault-cost comparison for one simulated MR-MPI run.
+
+    ``mean_task_hours`` defaults to the run's mean work-unit time.
+    """
+    model = model or FaultModel()
+    hours = result.makespan / 3600.0
+    cores = result.cluster.cores
+    base = result.core_seconds / 3600.0
+    if mean_task_hours is None:
+        n_units = sum(t.units for t in result.traces)
+        mean_task_hours = (result.total_compute_seconds / 3600.0) / max(n_units, 1)
+    survival = model.job_survival(cores, hours)
+    attempts = model.expected_mpi_attempts(cores, hours)
+    return FaultComparison(
+        mpi_survival=survival,
+        mpi_expected_core_hours=base * attempts,
+        htc_expected_core_hours=base * (1.0 + model.expected_htc_overhead_fraction(mean_task_hours)),
+        base_core_hours=base,
+    )

@@ -1,0 +1,45 @@
+"""Serial BLAST over a partitioned database: the parity reference.
+
+Searches every query block against every partition in one process, merges
+per-query results with the same E-value sort + top-K as mrblast's reducer.
+Every parallel run must produce exactly this output (the "unmodified NCBI
+toolkit ensures that the results are compatible" guarantee the paper leans
+on).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.bio.seq import SeqRecord
+from repro.blast.dbreader import DatabaseAlias
+from repro.blast.engine import make_engine
+from repro.blast.hsp import HSP, top_hits
+from repro.blast.options import BlastOptions
+
+__all__ = ["run_serial_blast"]
+
+
+def run_serial_blast(
+    alias_path: str,
+    query_blocks: Sequence[Sequence[SeqRecord]],
+    options: BlastOptions,
+    hit_filter: Callable[[str, HSP], bool] | None = None,
+) -> dict[str, list[HSP]]:
+    """Returns {query_id: E-value-sorted top-K hits across the whole DB}."""
+    alias = DatabaseAlias.load(alias_path)
+    opts = options.with_db_size(alias.total_length, alias.num_seqs)
+    engine = make_engine(opts)
+    by_query: dict[str, list[HSP]] = {}
+    for p in range(alias.num_partitions):
+        partition = alias.open_partition(p)
+        for block in query_blocks:
+            for hsp in engine.search_block(block, partition):
+                if hit_filter is not None and hit_filter(hsp.query_id, hsp):
+                    continue
+                by_query.setdefault(hsp.query_id, []).append(hsp)
+    return {
+        qid: top_hits(hits, opts.max_hits, opts.evalue)
+        for qid, hits in by_query.items()
+        if top_hits(hits, opts.max_hits, opts.evalue)
+    }

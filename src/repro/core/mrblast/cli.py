@@ -1,0 +1,101 @@
+"""Command-line front end for MR-MPI BLAST.
+
+Runs the full parallel pipeline on the in-process MPI runtime::
+
+    mrblast --db outdir/mydb.pal.json --queries q1.fasta q2.fasta \
+            --np 4 --out results/ --evalue 1e-4 --max-hits 50
+
+Each ``--queries`` file is one query block (the paper's pre-split layout).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.blast.options import BlastOptions
+from repro.core.mrblast.driver import MrBlastConfig, mrblast_spmd
+from repro.core.mrblast.workitems import load_query_blocks
+
+__all__ = ["main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(prog="mrblast", description=__doc__)
+    ap.add_argument("--db", required=True, help="database alias file (.pal.json)")
+    group = ap.add_mutually_exclusive_group(required=True)
+    group.add_argument("--queries", nargs="+", help="pre-split query block FASTA files")
+    group.add_argument(
+        "--query-fasta",
+        help="single query FASTA for dynamic chunking (block size chosen by a timing pilot)",
+    )
+    ap.add_argument("--target-unit-seconds", type=float, default=0.25,
+                    help="dynamic mode: desired cost of one work unit")
+    ap.add_argument("--np", type=int, default=4, help="number of MPI ranks")
+    ap.add_argument("--out", default="mrblast_out", help="output directory")
+    ap.add_argument("--program", choices=["blastn", "blastp", "blastx"], default="blastn")
+    ap.add_argument("--evalue", type=float, default=10.0)
+    ap.add_argument("--max-hits", type=int, default=500)
+    ap.add_argument("--blocks-per-iteration", type=int, default=0,
+                    help="query blocks per MapReduce iteration (0 = all at once)")
+    ap.add_argument("--locality", action="store_true",
+                    help="location-aware dispatch (prefer a worker's current DB partition)")
+    return ap
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of the ``mrblast`` console script."""
+    args = build_parser().parse_args(argv)
+    factory = {
+        "blastn": BlastOptions.blastn,
+        "blastp": BlastOptions.blastp,
+        "blastx": BlastOptions.blastx,
+    }[args.program]
+    options = factory(evalue=args.evalue, max_hits=args.max_hits)
+
+    if args.query_fasta:
+        from repro.core.mrblast.dynamic import DynamicChunkConfig, mrblast_dynamic_spmd
+
+        dyn_results = mrblast_dynamic_spmd(args.np, DynamicChunkConfig(
+            alias_path=args.db,
+            query_fasta=args.query_fasta,
+            options=options,
+            output_dir=args.out,
+            target_unit_seconds=args.target_unit_seconds,
+            locality_aware=args.locality,
+        ))
+        total_hits = sum(r.hits_written for r in dyn_results)
+        for r in dyn_results:
+            print(
+                f"rank {r.rank}: units={r.units_processed} "
+                f"switches={r.partition_switches} wrote {r.hits_written} hits "
+                f"-> {r.output_path}"
+            )
+        print(
+            f"dynamic chunking chose {dyn_results[0].block_size}-query blocks "
+            f"({dyn_results[0].n_blocks} blocks); total {total_hits} hits "
+            f"across {args.np} ranks"
+        )
+        return 0
+
+    config = MrBlastConfig(
+        alias_path=args.db,
+        query_blocks=load_query_blocks(args.queries),
+        options=options,
+        output_dir=args.out,
+        blocks_per_iteration=args.blocks_per_iteration,
+        locality_aware=args.locality,
+    )
+    results = mrblast_spmd(args.np, config)
+    total_hits = sum(r.hits_written for r in results)
+    total_queries = sum(r.queries_written for r in results)
+    for r in results:
+        print(
+            f"rank {r.rank}: units={r.units_processed} switches={r.partition_switches} "
+            f"wrote {r.hits_written} hits for {r.queries_written} queries -> {r.output_path}"
+        )
+    print(f"total: {total_hits} hits for {total_queries} queries across {args.np} ranks")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

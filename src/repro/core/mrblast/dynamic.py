@@ -1,0 +1,240 @@
+"""Dynamic query chunking: the paper's second §V improvement.
+
+"We are eliminating the need to pre-partition the query dataset by building
+an index of sequence offsets in the input FASTA file.  This will allow
+selecting the size of the query blocks dynamically after the start of the
+program based on a small timing iteration at the beginning, thus
+eliminating the need for tuning by the user.  This can be also used to make
+progressively smaller query chunks toward the end of each iteration and
+have a more uniform filling of the cores."
+
+Pieces:
+
+- :func:`pilot_block_size` — rank 0 times a small pilot search (a handful
+  of queries against one partition) and sizes blocks so one work unit costs
+  roughly ``target_unit_seconds``.
+- :func:`plan_block_ranges` — cuts the indexed query set into blocks of
+  that size, with a tapered tail: the last portion of blocks shrinks
+  geometrically so the final units fill the cores evenly.
+- :func:`run_mrblast_dynamic` — an mrblast variant whose mapper
+  materialises query blocks lazily from the shared FASTA index instead of
+  from pre-split files.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.bio.fasta import FastaIndex
+from repro.blast.dbreader import DatabaseAlias
+from repro.blast.engine import make_engine
+from repro.blast.hsp import HSP
+from repro.blast.options import BlastOptions
+from repro.core.mrblast.reducer import MrBlastReducer
+from repro.core.mrblast.workitems import WorkItem
+from repro.mpi.comm import Comm
+from repro.mpi.runtime import run_spmd
+from repro.mrmpi.mapreduce import MapReduce, MapStyle
+
+__all__ = [
+    "DynamicChunkConfig",
+    "pilot_block_size",
+    "plan_block_ranges",
+    "run_mrblast_dynamic",
+    "mrblast_dynamic_spmd",
+]
+
+
+@dataclass
+class DynamicChunkConfig:
+    """Configuration of a dynamically-chunked run."""
+
+    alias_path: str
+    query_fasta: str
+    options: BlastOptions = field(default_factory=BlastOptions.blastn)
+    output_dir: str = "mrblast_dyn_out"
+    #: desired wall-clock cost of one work unit
+    target_unit_seconds: float = 0.25
+    #: queries used by the timing pilot
+    pilot_queries: int = 4
+    min_block: int = 1
+    max_block: int = 100_000
+    #: fraction of the query set cut into geometrically shrinking tail blocks
+    taper_fraction: float = 0.25
+    locality_aware: bool = True
+    hit_filter: Callable[[str, HSP], bool] | None = None
+
+    def __post_init__(self) -> None:
+        if self.target_unit_seconds <= 0:
+            raise ValueError("target_unit_seconds must be positive")
+        if self.pilot_queries < 1:
+            raise ValueError("pilot_queries must be >= 1")
+        if not (1 <= self.min_block <= self.max_block):
+            raise ValueError("need 1 <= min_block <= max_block")
+        if not (0.0 <= self.taper_fraction < 1.0):
+            raise ValueError("taper_fraction must be in [0, 1)")
+
+
+def pilot_block_size(
+    index: FastaIndex,
+    alias: DatabaseAlias,
+    config: DynamicChunkConfig,
+) -> int:
+    """Time a pilot search and derive the block size hitting the target cost.
+
+    Runs ``pilot_queries`` queries against partition 0 with the production
+    engine, measures per-query-per-partition cost, and returns the number of
+    queries whose unit cost meets ``target_unit_seconds``.
+    """
+    n_pilot = min(config.pilot_queries, len(index))
+    queries = index.load_range(0, n_pilot)
+    options = config.options.with_db_size(alias.total_length, alias.num_seqs)
+    engine = make_engine(options)
+    partition = alias.open_partition(0)
+    t0 = time.perf_counter()
+    engine.search_block(queries, partition)
+    elapsed = max(time.perf_counter() - t0, 1e-6)
+    per_query = elapsed / n_pilot
+    block = int(config.target_unit_seconds / per_query)
+    return max(config.min_block, min(block, config.max_block, len(index)))
+
+
+def plan_block_ranges(
+    n_queries: int,
+    block_size: int,
+    taper_fraction: float = 0.25,
+    min_block: int = 1,
+) -> list[tuple[int, int]]:
+    """Cut ``n_queries`` into blocks with a geometrically tapered tail.
+
+    The head is uniform blocks of ``block_size``; the final
+    ``taper_fraction`` of queries is cut into successively halved blocks
+    (never below ``min_block``), giving the master fine-grained units when
+    the run drains — the paper's "more uniform filling of the cores".
+    """
+    if n_queries < 1:
+        raise ValueError("need at least one query")
+    if block_size < 1:
+        raise ValueError("block_size must be >= 1")
+    taper_start = int(n_queries * (1.0 - taper_fraction))
+    ranges: list[tuple[int, int]] = []
+    pos = 0
+    while pos < taper_start:
+        end = min(pos + block_size, taper_start)
+        ranges.append((pos, end))
+        pos = end
+    current = max(block_size // 2, min_block)
+    while pos < n_queries:
+        end = min(pos + current, n_queries)
+        ranges.append((pos, end))
+        pos = end
+        current = max(current // 2, min_block)
+    return ranges
+
+
+@dataclass
+class DynamicRunResult:
+    rank: int
+    output_path: str
+    block_size: int
+    n_blocks: int
+    units_processed: int
+    partition_switches: int
+    hits_written: int
+
+
+class _LazyBlockMapper:
+    """Like MrBlastMapper but materialises query blocks from the index."""
+
+    def __init__(
+        self,
+        alias: DatabaseAlias,
+        index: FastaIndex,
+        ranges: list[tuple[int, int]],
+        options: BlastOptions,
+        hit_filter,
+    ) -> None:
+        self.alias = alias
+        self.index = index
+        self.ranges = ranges
+        self.options = options.with_db_size(alias.total_length, alias.num_seqs)
+        self.hit_filter = hit_filter
+        self._engine = make_engine(self.options)
+        self._partition = None
+        self._partition_index = None
+        self._block_cache: tuple[int, list] | None = None
+        self.units = 0
+        self.partition_switches = 0
+
+    def _queries(self, block_index: int):
+        if self._block_cache is None or self._block_cache[0] != block_index:
+            start, stop = self.ranges[block_index]
+            self._block_cache = (block_index, self.index.load_range(start, stop))
+        return self._block_cache[1]
+
+    def __call__(self, itask: int, item: WorkItem, kv) -> None:
+        if self._partition_index != item.partition_index:
+            if self._partition is not None:
+                self._partition.release()
+            self._partition = self.alias.open_partition(item.partition_index)
+            self._partition_index = item.partition_index
+            self.partition_switches += 1
+        for hsp in self._engine.search_block(self._queries(item.block_index), self._partition):
+            if self.hit_filter is not None and self.hit_filter(hsp.query_id, hsp):
+                continue
+            kv.add(hsp.query_id, hsp)
+        self.units += 1
+
+
+def run_mrblast_dynamic(comm: Comm, config: DynamicChunkConfig) -> DynamicRunResult:
+    """SPMD entry point for the dynamically-chunked pipeline."""
+    alias = DatabaseAlias.load(config.alias_path)
+    index = FastaIndex(config.query_fasta)
+
+    # Rank 0 runs the timing pilot; the chosen block size is broadcast.
+    block_size = None
+    if comm.rank == 0:
+        block_size = pilot_block_size(index, alias, config)
+    block_size = comm.bcast(block_size, root=0)
+
+    ranges = plan_block_ranges(
+        len(index), block_size, config.taper_fraction, config.min_block
+    )
+    items = [
+        WorkItem(b, p)
+        for b in range(len(ranges))
+        for p in range(alias.num_partitions)
+    ]
+
+    os.makedirs(config.output_dir, exist_ok=True)
+    output_path = os.path.join(config.output_dir, f"hits.rank{comm.rank:04d}.tsv")
+    open(output_path, "w").close()
+
+    mapper = _LazyBlockMapper(alias, index, ranges, config.options, config.hit_filter)
+    reducer = MrBlastReducer(mapper.options, output_path)
+    mr = MapReduce(comm, mapstyle=MapStyle.MASTER_WORKER)
+    mr.map_items(
+        items,
+        mapper,
+        locality_key=(lambda it: it.partition_index) if config.locality_aware else None,
+    )
+    mr.collate()
+    mr.reduce(reducer)
+    mr.close()
+    return DynamicRunResult(
+        rank=comm.rank,
+        output_path=output_path,
+        block_size=block_size,
+        n_blocks=len(ranges),
+        units_processed=mapper.units,
+        partition_switches=mapper.partition_switches,
+        hits_written=reducer.hits_written,
+    )
+
+
+def mrblast_dynamic_spmd(nprocs: int, config: DynamicChunkConfig) -> list[DynamicRunResult]:
+    """Launch a full in-process MPI job running :func:`run_mrblast_dynamic`."""
+    return run_spmd(nprocs, run_mrblast_dynamic, config)

@@ -1,0 +1,69 @@
+"""Optional merge of per-rank output files.
+
+"In our experience, it is rarely needed for the practical downstream
+analysis of the large-scale BLAST searches to have the results merged into a
+single file" (§III.A) — but the HTC baseline does merge, and tests compare
+whole result sets, so the merge exists.  Hits are re-ordered to follow the
+original query order, preserving each query's internal E-value order.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Sequence
+
+from repro.blast.hsp import HSP
+from repro.blast.tabular import parse_tabular, write_tabular
+
+__all__ = ["merge_rank_outputs", "collect_rank_hits"]
+
+
+def collect_rank_hits(rank_files: Iterable[str]) -> dict[str, list[HSP]]:
+    """Load all per-rank files into {query_id: [hits in file order]}.
+
+    Collate guarantees each query lives in exactly one file; duplicated
+    query ids across files indicate a broken run and raise.
+    """
+    by_query: dict[str, list[HSP]] = {}
+    owner: dict[str, str] = {}
+    for path in rank_files:
+        if not os.path.exists(path):
+            continue
+        for hsp in parse_tabular(path):
+            prev = owner.setdefault(hsp.query_id, path)
+            if prev != path:
+                raise ValueError(
+                    f"query {hsp.query_id!r} appears in both {prev} and {path}; "
+                    "collate() should have placed it on exactly one rank"
+                )
+            by_query.setdefault(hsp.query_id, []).append(hsp)
+    return by_query
+
+
+def merge_rank_outputs(
+    rank_files: Sequence[str],
+    merged_path: str,
+    query_order: Sequence[str] | None = None,
+) -> int:
+    """Merge per-rank files into one; returns the number of hits written.
+
+    With ``query_order`` (the original query id sequence), output follows
+    input order; otherwise queries are sorted lexicographically.
+    """
+    by_query = collect_rank_hits(rank_files)
+    if query_order is None:
+        ordered = sorted(by_query)
+    else:
+        ordered = [q for q in query_order if q in by_query]
+        leftovers = set(by_query) - set(ordered)
+        if leftovers:
+            raise ValueError(f"hits for unknown queries: {sorted(leftovers)[:5]}")
+    total = 0
+    first = True
+    for qid in ordered:
+        write_tabular(by_query[qid], merged_path, append=not first)
+        total += len(by_query[qid])
+        first = False
+    if first:  # no hits at all: still create an empty file
+        open(merged_path, "w").close()
+    return total

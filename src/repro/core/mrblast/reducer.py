@@ -1,0 +1,47 @@
+"""The reduce() side of MR-MPI BLAST.
+
+After collate(), each rank holds, for some subset of query ids, *all* HSPs
+found for that query across every DB partition.  The reducer "sorts each
+query hits by the E-value, selects the requested number of top hits if such
+cutoff is specified by the user and appends hits to the file that is owned
+by each rank" (paper §III.A).  Results therefore land in one file per rank,
+with each query's hits complete, contiguous and E-value-sorted within it.
+
+The driver truncates each rank's file once at startup; the reducer only
+ever appends, so multiple MapReduce iterations accumulate into the same
+per-rank file exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.blast.hsp import HSP, top_hits
+from repro.blast.options import BlastOptions
+from repro.blast.tabular import write_tabular
+from repro.mrmpi.keyvalue import KeyValue
+
+__all__ = ["MrBlastReducer"]
+
+
+@dataclass
+class MrBlastReducer:
+    """Callable KMV reducer bound to one rank's output file."""
+
+    options: BlastOptions
+    output_path: str
+    #: number of queries and hits this rank wrote (instrumentation)
+    queries_written: int = 0
+    hits_written: int = 0
+
+    def __call__(self, query_id: str, hsps: list[HSP], kv: KeyValue) -> None:
+        selected = top_hits(hsps, self.options.max_hits, self.options.evalue)
+        if not selected:
+            return
+        os.makedirs(os.path.dirname(os.path.abspath(self.output_path)), exist_ok=True)
+        write_tabular(selected, self.output_path, append=True)
+        self.queries_written += 1
+        self.hits_written += len(selected)
+        # Emit a summary pair so callers can inspect result placement.
+        kv.add(query_id, len(selected))

@@ -1,0 +1,13 @@
+"""MR-MPI batch SOM (paper Fig. 2)."""
+
+from repro.core.mrsom.mmap_input import MatrixFile, write_matrix_file
+from repro.core.mrsom.driver import MrSomConfig, MrSomResult, run_mrsom, mrsom_spmd
+
+__all__ = [
+    "MatrixFile",
+    "write_matrix_file",
+    "MrSomConfig",
+    "MrSomResult",
+    "run_mrsom",
+    "mrsom_spmd",
+]

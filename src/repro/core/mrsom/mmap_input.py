@@ -1,0 +1,92 @@
+"""Memory-mapped dense input matrix for the parallel SOM.
+
+"The program takes the input vectors as a dense matrix saved on disk in the
+platform floating point representation, and uses memory mapped files to
+access them on the worker nodes, under an assumption that there is a shared
+file system mounted on the workers.  Each work unit is thus described by a
+pair of offsets in that memory mapped file.  This allows processing input
+datasets larger than the available RAM size." (paper §III.B)
+
+The file layout is a tiny fixed header (magic, dtype code, n, dim) followed
+by the raw row-major matrix, so ``np.memmap`` can map the payload directly.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["write_matrix_file", "MatrixFile"]
+
+_MAGIC = b"MRSOMMAT"
+_DTYPES = {0: np.float32, 1: np.float64}
+_DTYPE_CODES = {np.dtype(np.float32): 0, np.dtype(np.float64): 1}
+_HEADER = struct.Struct("<8sBxxxqq")  # magic, dtype code, pad, n, dim
+
+
+def write_matrix_file(path: str | os.PathLike, data: np.ndarray) -> str:
+    """Write a dense (N, dim) float matrix in mmap-able layout."""
+    data = np.asarray(data)
+    if data.ndim != 2:
+        raise ValueError(f"data must be 2-D, got shape {data.shape}")
+    dtype = np.dtype(data.dtype)
+    if dtype not in _DTYPE_CODES:
+        data = data.astype(np.float64)
+        dtype = np.dtype(np.float64)
+    path = os.fspath(path)
+    with open(path, "wb") as fh:
+        fh.write(_HEADER.pack(_MAGIC, _DTYPE_CODES[dtype], data.shape[0], data.shape[1]))
+        fh.write(np.ascontiguousarray(data).tobytes())
+    return path
+
+
+@dataclass
+class MatrixFile:
+    """Reader side: maps the payload and serves row ranges (work units)."""
+
+    path: str
+    n: int = 0
+    dim: int = 0
+    dtype: np.dtype = None
+    _mmap: np.ndarray = None
+
+    def __post_init__(self) -> None:
+        with open(self.path, "rb") as fh:
+            header = fh.read(_HEADER.size)
+        if len(header) < _HEADER.size:
+            raise ValueError(f"{self.path}: truncated header")
+        magic, code, n, dim = _HEADER.unpack(header)
+        if magic != _MAGIC:
+            raise ValueError(f"{self.path}: not an mrsom matrix file")
+        if code not in _DTYPES:
+            raise ValueError(f"{self.path}: unknown dtype code {code}")
+        object.__setattr__(self, "n", int(n))
+        object.__setattr__(self, "dim", int(dim))
+        object.__setattr__(self, "dtype", np.dtype(_DTYPES[code]))
+
+    def _ensure_mapped(self) -> np.ndarray:
+        if self._mmap is None:
+            m = np.memmap(
+                self.path,
+                dtype=self.dtype,
+                mode="r",
+                offset=_HEADER.size,
+                shape=(self.n, self.dim),
+            )
+            object.__setattr__(self, "_mmap", m)
+        return self._mmap
+
+    def rows(self, start: int, stop: int) -> np.ndarray:
+        """Rows [start, stop) as float64 (a copy; mmap pages stay clean)."""
+        if not (0 <= start <= stop <= self.n):
+            raise IndexError(f"row range [{start}, {stop}) outside [0, {self.n})")
+        return np.array(self._ensure_mapped()[start:stop], dtype=np.float64)
+
+    def work_units(self, block_rows: int) -> list[tuple[int, int]]:
+        """Offset pairs covering the matrix in blocks of ``block_rows``."""
+        if block_rows < 1:
+            raise ValueError(f"block_rows must be >= 1, got {block_rows}")
+        return [(s, min(s + block_rows, self.n)) for s in range(0, self.n, block_rows)]

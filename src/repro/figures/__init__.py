@@ -1,0 +1,36 @@
+"""One entry point per paper figure/result.
+
+Each ``fig*`` function regenerates the data series behind the corresponding
+figure of the paper (values returned, not plotted — the benchmark harness
+prints them and EXPERIMENTS.md records paper-vs-measured).  Scaling figures
+(3-6) run on the calibrated Ranger model; map-quality figures (7-8) run
+*real* SOM training.
+"""
+
+from repro.figures.blast_scaling import (
+    fig3_blast_scaling,
+    fig4_block_size,
+    protein_scaling_result,
+)
+from repro.figures.utilization import fig5_utilization
+from repro.figures.som_scaling import fig6_som_scaling
+from repro.figures.som_maps import fig7_rgb_clustering, fig8_highdim_umatrix
+from repro.figures.comparisons import ablation_scheduling, htc_comparison
+from repro.figures.report import format_table, write_experiments_report
+
+__all__ = [
+    "fig3_blast_scaling",
+    "fig4_block_size",
+    "protein_scaling_result",
+    "fig5_utilization",
+    "fig6_som_scaling",
+    "fig7_rgb_clustering",
+    "fig8_highdim_umatrix",
+    "htc_comparison",
+    "ablation_scheduling",
+    "format_table",
+    "write_experiments_report",
+]
+
+#: Core counts used throughout the paper's charts (whole 16-core nodes).
+CORE_COUNTS = (32, 64, 128, 256, 512, 1024)

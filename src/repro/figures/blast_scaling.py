@@ -1,0 +1,90 @@
+"""Figures 3-4 and the in-text protein scaling numbers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.blast_model import nucleotide_workload, protein_workload
+from repro.cluster.dispatch import SimResult, simulate_blast_run
+from repro.cluster.machine import ranger
+
+__all__ = ["fig3_blast_scaling", "fig4_block_size", "protein_scaling_result"]
+
+_CORES = (32, 64, 128, 256, 512, 1024)
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    cores: int
+    wall_minutes: float
+    core_minutes_per_query: float
+    cache_hit_rate: float
+
+
+def _run_series(workload, cores_list=_CORES, scheduler="master_worker"):
+    points = []
+    for cores in cores_list:
+        r = simulate_blast_run(ranger(cores), workload, scheduler=scheduler)
+        hits = r.cache_hits + r.cache_misses
+        points.append(
+            ScalingPoint(
+                cores=cores,
+                wall_minutes=r.makespan / 60.0,
+                core_minutes_per_query=r.core_minutes_per_query,
+                cache_hit_rate=r.cache_hits / hits if hits else 0.0,
+            )
+        )
+    return points
+
+
+def fig3_blast_scaling(cores_list=_CORES, seed: int = 0) -> dict[str, list[ScalingPoint]]:
+    """Fig. 3: wall-clock vs cores for the four query-set series.
+
+    Series names match the chart legend: total query counts with 1000-seq
+    blocks, plus the 80 K set in 2000-seq blocks (the paper's blue squares).
+    """
+    return {
+        "12K": _run_series(nucleotide_workload(12_000, seed=seed), cores_list),
+        "40K": _run_series(nucleotide_workload(40_000, seed=seed), cores_list),
+        "80K": _run_series(nucleotide_workload(80_000, seed=seed), cores_list),
+        "80K/2000-blocks": _run_series(
+            nucleotide_workload(80_000, queries_per_block=2000, seed=seed), cores_list
+        ),
+    }
+
+
+def fig4_block_size(cores_list=_CORES, seed: int = 0) -> dict[str, list[ScalingPoint]]:
+    """Fig. 4: core-minutes per query, 80×1000-seq vs 40×2000-seq blocks."""
+    return {
+        "80 blocks x 1000": _run_series(nucleotide_workload(80_000, seed=seed), cores_list),
+        "40 blocks x 2000": _run_series(
+            nucleotide_workload(80_000, queries_per_block=2000, seed=seed), cores_list
+        ),
+    }
+
+
+@dataclass(frozen=True)
+class ProteinScaling:
+    """The §IV.A in-text numbers for the blastp run."""
+
+    wall_512_minutes: float
+    wall_1024_minutes: float
+    core_min_per_query_ratio: float  # 1024-core vs 512-core
+    result_1024: SimResult
+
+    @property
+    def extra_cost_percent(self) -> float:
+        return (self.core_min_per_query_ratio - 1.0) * 100.0
+
+
+def protein_scaling_result(seed: int = 0) -> ProteinScaling:
+    """Paper anchors: 294 min wall at 1024 cores; +6 % core·min/query vs 512."""
+    wl = protein_workload(seed=seed)
+    r512 = simulate_blast_run(ranger(512), wl)
+    r1024 = simulate_blast_run(ranger(1024), wl)
+    return ProteinScaling(
+        wall_512_minutes=r512.makespan / 60.0,
+        wall_1024_minutes=r1024.makespan / 60.0,
+        core_min_per_query_ratio=r1024.core_minutes_per_query / r512.core_minutes_per_query,
+        result_1024=r1024,
+    )

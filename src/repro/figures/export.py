@@ -1,0 +1,117 @@
+"""CSV export of every figure's data series (for external plotting).
+
+``python -m repro.figures.export OUTDIR`` writes one CSV per figure with
+the exact series the benchmark harness prints, so the paper's charts can be
+re-plotted with any tool without rerunning the models.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+import sys
+
+__all__ = ["export_all"]
+
+
+def _write(path: str, headers: list[str], rows: list[list]) -> None:
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(headers)
+        writer.writerows(rows)
+
+
+def export_all(out_dir: str) -> list[str]:
+    """Generate every figure and write its CSV; returns the paths written."""
+    from repro.figures.blast_scaling import (
+        fig3_blast_scaling,
+        fig4_block_size,
+        protein_scaling_result,
+    )
+    from repro.figures.comparisons import ablation_scheduling, htc_comparison
+    from repro.figures.som_scaling import fig6_som_scaling
+    from repro.figures.utilization import fig5_utilization
+
+    os.makedirs(out_dir, exist_ok=True)
+    written: list[str] = []
+
+    def emit(name: str, headers: list[str], rows: list[list]) -> None:
+        path = os.path.join(out_dir, name)
+        _write(path, headers, rows)
+        written.append(path)
+
+    fig3 = fig3_blast_scaling()
+    emit(
+        "fig3_blast_scaling.csv",
+        ["series", "cores", "wall_minutes"],
+        [
+            [name, p.cores, round(p.wall_minutes, 3)]
+            for name, pts in fig3.items()
+            for p in pts
+        ],
+    )
+
+    fig4 = fig4_block_size()
+    emit(
+        "fig4_block_size.csv",
+        ["series", "cores", "core_minutes_per_query", "cache_hit_rate"],
+        [
+            [name, p.cores, f"{p.core_minutes_per_query:.6g}", round(p.cache_hit_rate, 4)]
+            for name, pts in fig4.items()
+            for p in pts
+        ],
+    )
+
+    trace = fig5_utilization()
+    emit(
+        "fig5_utilization.csv",
+        ["minute", "utilization"],
+        [[round(float(m), 3), round(float(u), 4)] for m, u in zip(trace.minutes, trace.utilization)],
+    )
+
+    prot = protein_scaling_result()
+    emit(
+        "protein_scaling.csv",
+        ["metric", "value"],
+        [
+            ["wall_512_minutes", round(prot.wall_512_minutes, 2)],
+            ["wall_1024_minutes", round(prot.wall_1024_minutes, 2)],
+            ["core_min_per_query_ratio", round(prot.core_min_per_query_ratio, 4)],
+        ],
+    )
+
+    fig6 = fig6_som_scaling()
+    emit(
+        "fig6_som_scaling.csv",
+        ["cores", "wall_minutes", "efficiency_vs_32"],
+        [[p.cores, round(p.wall_minutes, 4), round(p.efficiency_vs_32, 4)] for p in fig6],
+    )
+
+    htc = htc_comparison()
+    emit(
+        "htc_comparison.csv",
+        ["metric", "value"],
+        [
+            ["mrmpi_wall_minutes", round(htc.mrmpi_wall_minutes, 2)],
+            ["htc_longest_job_minutes", round(htc.htc_longest_job_minutes, 2)],
+            ["wall_ratio", round(htc.wall_ratio, 4)],
+        ],
+    )
+
+    abl = ablation_scheduling()
+    emit(
+        "ablation_scheduling.csv",
+        ["cores", "scheduler", "wall_minutes", "total_reloads", "io_core_hours"],
+        [
+            [a.cores, a.scheduler, round(a.wall_minutes, 2), a.total_reloads,
+             round(a.io_core_hours, 2)]
+            for a in abl
+        ],
+    )
+    return written
+
+
+if __name__ == "__main__":  # pragma: no cover
+    target = sys.argv[1] if len(sys.argv) > 1 else "figure_data"
+    for path in export_all(target):
+        print(path)

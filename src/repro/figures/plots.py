@@ -1,0 +1,126 @@
+"""Redraw the paper's figures as SVG files.
+
+``python -m repro.figures.plots OUTDIR`` writes fig3.svg ... fig8 artifacts:
+the scaling charts from the Ranger model (Figs. 3-6, same axes as the
+paper — log-log wall-clock, core-minutes per query, utilisation trace, SOM
+scaling) and the map images for Figs. 7-8 (PPM/PGM via the SOM exporters).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from repro.figures.svg import LineChart, Series
+
+__all__ = ["plot_all"]
+
+
+def plot_fig3(out_dir: str) -> str:
+    from repro.figures.blast_scaling import fig3_blast_scaling
+
+    chart = LineChart(
+        title="Fig. 3 — MR-MPI BLAST scaling (blastn, Ranger model)",
+        x_label="total cores in MPI job",
+        y_label="wall clock (minutes)",
+        x_log=True,
+        y_log=True,
+    )
+    for name, pts in fig3_blast_scaling().items():
+        chart.add(Series(name, [p.cores for p in pts], [p.wall_minutes for p in pts]))
+    return chart.write(os.path.join(out_dir, "fig3_blast_scaling.svg"))
+
+
+def plot_fig4(out_dir: str) -> str:
+    from repro.figures.blast_scaling import fig4_block_size
+
+    chart = LineChart(
+        title="Fig. 4 — core-minutes per query (80K queries)",
+        x_label="total cores in MPI job",
+        y_label="core-minutes per query",
+        x_log=True,
+    )
+    for name, pts in fig4_block_size().items():
+        chart.add(
+            Series(name, [p.cores for p in pts], [p.core_minutes_per_query for p in pts])
+        )
+    return chart.write(os.path.join(out_dir, "fig4_block_size.svg"))
+
+
+def plot_fig5(out_dir: str) -> str:
+    from repro.figures.utilization import fig5_utilization
+
+    trace = fig5_utilization()
+    chart = LineChart(
+        title="Fig. 5 — useful CPU utilisation (1024-core blastp)",
+        x_label="wall clock (minutes)",
+        y_label="utilisation",
+    )
+    chart.add(
+        Series(
+            "useful CPU / core",
+            [float(m) for m in trace.minutes],
+            [float(u) for u in trace.utilization],
+            marker="circle",
+        )
+    )
+    return chart.write(os.path.join(out_dir, "fig5_utilization.svg"))
+
+
+def plot_fig6(out_dir: str) -> str:
+    from repro.figures.som_scaling import fig6_som_scaling
+
+    pts = fig6_som_scaling()
+    chart = LineChart(
+        title="Fig. 6 — MR-MPI batch SOM scaling (81,920 x 256-d, 50x50 map)",
+        x_label="total cores in MPI job",
+        y_label="wall clock (minutes)",
+        x_log=True,
+        y_log=True,
+    )
+    chart.add(Series("batch SOM", [p.cores for p in pts], [p.wall_minutes for p in pts]))
+    return chart.write(os.path.join(out_dir, "fig6_som_scaling.svg"))
+
+
+def plot_fig7(out_dir: str, rows: int = 30, cols: int = 30, epochs: int = 25) -> list[str]:
+    from repro.figures.som_maps import fig7_rgb_clustering
+    from repro.som.export import codebook_to_rgb, write_pgm, write_ppm
+
+    result = fig7_rgb_clustering(rows=rows, cols=cols, epochs=epochs)
+    ppm = write_ppm(
+        codebook_to_rgb(result.grid, result.codebook, scale=6),
+        os.path.join(out_dir, "fig7_colors.ppm"),
+    )
+    pgm = write_pgm(result.umatrix, os.path.join(out_dir, "fig7_umatrix.pgm"), invert=True)
+    return [ppm, pgm]
+
+
+def plot_fig8(out_dir: str, rows: int = 30, cols: int = 30,
+              n_vectors: int = 2000, dim: int = 500, epochs: int = 8) -> list[str]:
+    from repro.figures.som_maps import fig8_highdim_umatrix
+    from repro.som.export import write_pgm
+
+    result = fig8_highdim_umatrix(rows=rows, cols=cols, n_vectors=n_vectors,
+                                  dim=dim, epochs=epochs)
+    return [write_pgm(result.umatrix, os.path.join(out_dir, "fig8_umatrix.pgm"),
+                      invert=True)]
+
+
+def plot_all(out_dir: str) -> list[str]:
+    """Render every figure artifact; returns the paths written."""
+    os.makedirs(out_dir, exist_ok=True)
+    written = [
+        plot_fig3(out_dir),
+        plot_fig4(out_dir),
+        plot_fig5(out_dir),
+        plot_fig6(out_dir),
+    ]
+    written.extend(plot_fig7(out_dir))
+    written.extend(plot_fig8(out_dir))
+    return written
+
+
+if __name__ == "__main__":  # pragma: no cover
+    target = sys.argv[1] if len(sys.argv) > 1 else "figure_plots"
+    for path in plot_all(target):
+        print(path)

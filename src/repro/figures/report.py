@@ -1,0 +1,168 @@
+"""Table formatting and the EXPERIMENTS.md generator.
+
+``write_experiments_report`` regenerates every figure's data and writes the
+paper-vs-measured record.  It is callable directly::
+
+    python -m repro.figures.report [output.md]
+
+(the committed EXPERIMENTS.md is its output plus the functional parity
+numbers recorded from the test suite).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "write_experiments_report"]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Markdown-ish fixed-width table."""
+    rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells):
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+    lines = [fmt(headers), "|" + "|".join("-" * (w + 2) for w in widths) + "|"]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def _f(x: float, nd: int = 2) -> str:
+    return f"{x:.{nd}f}"
+
+
+def write_experiments_report(path: str | None = None) -> str:
+    """Run every figure generator and render the report text."""
+    from repro.figures.blast_scaling import (
+        fig3_blast_scaling,
+        fig4_block_size,
+        protein_scaling_result,
+    )
+    from repro.figures.comparisons import ablation_scheduling, htc_comparison
+    from repro.figures.som_scaling import fig6_som_scaling
+    from repro.figures.utilization import fig5_utilization
+
+    sections: list[str] = []
+    sections.append("# EXPERIMENTS — paper vs. measured\n")
+    sections.append(
+        "All scaling numbers below come from the calibrated Ranger model "
+        "(see DESIGN.md for the substitution rationale); map-quality numbers "
+        "come from real SOM training.  Regenerate with "
+        "`python -m repro.figures.report`.\n"
+    )
+
+    fig3 = fig3_blast_scaling()
+    cores = [p.cores for p in next(iter(fig3.values()))]
+    rows = []
+    for name, pts in fig3.items():
+        rows.append([name] + [_f(p.wall_minutes, 1) for p in pts])
+    sections.append("## Figure 3 — MR-MPI BLAST wall-clock minutes vs cores\n")
+    sections.append(format_table(["series \\ cores"] + [str(c) for c in cores], rows))
+    sections.append(
+        "\nPaper's qualitative claims reproduced: straight-ish log-log lines; "
+        "large core counts only pay off for the large query sets (the 12K "
+        "series flattens beyond 256 cores).\n"
+    )
+
+    fig4 = fig4_block_size()
+    rows = []
+    for name, pts in fig4.items():
+        rows.append([name] + [_f(p.core_minutes_per_query * 1000, 3) for p in pts])
+    sections.append("## Figure 4 — core-minutes per 1000 queries (80K set)\n")
+    sections.append(format_table(["series \\ cores"] + [str(c) for c in cores], rows))
+    p80 = fig4["80 blocks x 1000"]
+    eff128 = p80[0].core_minutes_per_query / p80[2].core_minutes_per_query
+    eff1024 = p80[0].core_minutes_per_query / p80[5].core_minutes_per_query
+    sections.append(
+        f"\n- efficiency at 128 vs 32 cores: paper 167% -> measured {eff128 * 100:.0f}%"
+        f" (cache regime change: the 109 GB DB fits the combined page cache"
+        f" from 128 cores on).\n"
+        f"- relative efficiency at 1024 vs 32 cores: paper 95% -> measured"
+        f" {eff1024 * 100:.0f}%.\n"
+        f"- crossover reproduced: 2000-seq blocks win below ~128 cores"
+        f" (fewer DB loads per query), 1000-seq blocks win above (better"
+        f" load balancing).\n"
+    )
+
+    fig5 = fig5_utilization()
+    sections.append("## Figure 5 — useful CPU utilisation, 1024-core blastp run\n")
+    decimated = list(zip(fig5.minutes[::10], fig5.utilization[::10]))
+    sections.append(
+        format_table(["minute", "utilisation"], [[_f(m, 1), _f(u, 3)] for m, u in decimated])
+    )
+    sections.append(
+        f"\nPlateau {fig5.plateau:.2f} (paper: high, close to 1.0); taper begins at "
+        f"{fig5.taper_start_fraction * 100:.0f}% of the run (paper: 'tapering off at "
+        "the end ... due to cores idling without more workloads').\n"
+    )
+
+    prot = protein_scaling_result()
+    sections.append("## In-text §IV.A — protein BLAST scaling\n")
+    sections.append(
+        format_table(
+            ["metric", "paper", "measured"],
+            [
+                ["wall clock @1024 cores (min)", "294", _f(prot.wall_1024_minutes, 0)],
+                ["extra core-min/query, 1024 vs 512", "+6%", f"+{prot.extra_cost_percent:.0f}%"],
+            ],
+        )
+    )
+
+    fig6 = fig6_som_scaling()
+    sections.append("\n## Figure 6 — MR-MPI batch SOM scaling\n")
+    sections.append(
+        format_table(
+            ["cores", "wall minutes", "efficiency vs 32"],
+            [[p.cores, _f(p.wall_minutes, 2), _f(p.efficiency_vs_32, 3)] for p in fig6],
+        )
+    )
+    sections.append(
+        f"\nPaper: excellent linear scaling, 96% efficiency at 1024 cores -> measured "
+        f"{fig6[-1].efficiency_vs_32 * 100:.0f}%.\n"
+    )
+
+    htc = htc_comparison()
+    sections.append("## In-text §IV.A — HTC (VICS) workflow comparison\n")
+    sections.append(
+        format_table(
+            ["metric", "paper", "measured"],
+            [
+                [
+                    "longest HTC job vs 1024-core MR-MPI wall",
+                    "about the same",
+                    f"ratio {htc.wall_ratio:.2f}",
+                ],
+                ["HTC total core-hours", "-", _f(htc.htc_total_core_hours, 0)],
+                ["MR-MPI total core-hours", "-", _f(htc.mrmpi_total_core_hours, 0)],
+            ],
+        )
+    )
+
+    abl = ablation_scheduling()
+    sections.append("\n## Ablation — §V scheduling improvements (not in paper's charts)\n")
+    sections.append(
+        format_table(
+            ["cores", "scheduler", "wall minutes", "DB reloads", "I/O core-hours"],
+            [
+                [a.cores, a.scheduler, _f(a.wall_minutes, 1), a.total_reloads, _f(a.io_core_hours, 1)]
+                for a in abl
+            ],
+        )
+    )
+
+    text = "\n".join(sections) + "\n"
+    if path:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text)
+    return text
+
+
+if __name__ == "__main__":  # pragma: no cover
+    out = sys.argv[1] if len(sys.argv) > 1 else None
+    report = write_experiments_report(out)
+    if out is None:
+        print(report)

@@ -1,0 +1,45 @@
+"""Figure 6: batch-SOM scaling, 81 920 × 256-d vectors on a 50×50 map."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.machine import ranger
+from repro.cluster.som_model import SomScalingModel, simulate_som_run
+
+__all__ = ["fig6_som_scaling"]
+
+_CORES = (32, 64, 128, 256, 512, 1024)
+
+
+@dataclass(frozen=True)
+class SomPoint:
+    cores: int
+    wall_minutes: float
+    efficiency_vs_32: float
+
+
+def fig6_som_scaling(
+    cores_list=_CORES,
+    block_rows: int = 40,
+    epochs: int = 100,
+    seed: int = 0,
+) -> list[SomPoint]:
+    """Wall-clock and relative efficiency per core count.
+
+    Paper anchors: near-linear scaling; 96 % efficiency at 1024 cores
+    relative to 32; 80-vector work units time identically.
+    """
+    model = SomScalingModel(block_rows=block_rows, epochs=epochs, seed=seed)
+    base = simulate_som_run(ranger(cores_list[0]), model)
+    points = []
+    for cores in cores_list:
+        r = simulate_som_run(ranger(cores), model)
+        points.append(
+            SomPoint(
+                cores=cores,
+                wall_minutes=r.makespan / 60.0,
+                efficiency_vs_32=r.efficiency_vs(base),
+            )
+        )
+    return points

@@ -1,0 +1,264 @@
+"""Minimal SVG chart renderer (no plotting dependencies).
+
+Enough of a charting kit to redraw the paper's figures: linear and log
+axes, line+marker series, legends, axis titles.  Output is plain SVG text,
+so the regenerated Figs. 3-6 are actual image files viewable in any
+browser, produced offline by :mod:`repro.figures.plots`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["Series", "LineChart"]
+
+_COLORS = ["#2563eb", "#dc2626", "#16a34a", "#9333ea", "#ea580c", "#0891b2"]
+_MARKERS = ["circle", "square", "diamond", "triangle"]
+
+
+@dataclass
+class Series:
+    """One plotted line: points plus styling."""
+
+    name: str
+    x: Sequence[float]
+    y: Sequence[float]
+    color: str | None = None
+    marker: str | None = None
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError(f"series {self.name!r}: x and y lengths differ")
+        if not self.x:
+            raise ValueError(f"series {self.name!r} has no points")
+
+
+def _esc(text: str) -> str:
+    return (
+        str(text)
+        .replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+def _nice_ticks(lo: float, hi: float, n: int = 5) -> list[float]:
+    """Round tick positions covering [lo, hi]."""
+    if hi <= lo:
+        hi = lo + 1.0
+    raw = (hi - lo) / max(n, 1)
+    mag = 10 ** math.floor(math.log10(raw))
+    for mult in (1, 2, 2.5, 5, 10):
+        step = mult * mag
+        if (hi - lo) / step <= n:
+            break
+    first = math.ceil(lo / step) * step
+    ticks = []
+    t = first
+    while t <= hi + 1e-9 * step:
+        ticks.append(round(t, 10))
+        t += step
+    return ticks or [lo, hi]
+
+
+def _log_ticks(lo: float, hi: float) -> list[float]:
+    ticks = []
+    e = math.floor(math.log10(lo))
+    while 10**e <= hi * 1.0001:
+        if 10**e >= lo * 0.9999:
+            ticks.append(10**e)
+        e += 1
+    if len(ticks) < 2:  # degenerate span: fall back to linear ticks
+        return _nice_ticks(lo, hi, 4)
+    return ticks
+
+
+def _fmt(v: float) -> str:
+    if v == 0:
+        return "0"
+    if abs(v) >= 1000 and float(v).is_integer():
+        return f"{int(v)}"
+    if abs(v) >= 1:
+        return f"{v:g}"
+    return f"{v:g}"
+
+
+@dataclass
+class LineChart:
+    """A single-panel chart with optional log axes."""
+
+    title: str
+    x_label: str
+    y_label: str
+    width: int = 640
+    height: int = 420
+    x_log: bool = False
+    y_log: bool = False
+    series: list[Series] = field(default_factory=list)
+    margin_left: int = 72
+    margin_bottom: int = 56
+    margin_top: int = 44
+    margin_right: int = 160
+
+    def add(self, series: Series) -> "LineChart":
+        idx = len(self.series)
+        if series.color is None:
+            series.color = _COLORS[idx % len(_COLORS)]
+        if series.marker is None:
+            series.marker = _MARKERS[idx % len(_MARKERS)]
+        if self.x_log and any(v <= 0 for v in series.x):
+            raise ValueError("log x-axis requires positive x values")
+        if self.y_log and any(v <= 0 for v in series.y):
+            raise ValueError("log y-axis requires positive y values")
+        self.series.append(series)
+        return self
+
+    # ----------------------------------------------------------- projection
+
+    def _bounds(self) -> tuple[float, float, float, float]:
+        if not self.series:
+            raise ValueError("chart has no series")
+        xs = [v for s in self.series for v in s.x]
+        ys = [v for s in self.series for v in s.y]
+        x_lo, x_hi = min(xs), max(xs)
+        y_lo, y_hi = min(ys), max(ys)
+        if self.y_log:
+            y_lo, y_hi = y_lo / 1.25, y_hi * 1.25
+        else:
+            pad = 0.08 * (y_hi - y_lo or 1.0)
+            y_lo, y_hi = y_lo - pad, y_hi + pad
+            if min(ys) >= 0:
+                y_lo = max(y_lo, 0.0)
+        if self.x_log:
+            x_lo, x_hi = x_lo / 1.1, x_hi * 1.1
+        return x_lo, x_hi, y_lo, y_hi
+
+    def _proj(self, x_lo, x_hi, y_lo, y_hi):
+        plot_w = self.width - self.margin_left - self.margin_right
+        plot_h = self.height - self.margin_top - self.margin_bottom
+
+        def tx(x: float) -> float:
+            if self.x_log:
+                f = (math.log10(x) - math.log10(x_lo)) / (
+                    math.log10(x_hi) - math.log10(x_lo)
+                )
+            else:
+                f = (x - x_lo) / (x_hi - x_lo or 1.0)
+            return self.margin_left + f * plot_w
+
+        def ty(y: float) -> float:
+            if self.y_log:
+                f = (math.log10(y) - math.log10(y_lo)) / (
+                    math.log10(y_hi) - math.log10(y_lo)
+                )
+            else:
+                f = (y - y_lo) / (y_hi - y_lo or 1.0)
+            return self.height - self.margin_bottom - f * plot_h
+
+        return tx, ty
+
+    # -------------------------------------------------------------- markers
+
+    @staticmethod
+    def _marker_svg(kind: str, cx: float, cy: float, color: str, r: float = 4.0) -> str:
+        if kind == "circle":
+            return f'<circle cx="{cx:.1f}" cy="{cy:.1f}" r="{r}" fill="{color}"/>'
+        if kind == "square":
+            return (
+                f'<rect x="{cx - r:.1f}" y="{cy - r:.1f}" width="{2 * r}" '
+                f'height="{2 * r}" fill="{color}"/>'
+            )
+        if kind == "diamond":
+            pts = f"{cx},{cy - r * 1.2} {cx + r * 1.2},{cy} {cx},{cy + r * 1.2} {cx - r * 1.2},{cy}"
+            return f'<polygon points="{pts}" fill="{color}"/>'
+        if kind == "triangle":
+            pts = f"{cx},{cy - r * 1.2} {cx + r * 1.2},{cy + r} {cx - r * 1.2},{cy + r}"
+            return f'<polygon points="{pts}" fill="{color}"/>'
+        raise ValueError(f"unknown marker {kind!r}")
+
+    # -------------------------------------------------------------- rendering
+
+    def render(self) -> str:
+        """The chart as an SVG document string."""
+        x_lo, x_hi, y_lo, y_hi = self._bounds()
+        tx, ty = self._proj(x_lo, x_hi, y_lo, y_hi)
+        left = self.margin_left
+        right = self.width - self.margin_right
+        top = self.margin_top
+        bottom = self.height - self.margin_bottom
+
+        out: list[str] = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" font-family="Helvetica, Arial, sans-serif">',
+            f'<rect width="{self.width}" height="{self.height}" fill="white"/>',
+            f'<text x="{(left + right) / 2}" y="24" text-anchor="middle" '
+            f'font-size="15" font-weight="bold">{_esc(self.title)}</text>',
+        ]
+
+        # Gridlines + ticks.
+        x_ticks = _log_ticks(x_lo, x_hi) if self.x_log else _nice_ticks(x_lo, x_hi)
+        y_ticks = _log_ticks(y_lo, y_hi) if self.y_log else _nice_ticks(y_lo, y_hi)
+        for xt in x_ticks:
+            px = tx(xt)
+            out.append(
+                f'<line x1="{px:.1f}" y1="{top}" x2="{px:.1f}" y2="{bottom}" '
+                'stroke="#e5e7eb" stroke-width="1"/>'
+            )
+            out.append(
+                f'<text x="{px:.1f}" y="{bottom + 18}" text-anchor="middle" '
+                f'font-size="11">{_fmt(xt)}</text>'
+            )
+        for yt in y_ticks:
+            py = ty(yt)
+            out.append(
+                f'<line x1="{left}" y1="{py:.1f}" x2="{right}" y2="{py:.1f}" '
+                'stroke="#e5e7eb" stroke-width="1"/>'
+            )
+            out.append(
+                f'<text x="{left - 8}" y="{py + 4:.1f}" text-anchor="end" '
+                f'font-size="11">{_fmt(yt)}</text>'
+            )
+
+        # Axes frame.
+        out.append(
+            f'<rect x="{left}" y="{top}" width="{right - left}" '
+            f'height="{bottom - top}" fill="none" stroke="#374151" stroke-width="1.2"/>'
+        )
+        out.append(
+            f'<text x="{(left + right) / 2}" y="{self.height - 12}" '
+            f'text-anchor="middle" font-size="12">{_esc(self.x_label)}</text>'
+        )
+        out.append(
+            f'<text x="18" y="{(top + bottom) / 2}" text-anchor="middle" font-size="12" '
+            f'transform="rotate(-90 18 {(top + bottom) / 2})">{_esc(self.y_label)}</text>'
+        )
+
+        # Series.
+        for s in self.series:
+            pts = " ".join(f"{tx(x):.1f},{ty(y):.1f}" for x, y in zip(s.x, s.y))
+            out.append(
+                f'<polyline points="{pts}" fill="none" stroke="{s.color}" '
+                'stroke-width="2"/>'
+            )
+            for x, y in zip(s.x, s.y):
+                out.append(self._marker_svg(s.marker, tx(x), ty(y), s.color))
+
+        # Legend.
+        lx = right + 12
+        for i, s in enumerate(self.series):
+            ly = top + 10 + i * 20
+            out.append(self._marker_svg(s.marker, lx + 6, ly, s.color))
+            out.append(
+                f'<text x="{lx + 18}" y="{ly + 4}" font-size="11">{_esc(s.name)}</text>'
+            )
+
+        out.append("</svg>")
+        return "\n".join(out)
+
+    def write(self, path: str) -> str:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.render())
+        return path

@@ -1,0 +1,44 @@
+"""Figure 5: useful CPU utilisation over a 1024-core protein BLAST run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.blast_model import protein_workload
+from repro.cluster.dispatch import simulate_blast_run
+from repro.cluster.machine import ranger
+from repro.cluster.trace import utilization_curve
+
+__all__ = ["fig5_utilization"]
+
+
+@dataclass(frozen=True)
+class UtilizationTrace:
+    minutes: np.ndarray
+    utilization: np.ndarray
+
+    @property
+    def plateau(self) -> float:
+        """Mean utilisation over the middle half of the run."""
+        n = len(self.utilization)
+        return float(self.utilization[n // 4 : 3 * n // 4].mean())
+
+    @property
+    def taper_start_fraction(self) -> float:
+        """When (fraction of the run) utilisation first drops below 80 % of
+        the plateau — the Fig. 5 'tapering off at the end'."""
+        threshold = 0.8 * self.plateau
+        n = len(self.utilization)
+        for i in range(n // 2, n):
+            if self.utilization[i] < threshold:
+                return i / n
+        return 1.0
+
+
+def fig5_utilization(cores: int = 1024, n_bins: int = 100, seed: int = 0) -> UtilizationTrace:
+    """Per-time-bin mean useful utilisation of the blastp run."""
+    result = simulate_blast_run(ranger(cores), protein_workload(seed=seed))
+    seconds, util = utilization_curve(result, n_bins=n_bins)
+    return UtilizationTrace(minutes=seconds / 60.0, utilization=util)

@@ -1,0 +1,22 @@
+"""Errors raised by the in-process MPI runtime."""
+
+from __future__ import annotations
+
+__all__ = ["MPIError", "DeadlockError", "AbortError"]
+
+
+class MPIError(RuntimeError):
+    """Base class for runtime errors (bad rank, bad tag, misuse)."""
+
+
+class DeadlockError(MPIError):
+    """A blocking operation timed out.
+
+    In a real MPI job this is the hang you attach a debugger to; here the
+    runtime converts it into an exception after ``Network.op_timeout``
+    seconds so the test suite can never wedge.
+    """
+
+
+class AbortError(MPIError):
+    """Raised inside blocked ranks when another rank failed (MPI_Abort)."""

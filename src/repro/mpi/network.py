@@ -1,0 +1,164 @@
+"""Message router shared by all ranks of an in-process MPI job.
+
+The network owns one mailbox per rank.  A message is matched by
+``(context, source, tag)`` with MPI's non-overtaking guarantee: among the
+messages a rank has posted to the same destination with a matching tag and
+context, the earliest-posted one is received first (mailboxes are
+arrival-ordered lists and matching scans from the front).
+
+Contexts isolate communicators: collectives run in the same context as the
+communicator they belong to, and split communicators get fresh contexts, so
+traffic can never leak across communicators even with wildcard receives.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.mpi.exceptions import AbortError, DeadlockError, MPIError
+from repro.mpi.ops import ANY_SOURCE, ANY_TAG
+
+__all__ = ["Network", "Message"]
+
+
+@dataclass
+class Message:
+    """An in-flight message (payload already isolated by the sender)."""
+
+    src: int
+    dst: int
+    tag: int
+    context: int
+    payload: Any
+    seq: int = 0
+
+
+class Network:
+    """Shared state of one SPMD job: mailboxes, contexts, abort flag."""
+
+    #: Default timeout (seconds) for any single blocking operation. Generous
+    #: enough for slow CI machines, small enough that a deadlocked test fails
+    #: rather than hangs.
+    DEFAULT_OP_TIMEOUT = 120.0
+
+    def __init__(self, nprocs: int, op_timeout: float | None = None) -> None:
+        if nprocs < 1:
+            raise MPIError(f"nprocs must be >= 1, got {nprocs}")
+        self.nprocs = nprocs
+        self.op_timeout = op_timeout if op_timeout is not None else self.DEFAULT_OP_TIMEOUT
+        self._lock = threading.Lock()
+        self._conds = [threading.Condition(self._lock) for _ in range(nprocs)]
+        self._mailboxes: list[list[Message]] = [[] for _ in range(nprocs)]
+        self._seq = itertools.count()
+        self._contexts: dict[tuple, int] = {}
+        self._next_context = itertools.count(1)
+        self._aborted: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------ abort
+
+    def abort(self, exc: BaseException) -> None:
+        """Mark the job failed; wake every blocked rank with AbortError."""
+        with self._lock:
+            if self._aborted is None:
+                self._aborted = exc
+            for cond in self._conds:
+                cond.notify_all()
+
+    @property
+    def aborted(self) -> Optional[BaseException]:
+        return self._aborted
+
+    def _check_abort(self) -> None:
+        if self._aborted is not None:
+            raise AbortError(f"another rank failed: {self._aborted!r}")
+
+    # ----------------------------------------------------------------- routing
+
+    def post(self, msg: Message) -> None:
+        """Deliver ``msg`` to the destination mailbox (eager buffered send)."""
+        if not (0 <= msg.dst < self.nprocs):
+            raise MPIError(f"invalid destination rank {msg.dst} (nprocs={self.nprocs})")
+        with self._lock:
+            self._check_abort()
+            msg.seq = next(self._seq)
+            self._mailboxes[msg.dst].append(msg)
+            self._conds[msg.dst].notify_all()
+
+    @staticmethod
+    def _matches(msg: Message, context: int, source: int, tag: int) -> bool:
+        if msg.context != context:
+            return False
+        if source != ANY_SOURCE and msg.src != source:
+            return False
+        if tag != ANY_TAG and msg.tag != tag:
+            return False
+        return True
+
+    def probe(self, dst: int, context: int, source: int, tag: int) -> Optional[Message]:
+        """Non-destructively return the first matching message, or ``None``."""
+        with self._lock:
+            self._check_abort()
+            for msg in self._mailboxes[dst]:
+                if self._matches(msg, context, source, tag):
+                    return msg
+        return None
+
+    def match(
+        self,
+        dst: int,
+        context: int,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        timeout: float | None = None,
+        block: bool = True,
+    ) -> Optional[Message]:
+        """Remove and return the first matching message for rank ``dst``.
+
+        Blocks until a match arrives.  Raises :class:`DeadlockError` on
+        timeout and :class:`AbortError` if the job was aborted while waiting.
+        With ``block=False`` returns ``None`` immediately when nothing
+        matches.
+        """
+        deadline_budget = self.op_timeout if timeout is None else timeout
+        cond = self._conds[dst]
+        with self._lock:
+            while True:
+                self._check_abort()
+                box = self._mailboxes[dst]
+                for i, msg in enumerate(box):
+                    if self._matches(msg, context, source, tag):
+                        del box[i]
+                        return msg
+                if not block:
+                    return None
+                if not cond.wait(timeout=deadline_budget):
+                    raise DeadlockError(
+                        f"rank {dst} timed out after {deadline_budget:.0f}s waiting for "
+                        f"(source={source}, tag={tag}, context={context})"
+                    )
+
+    # ---------------------------------------------------------------- contexts
+
+    def allocate_context(self, key: tuple) -> int:
+        """Return the context id for ``key``, allocating it on first use.
+
+        All members of a collective context-creating call (e.g. ``split``)
+        compute the same ``key``, so they agree on the id without extra
+        synchronisation.
+        """
+        with self._lock:
+            if key not in self._contexts:
+                self._contexts[key] = next(self._next_context)
+            return self._contexts[key]
+
+    # ------------------------------------------------------------------ stats
+
+    def pending_count(self, dst: int | None = None) -> int:
+        """Number of undelivered messages (for tests / leak detection)."""
+        with self._lock:
+            if dst is not None:
+                return len(self._mailboxes[dst])
+            return sum(len(b) for b in self._mailboxes)

@@ -1,0 +1,142 @@
+"""MPIPool: an mpi4py.futures-style task pool on the in-process runtime.
+
+The glide-in discussion in the paper is really about *farming serial tasks
+from inside an MPI job* — which is exactly what an MPI worker pool does
+without any external scheduler.  This pool mirrors ``MPIPoolExecutor``'s
+shape: rank 0 becomes the submitting side, the remaining ranks serve tasks
+until shutdown::
+
+    def main(comm):
+        with MPIPool(comm) as pool:
+            if pool is not None:                      # rank 0 only
+                squares = pool.map(lambda x: x * x, range(100))
+                return squares
+            return None                               # workers served
+
+Tasks are dispatched first-come-first-served (dynamic load balancing, like
+mrblast's master/worker map), exceptions propagate to the caller, and
+``map`` preserves input order regardless of completion order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Iterable, Optional
+
+from repro.mpi.comm import Comm
+from repro.mpi.ops import ANY_SOURCE, Status
+
+__all__ = ["MPIPool"]
+
+_TAG_TASK = 201
+_TAG_RESULT = 202
+_TAG_READY = 203
+
+_SHUTDOWN = "__pool_shutdown__"
+
+
+class MPIPool:
+    """Master/worker task pool over an existing communicator.
+
+    Entering the context returns the pool on rank 0 and ``None`` on worker
+    ranks — workers block inside, serving tasks, until rank 0 leaves the
+    context.  With a single rank the pool degrades to local execution.
+    """
+
+    def __init__(self, comm: Comm) -> None:
+        self.comm = comm.dup()
+        self._is_master = comm.rank == 0
+        self._entered = False
+        self._closed = False
+
+    # ------------------------------------------------------------- lifecycle
+
+    def __enter__(self) -> Optional["MPIPool"]:
+        self._entered = True
+        if self._is_master or self.comm.size == 1:
+            return self
+        self._serve()
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._is_master:
+            self.shutdown()
+
+    def shutdown(self) -> None:
+        if self._closed or not self._is_master:
+            return
+        self._closed = True
+        if self.comm.size > 1:
+            for worker in range(1, self.comm.size):
+                self.comm.send((_SHUTDOWN, None, None), dest=worker, tag=_TAG_TASK)
+
+    # --------------------------------------------------------------- workers
+
+    def _serve(self) -> None:
+        while True:
+            task = self.comm.recv(source=0, tag=_TAG_TASK)
+            kind, task_id, payload = task
+            if kind == _SHUTDOWN:
+                return
+            fn, args = payload
+            try:
+                result = (True, fn(*args))
+            except BaseException as exc:  # noqa: BLE001 - report to master
+                result = (False, exc)
+            self.comm.send((task_id, result), dest=0, tag=_TAG_RESULT)
+
+    # ---------------------------------------------------------------- master
+
+    def map(self, fn: Callable, iterable: Iterable, *more: Iterable) -> list:
+        """Apply ``fn`` over items with dynamic dispatch; ordered results.
+
+        With multiple iterables, ``fn`` is called with one argument from
+        each (like builtin ``map``).  The first worker exception is
+        re-raised after the in-flight tasks drain.
+        """
+        if not self._entered:
+            raise RuntimeError("use MPIPool as a context manager")
+        if not self._is_master:
+            raise RuntimeError("only rank 0 may submit work")
+        if self._closed:
+            raise RuntimeError("pool already shut down")
+        tasks = deque(enumerate(zip(iterable, *more)))
+        n_tasks = len(tasks)
+        results: list[Any] = [None] * n_tasks
+
+        if self.comm.size == 1:
+            for task_id, args in tasks:
+                results[task_id] = fn(*args)
+            return results
+
+        failure: Optional[BaseException] = None
+        idle = deque(range(1, self.comm.size))
+        outstanding = 0
+        while tasks or outstanding:
+            while tasks and idle:
+                task_id, args = tasks.popleft()
+                self.comm.send(
+                    ("task", task_id, (fn, tuple(args))), dest=idle.popleft(), tag=_TAG_TASK
+                )
+                outstanding += 1
+            st = Status()
+            task_id, (ok, value) = self.comm.recv(
+                source=ANY_SOURCE, tag=_TAG_RESULT, status=st
+            )
+            outstanding -= 1
+            idle.append(st.Get_source())
+            if ok:
+                results[task_id] = value
+            elif failure is None:
+                failure = value
+                tasks.clear()  # stop submitting; drain what's in flight
+        if failure is not None:
+            raise failure
+        return results
+
+    def starmap(self, fn: Callable, iterable: Iterable[tuple]) -> list:
+        """Like :meth:`map` but items are pre-formed argument tuples."""
+        if not self._is_master:
+            raise RuntimeError("only rank 0 may submit work")
+        items = [tuple(args) for args in iterable]
+        return self.map(lambda *a: fn(*a), *zip(*items)) if items else []

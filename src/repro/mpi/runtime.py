@@ -1,0 +1,99 @@
+"""SPMD launcher: run one Python callable on N in-process ranks.
+
+Each rank is a daemon thread executing ``fn(comm, *args, **kwargs)``.  The
+first rank to raise aborts the whole job (MPI_Abort semantics): blocked peers
+are woken with :class:`~repro.mpi.exceptions.AbortError` and the original
+exception is re-raised in the caller.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Optional, Sequence
+
+from repro.mpi.comm import Comm
+from repro.mpi.exceptions import AbortError, MPIError
+from repro.mpi.network import Network
+
+__all__ = ["run_spmd", "SpmdJob"]
+
+
+class SpmdJob:
+    """A launched SPMD job.  Use :func:`run_spmd` unless you need the handle."""
+
+    def __init__(
+        self,
+        nprocs: int,
+        fn: Callable[..., Any],
+        args: Sequence[Any] = (),
+        kwargs: Optional[dict] = None,
+        op_timeout: float | None = None,
+    ) -> None:
+        if nprocs < 1:
+            raise MPIError(f"nprocs must be >= 1, got {nprocs}")
+        self.nprocs = nprocs
+        self.network = Network(nprocs, op_timeout=op_timeout)
+        self._results: list[Any] = [None] * nprocs
+        self._errors: list[Optional[BaseException]] = [None] * nprocs
+        self._threads = [
+            threading.Thread(
+                target=self._run_rank,
+                args=(rank, fn, tuple(args), dict(kwargs or {})),
+                name=f"mpi-rank-{rank}",
+                daemon=True,
+            )
+            for rank in range(nprocs)
+        ]
+
+    def _run_rank(self, rank: int, fn: Callable, args: tuple, kwargs: dict) -> None:
+        comm = Comm(self.network, rank, list(range(self.nprocs)), context=0)
+        try:
+            self._results[rank] = fn(comm, *args, **kwargs)
+        except AbortError as exc:
+            # Collateral damage from another rank's failure; keep for debugging
+            # but do not treat as the primary error.
+            self._errors[rank] = exc
+        except BaseException as exc:  # noqa: BLE001 - must propagate anything
+            self._errors[rank] = exc
+            self.network.abort(exc)
+
+    def run(self, join_timeout: float | None = None) -> list[Any]:
+        """Start all ranks, join them, and return per-rank results.
+
+        Raises the first *primary* rank failure (AbortError fallout from other
+        ranks is suppressed in its favour).
+        """
+        for t in self._threads:
+            t.start()
+        budget = join_timeout if join_timeout is not None else self.network.op_timeout * 4
+        for t in self._threads:
+            t.join(timeout=budget)
+            if t.is_alive():
+                err = MPIError(f"SPMD job did not finish within {budget:.0f}s ({t.name} alive)")
+                self.network.abort(err)
+                raise err
+        primary = next(
+            (e for e in self._errors if e is not None and not isinstance(e, AbortError)),
+            None,
+        )
+        if primary is not None:
+            raise primary
+        collateral = next((e for e in self._errors if e is not None), None)
+        if collateral is not None:  # pragma: no cover - defensive
+            raise collateral
+        return self._results
+
+
+def run_spmd(
+    nprocs: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    op_timeout: float | None = None,
+    **kwargs: Any,
+) -> list[Any]:
+    """Run ``fn(comm, *args, **kwargs)`` on ``nprocs`` ranks; return results.
+
+    The returned list is indexed by rank.  This is the moral equivalent of
+    ``mpirun -np N python prog.py`` for this repository.
+    """
+    return SpmdJob(nprocs, fn, args, kwargs, op_timeout=op_timeout).run()

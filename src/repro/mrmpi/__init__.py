@@ -1,0 +1,30 @@
+"""Python port of Sandia's MapReduce-MPI library.
+
+MapReduce-MPI (Plimpton & Devine) implements the MapReduce pattern as a
+regular MPI program: no daemons, no distributed file system — key-value pairs
+live in the collective memory of the MPI ranks and are exchanged with MPI
+calls, spilling to page files when a per-processor memory budget is exceeded
+("out-of-core processing").
+
+This port keeps the original object model and call sequence:
+
+- :class:`~repro.mrmpi.mapreduce.MapReduce` — the per-rank MapReduce object;
+  collective methods: ``map`` (mapstyles: chunk, strided, master/worker),
+  ``aggregate``, ``convert``, ``collate``, ``reduce``, ``gather``,
+  ``sort_keys``, ``scan_kv``/``scan_kmv``.
+- :class:`~repro.mrmpi.keyvalue.KeyValue` — a pageable store of (key, value)
+  pairs; mappers and reducers emit into it with ``add``.
+- :class:`~repro.mrmpi.keymultivalue.KeyMultiValue` — (key, [values...])
+  pairs produced by ``convert``/``collate``.
+
+The paper's two applications use exactly this surface: BLAST uses
+``map`` (master/worker) → ``collate`` → ``reduce``; the SOM uses ``map`` plus
+direct MPI calls (``Bcast``/``Reduce``) and no reduce stage.
+"""
+
+from repro.mrmpi.keyvalue import KeyValue
+from repro.mrmpi.keymultivalue import KeyMultiValue
+from repro.mrmpi.mapreduce import MapReduce, MapStyle
+from repro.mrmpi.hashing import stable_hash
+
+__all__ = ["MapReduce", "MapStyle", "KeyValue", "KeyMultiValue", "stable_hash"]

@@ -1,0 +1,57 @@
+"""Deterministic key hashing for aggregate()/collate().
+
+MapReduce-MPI assigns each unique key to a processor with a hash of the key
+modulo nprocs.  Python's builtin ``hash`` is salted per interpreter, so we
+use a stable FNV-1a over a canonical byte encoding: results are identical
+across runs, platforms and rank counts, which the tests rely on.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+__all__ = ["stable_hash", "key_bytes"]
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def key_bytes(key: Any) -> bytes:
+    """Canonical byte encoding of a key.
+
+    Supported key types mirror what the applications emit: bytes, str, int,
+    float, and (nested) tuples of those.  Anything else is rejected loudly —
+    silent fallback to ``repr`` would make hashing fragile.
+    """
+    if isinstance(key, bytes):
+        return b"b" + key
+    if isinstance(key, str):
+        return b"s" + key.encode("utf-8")
+    if isinstance(key, bool):  # before int: bool is an int subclass
+        return b"?" + (b"1" if key else b"0")
+    if isinstance(key, int):
+        return b"i" + str(key).encode("ascii")
+    if isinstance(key, float):
+        return b"f" + struct.pack("<d", key)
+    if isinstance(key, tuple):
+        parts = [b"t", str(len(key)).encode("ascii")]
+        for item in key:
+            enc = key_bytes(item)
+            parts.append(str(len(enc)).encode("ascii"))
+            parts.append(b":")
+            parts.append(enc)
+        return b"".join(parts)
+    raise TypeError(
+        f"unsupported key type {type(key).__name__!r}; use bytes/str/int/float/tuple"
+    )
+
+
+def stable_hash(key: Any) -> int:
+    """64-bit FNV-1a of the canonical key encoding (always non-negative)."""
+    h = _FNV_OFFSET
+    for byte in key_bytes(key):
+        h ^= byte
+        h = (h * _FNV_PRIME) & _MASK
+    return h

@@ -1,0 +1,144 @@
+"""KeyMultiValue store: (key, [values...]) pairs produced by convert/collate.
+
+``convert`` performs external grouping so it works out-of-core: KV pairs are
+first partitioned into hash buckets (each bucket spooled to disk), then each
+bucket is grouped in memory.  Memory use is bounded by the largest bucket,
+not the whole KV set; ``nbuckets`` trades file count against per-bucket
+memory exactly like the real library's page-partitioned convert.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.mrmpi.hashing import key_bytes, stable_hash
+from repro.mrmpi.keyvalue import KeyValue
+from repro.mrmpi.spool import PageSpool, approx_size
+
+__all__ = ["KeyMultiValue", "convert_kv_to_kmv"]
+
+
+class KeyMultiValue:
+    """A pageable sequence of (key, list-of-values) pairs owned by one rank."""
+
+    def __init__(self, pagesize: int = 64 * 1024 * 1024, spool_dir: str | None = None):
+        if pagesize <= 0:
+            raise ValueError(f"pagesize must be positive, got {pagesize}")
+        self.pagesize = pagesize
+        self._spool_dir = spool_dir
+        self._page: list[tuple[Any, list]] = []
+        self._page_bytes = 0
+        self._spool: PageSpool | None = None
+        self._nkmv = 0
+        self._nvalues = 0
+
+    def add(self, key: Any, values: list) -> None:
+        key_bytes(key)
+        values = list(values)
+        self._page.append((key, values))
+        self._page_bytes += approx_size(key) + approx_size(values)
+        self._nkmv += 1
+        self._nvalues += len(values)
+        if self._page_bytes >= self.pagesize:
+            self._spill()
+
+    def _spill(self) -> None:
+        if not self._page:
+            return
+        if self._spool is None:
+            self._spool = PageSpool(dir=self._spool_dir, prefix="kmv")
+        self._spool.write_page(self._page)
+        self._page = []
+        self._page_bytes = 0
+
+    def __len__(self) -> int:
+        return self._nkmv
+
+    @property
+    def nvalues(self) -> int:
+        return self._nvalues
+
+    @property
+    def out_of_core(self) -> bool:
+        return self._spool is not None and self._spool.npages > 0
+
+    def __iter__(self) -> Iterator[tuple[Any, list]]:
+        if self._spool is not None:
+            yield from self._spool.iter_records()
+        yield from self._page
+
+    def clear(self) -> None:
+        self._page = []
+        self._page_bytes = 0
+        self._nkmv = 0
+        self._nvalues = 0
+        if self._spool is not None:
+            self._spool.close()
+            self._spool = None
+
+    def close(self) -> None:
+        self.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"KeyMultiValue(nkmv={self._nkmv}, nvalues={self._nvalues})"
+
+
+def convert_kv_to_kmv(
+    kv: KeyValue,
+    pagesize: int,
+    spool_dir: str | None = None,
+    nbuckets: int = 16,
+) -> KeyMultiValue:
+    """Group a KeyValue store into a KeyMultiValue store (external grouping).
+
+    Within each key, value order follows KV iteration order (stable).  Keys
+    are emitted bucket by bucket and, inside a bucket, in first-seen order —
+    a deterministic order given the same KV contents.
+    """
+    if nbuckets < 1:
+        raise ValueError(f"nbuckets must be >= 1, got {nbuckets}")
+    kmv = KeyMultiValue(pagesize=pagesize, spool_dir=spool_dir)
+
+    if not kv.out_of_core and len(kv) > 0:
+        # Fast path: whole KV fits in one page; group in memory directly.
+        groups: dict[bytes, tuple[Any, list]] = {}
+        for key, value in kv:
+            kb = key_bytes(key)
+            if kb not in groups:
+                groups[kb] = (key, [])
+            groups[kb][1].append(value)
+        for key, values in groups.values():
+            kmv.add(key, values)
+        return kmv
+
+    # Out-of-core path: partition into hash buckets on disk, then group
+    # bucket by bucket.
+    buckets = [PageSpool(dir=spool_dir, prefix=f"cvt{b}") for b in range(nbuckets)]
+    try:
+        staged: list[list] = [[] for _ in range(nbuckets)]
+        staged_bytes = [0] * nbuckets
+        stage_limit = max(pagesize // max(nbuckets, 1), 4096)
+        for key, value in kv:
+            b = stable_hash(key) % nbuckets
+            staged[b].append((key, value))
+            staged_bytes[b] += approx_size(key) + approx_size(value)
+            if staged_bytes[b] >= stage_limit:
+                buckets[b].write_page(staged[b])
+                staged[b] = []
+                staged_bytes[b] = 0
+        for b in range(nbuckets):
+            if staged[b]:
+                buckets[b].write_page(staged[b])
+        for b in range(nbuckets):
+            groups = {}
+            for key, value in buckets[b].iter_records():
+                kb = key_bytes(key)
+                if kb not in groups:
+                    groups[kb] = (key, [])
+                groups[kb][1].append(value)
+            for key, values in groups.values():
+                kmv.add(key, values)
+    finally:
+        for spool in buckets:
+            spool.close()
+    return kmv

@@ -1,0 +1,123 @@
+"""Page spill files for out-of-core key-value processing.
+
+MapReduce-MPI transparently pages its KV/KMV stores to per-processor files
+when the working set exceeds the configured memory budget.  The paper leans
+on this ("out-of-core processing") and explains that mrblast loops over query
+subsets precisely to keep the working set in memory because Ranger has no
+node-local scratch.  This module provides the paging primitive: an
+append-only sequence of pickled pages on disk with streaming read-back.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import sys
+import tempfile
+from typing import Any, Iterable, Iterator
+
+import numpy as np
+
+__all__ = ["PageSpool", "approx_size"]
+
+
+def approx_size(obj: Any) -> int:
+    """Cheap size estimate (bytes) used for the paging threshold.
+
+    Exact accounting is not required — the real library also tracks page
+    occupancy approximately — but the estimate must grow with payload size
+    so big values trigger spills.
+    """
+    if isinstance(obj, (bytes, bytearray)):
+        return len(obj) + 33
+    if isinstance(obj, str):
+        return len(obj) + 49
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes) + 96
+    if isinstance(obj, (tuple, list)):
+        return 56 + sum(approx_size(x) for x in obj)
+    if isinstance(obj, dict):
+        return 64 + sum(approx_size(k) + approx_size(v) for k, v in obj.items())
+    if hasattr(obj, "__dataclass_fields__"):
+        # getsizeof ignores attribute payloads; records like HSPs are the
+        # dominant KV values, so count their fields.
+        return 64 + sum(
+            approx_size(getattr(obj, name)) for name in obj.__dataclass_fields__
+        )
+    return max(sys.getsizeof(obj), 48)
+
+
+class PageSpool:
+    """Append-only spill storage: write pages of records, stream them back.
+
+    One spool owns one file; pages are length-prefixed pickles so reading
+    streams page by page without loading the whole spool.
+    """
+
+    def __init__(self, dir: str | None = None, prefix: str = "mrmpi") -> None:
+        fd, self._path = tempfile.mkstemp(prefix=f"{prefix}.", suffix=".page", dir=dir)
+        self._file = os.fdopen(fd, "w+b")
+        self._npages = 0
+        self._nrecords = 0
+        self._closed = False
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    @property
+    def npages(self) -> int:
+        return self._npages
+
+    @property
+    def nrecords(self) -> int:
+        return self._nrecords
+
+    def write_page(self, records: Iterable[Any]) -> int:
+        """Append one page; returns the number of records written."""
+        if self._closed:
+            raise ValueError("spool is closed")
+        records = list(records)
+        blob = pickle.dumps(records, protocol=pickle.HIGHEST_PROTOCOL)
+        self._file.seek(0, os.SEEK_END)
+        self._file.write(len(blob).to_bytes(8, "little"))
+        self._file.write(blob)
+        self._npages += 1
+        self._nrecords += len(records)
+        return len(records)
+
+    def iter_pages(self) -> Iterator[list]:
+        """Stream pages back in write order."""
+        if self._closed:
+            raise ValueError("spool is closed")
+        self._file.flush()
+        pos = 0
+        self._file.seek(0)
+        for _ in range(self._npages):
+            self._file.seek(pos)
+            header = self._file.read(8)
+            size = int.from_bytes(header, "little")
+            blob = self._file.read(size)
+            pos = self._file.tell()
+            yield pickle.loads(blob)
+
+    def iter_records(self) -> Iterator[Any]:
+        for page in self.iter_pages():
+            yield from page
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            try:
+                self._file.close()
+            finally:
+                try:
+                    os.unlink(self._path)
+                except OSError:
+                    pass
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass

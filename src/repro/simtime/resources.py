@@ -1,0 +1,75 @@
+"""Shared resources for the DES: counting resources and FIFO stores.
+
+``Resource`` models things like a bounded-capacity I/O channel; ``Store``
+is the master-worker work queue (put work units in, workers get them out).
+Both are strictly FIFO, keeping runs deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.simtime.events import Environment, Event
+
+__all__ = ["Resource", "Store"]
+
+
+class Resource:
+    """Counting resource with FIFO grant order.
+
+    ``request()`` returns an event that fires when a slot is granted;
+    ``release()`` frees a slot.  (A context-manager style is deliberately
+    omitted: DES processes here acquire and release across yields.)
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiters: deque[Event] = deque()
+
+    def request(self) -> Event:
+        ev = self.env.event()
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        if self.in_use <= 0:
+            raise RuntimeError("release without matching request")
+        if self._waiters:
+            self._waiters.popleft().succeed()
+        else:
+            self.in_use -= 1
+
+
+class Store:
+    """Unbounded FIFO channel of items between processes."""
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        ev = self.env.event()
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev

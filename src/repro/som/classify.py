@@ -1,0 +1,91 @@
+"""Semi-supervised classification with a trained SOM.
+
+The paper's group uses SOMs for "unsupervised clustering and
+semi-supervised classification of metagenomic sequences": train on
+everything, label map cells from the sequences with known taxonomy, then
+read off labels for the unknowns from the cells they map to.  That workflow
+is implemented here:
+
+- :func:`label_units` — majority label per map unit from labelled data;
+- :func:`propagate_labels` — unlabelled units inherit the label of the
+  nearest labelled unit in *grid* space (the map's topology does the
+  generalisation);
+- :func:`classify` — label new vectors through their BMUs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Hashable, Optional, Sequence
+
+import numpy as np
+
+from repro.som.bmu import best_matching_units
+from repro.som.codebook import SOMGrid
+
+__all__ = ["label_units", "propagate_labels", "classify"]
+
+
+def label_units(
+    data: np.ndarray,
+    labels: Sequence[Hashable],
+    codebook: np.ndarray,
+    grid: SOMGrid,
+) -> list[Optional[Hashable]]:
+    """Majority label of the training vectors mapping to each unit.
+
+    Units receiving no vectors get ``None``.  Ties resolve to the label
+    that reached the count first (deterministic for fixed input order).
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if data.shape[0] != len(labels):
+        raise ValueError(f"{data.shape[0]} vectors but {len(labels)} labels")
+    if codebook.shape[0] != grid.n_units:
+        raise ValueError("codebook does not match grid")
+    votes: list[Counter] = [Counter() for _ in range(grid.n_units)]
+    if data.shape[0]:
+        for label, bmu in zip(labels, best_matching_units(data, codebook)):
+            votes[int(bmu)][label] += 1
+    return [v.most_common(1)[0][0] if v else None for v in votes]
+
+
+def propagate_labels(
+    unit_labels: Sequence[Optional[Hashable]], grid: SOMGrid
+) -> list[Hashable]:
+    """Fill unlabelled units with the nearest labelled unit's label.
+
+    Distance is Euclidean in grid coordinates; ties resolve to the lowest
+    unit index.  Raises if no unit is labelled at all.
+    """
+    if len(unit_labels) != grid.n_units:
+        raise ValueError(f"expected {grid.n_units} unit labels, got {len(unit_labels)}")
+    labelled = [i for i, lab in enumerate(unit_labels) if lab is not None]
+    if not labelled:
+        raise ValueError("no labelled units to propagate from")
+    pos = grid.positions()
+    out = list(unit_labels)
+    anchor_pos = pos[labelled]
+    for i, lab in enumerate(unit_labels):
+        if lab is not None:
+            continue
+        d2 = ((anchor_pos - pos[i]) ** 2).sum(axis=1)
+        out[i] = unit_labels[labelled[int(np.argmin(d2))]]
+    return out
+
+
+def classify(
+    vectors: np.ndarray,
+    codebook: np.ndarray,
+    unit_labels: Sequence[Optional[Hashable]],
+    grid: SOMGrid,
+    propagate: bool = True,
+) -> list[Optional[Hashable]]:
+    """Label each vector by its BMU's (possibly propagated) unit label."""
+    if len(unit_labels) != grid.n_units:
+        raise ValueError(f"expected {grid.n_units} unit labels, got {len(unit_labels)}")
+    table = propagate_labels(unit_labels, grid) if propagate else list(unit_labels)
+    vectors = np.asarray(vectors, dtype=np.float64)
+    if vectors.shape[0] == 0:
+        return []
+    bmus = best_matching_units(vectors, codebook)
+    return [table[int(b)] for b in bmus]

@@ -1,0 +1,161 @@
+"""SOM grid geometry and codebook initialisation.
+
+The paper trains 50×50 maps; "initially all weight vectors are either
+assigned random values or linearly generated from the first two PCA
+eigen-vectors" — both strategies are provided.
+
+Beyond the paper's rectangular grid, two standard SOM topologies are
+supported: ``hex`` (each interior neuron has six equidistant neighbours —
+the classic SOM_PAK layout, which reduces axis artefacts in U-matrices)
+and periodic (toroidal) boundaries for the rectangular grid (removes map
+edge effects).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import as_rng
+
+__all__ = ["SOMGrid", "init_codebook"]
+
+_SQRT3_2 = np.sqrt(3.0) / 2.0
+
+
+@dataclass(frozen=True)
+class SOMGrid:
+    """A 2-D neuron grid.
+
+    Neuron k sits at row ``k // cols``, column ``k % cols``.  Grid distances
+    (Eq. 4's ``r_i``) are Euclidean in cell units; ``hex`` topology offsets
+    odd rows by half a cell and compresses row spacing to √3/2 so the six
+    neighbours of an interior unit are equidistant.  ``periodic`` wraps the
+    rectangular grid into a torus (not combined with hex).
+    """
+
+    rows: int
+    cols: int
+    topology: str = "rect"
+    periodic: bool = False
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError(f"grid must be at least 1x1, got {self.rows}x{self.cols}")
+        if self.topology not in ("rect", "hex"):
+            raise ValueError(f"topology must be 'rect' or 'hex', got {self.topology!r}")
+        if self.periodic and self.topology == "hex":
+            raise ValueError("periodic boundaries are supported for 'rect' only")
+
+    @property
+    def n_units(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def diagonal(self) -> float:
+        """Largest grid distance (the paper's initial radius scale)."""
+        if self.periodic:
+            return float(np.hypot(self.rows / 2.0, self.cols / 2.0))
+        pos = self.positions()
+        lo = pos.min(axis=0)
+        hi = pos.max(axis=0)
+        return float(np.hypot(*(hi - lo))) or 1.0
+
+    def positions(self) -> np.ndarray:
+        """(K, 2) array of (y, x) coordinates in unit order."""
+        r, c = np.divmod(np.arange(self.n_units), self.cols)
+        if self.topology == "hex":
+            y = r * _SQRT3_2
+            x = c + 0.5 * (r % 2)
+            return np.stack([y, x], axis=1).astype(np.float64)
+        return np.stack([r, c], axis=1).astype(np.float64)
+
+    def grid_sq_distances(self) -> np.ndarray:
+        """(K, K) squared grid distances ‖r_i − r_j‖² (Eq. 4's exponent)."""
+        if self.periodic:
+            r, c = np.divmod(np.arange(self.n_units), self.cols)
+            dr = np.abs(r[:, None] - r[None, :])
+            dr = np.minimum(dr, self.rows - dr)
+            dc = np.abs(c[:, None] - c[None, :])
+            dc = np.minimum(dc, self.cols - dc)
+            return (dr.astype(np.float64) ** 2 + dc.astype(np.float64) ** 2)
+        pos = self.positions()
+        diff = pos[:, None, :] - pos[None, :, :]
+        return (diff**2).sum(axis=2)
+
+    def neighbors(self, k: int) -> list[int]:
+        """Adjacent units of ``k``: 4 on rect grids, 6 on hex (edges fewer,
+        except on a torus where every unit has the full set)."""
+        if not (0 <= k < self.n_units):
+            raise IndexError(f"unit {k} outside grid of {self.n_units}")
+        r, c = divmod(k, self.cols)
+        if self.topology == "hex":
+            # Offset coordinates: odd rows shift right.
+            if r % 2 == 0:
+                deltas = [(-1, -1), (-1, 0), (0, -1), (0, 1), (1, -1), (1, 0)]
+            else:
+                deltas = [(-1, 0), (-1, 1), (0, -1), (0, 1), (1, 0), (1, 1)]
+        else:
+            deltas = [(-1, 0), (1, 0), (0, -1), (0, 1)]
+        out = []
+        for dr, dc in deltas:
+            rr, cc = r + dr, c + dc
+            if self.periodic:
+                rr %= self.rows
+                cc %= self.cols
+            if 0 <= rr < self.rows and 0 <= cc < self.cols:
+                unit = rr * self.cols + cc
+                if unit != k:
+                    out.append(unit)
+        return out
+
+
+def init_codebook(
+    grid: SOMGrid,
+    data: np.ndarray,
+    method: str = "linear",
+    seed_or_rng: int | np.random.Generator | None = 0,
+) -> np.ndarray:
+    """Initial codebook of shape (K, dim).
+
+    ``"random"`` samples uniformly inside the data bounding box;
+    ``"linear"`` spreads the grid over the plane of the first two principal
+    components (the deterministic initialisation the paper mentions, which
+    also makes batch training reproducible without luck).
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2 or data.shape[0] < 1:
+        raise ValueError(f"data must be a non-empty (N, dim) matrix, got {data.shape}")
+    dim = data.shape[1]
+    if method == "random":
+        rng = as_rng(seed_or_rng)
+        lo = data.min(axis=0)
+        hi = data.max(axis=0)
+        return lo + (hi - lo) * rng.random((grid.n_units, dim))
+    if method == "linear":
+        mean = data.mean(axis=0)
+        centered = data - mean
+        # Principal directions via SVD of the (N, dim) matrix.
+        _u, s, vt = np.linalg.svd(centered, full_matrices=False)
+        # Canonicalise singular-vector signs (SVD is sign-ambiguous and the
+        # ambiguity depends on row order): make each direction's largest
+        # component positive so the init is independent of input order.
+        for r in range(vt.shape[0]):
+            pivot = int(np.argmax(np.abs(vt[r])))
+            if vt[r, pivot] < 0:
+                vt[r] = -vt[r]
+        if vt.shape[0] < 2 or s[1] == 0:
+            # Degenerate data (rank < 2): fall back to tiny deterministic
+            # jitter around the mean so units remain distinct.
+            jitter = np.linspace(-0.5, 0.5, grid.n_units)[:, None]
+            direction = vt[0] if vt.shape[0] >= 1 and s[0] > 0 else np.ones(dim) / np.sqrt(dim)
+            return mean + jitter * direction
+        scale = s[:2] / np.sqrt(max(data.shape[0] - 1, 1))
+        pos = grid.positions()
+        # Map grid coords to [-1, 1]^2.
+        extent = pos.max(axis=0) - pos.min(axis=0)
+        extent[extent == 0] = 1.0
+        uv = 2.0 * (pos - pos.min(axis=0)) / extent - 1.0
+        return mean + np.outer(uv[:, 0] * scale[0], vt[0]) + np.outer(uv[:, 1] * scale[1], vt[1])
+    raise ValueError(f"unknown init method {method!r} (use 'random' or 'linear')")

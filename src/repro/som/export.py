@@ -1,0 +1,71 @@
+"""Image export for SOM visualisations (no plotting dependencies).
+
+Figures 7-8 of the paper are images; these writers produce the same
+artifacts as portable Netpbm files — ``PGM`` (grayscale, for U-matrices)
+and ``PPM`` (colour, for RGB codebook maps) — viewable with any image tool
+and diffable in tests.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.som.codebook import SOMGrid
+
+__all__ = ["write_pgm", "write_ppm", "codebook_to_rgb"]
+
+
+def _normalise(matrix: np.ndarray) -> np.ndarray:
+    m = np.asarray(matrix, dtype=np.float64)
+    lo, hi = float(m.min()), float(m.max())
+    span = (hi - lo) or 1.0
+    return ((m - lo) / span * 255.0).round().astype(np.uint8)
+
+
+def write_pgm(matrix: np.ndarray, path: str | os.PathLike, invert: bool = False) -> str:
+    """Write a 2-D array as a binary PGM (min->black, max->white)."""
+    m = np.asarray(matrix)
+    if m.ndim != 2:
+        raise ValueError(f"PGM needs a 2-D array, got shape {m.shape}")
+    pixels = _normalise(m)
+    if invert:
+        pixels = 255 - pixels
+    path = os.fspath(path)
+    with open(path, "wb") as fh:
+        fh.write(f"P5\n{m.shape[1]} {m.shape[0]}\n255\n".encode("ascii"))
+        fh.write(pixels.tobytes())
+    return path
+
+
+def write_ppm(rgb: np.ndarray, path: str | os.PathLike) -> str:
+    """Write an (H, W, 3) array in [0, 1] or [0, 255] as a binary PPM."""
+    img = np.asarray(rgb, dtype=np.float64)
+    if img.ndim != 3 or img.shape[2] != 3:
+        raise ValueError(f"PPM needs an (H, W, 3) array, got shape {img.shape}")
+    if img.max() <= 1.0:
+        img = img * 255.0
+    pixels = np.clip(img, 0, 255).round().astype(np.uint8)
+    path = os.fspath(path)
+    with open(path, "wb") as fh:
+        fh.write(f"P6\n{img.shape[1]} {img.shape[0]}\n255\n".encode("ascii"))
+        fh.write(pixels.tobytes())
+    return path
+
+
+def codebook_to_rgb(grid: SOMGrid, codebook: np.ndarray, scale: int = 1) -> np.ndarray:
+    """An RGB image of a 3-dimensional codebook (Fig. 7's colour panel).
+
+    ``scale`` repeats each neuron into a scale x scale pixel block.
+    """
+    if codebook.shape != (grid.n_units, 3):
+        raise ValueError(
+            f"need a ({grid.n_units}, 3) RGB codebook, got {codebook.shape}"
+        )
+    if scale < 1:
+        raise ValueError(f"scale must be >= 1, got {scale}")
+    img = np.clip(codebook.reshape(grid.rows, grid.cols, 3), 0.0, 1.0)
+    if scale > 1:
+        img = np.repeat(np.repeat(img, scale, axis=0), scale, axis=1)
+    return img

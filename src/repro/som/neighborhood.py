@@ -1,0 +1,44 @@
+"""Neighbourhood kernels and the radius schedule (paper Eq. 4).
+
+The Gaussian kernel h_ci(t) = exp(−‖r_c − r_i‖² / σ(t)²) couples each
+neuron to the BMU; σ(t) "monotonically decreases as iteration goes from a
+value no less than half of the largest diagonal of the map to a value equal
+to the width of a single cell".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["gaussian_kernel", "bubble_kernel", "radius_schedule"]
+
+
+def gaussian_kernel(grid_sq_dists: np.ndarray, sigma: float) -> np.ndarray:
+    """exp(−d² / σ²) for an array of squared grid distances."""
+    if sigma <= 0:
+        raise ValueError(f"sigma must be positive, got {sigma}")
+    return np.exp(-grid_sq_dists / (sigma * sigma))
+
+
+def bubble_kernel(grid_sq_dists: np.ndarray, sigma: float) -> np.ndarray:
+    """1 inside radius σ, 0 outside (the cheap classic alternative)."""
+    if sigma <= 0:
+        raise ValueError(f"sigma must be positive, got {sigma}")
+    return (grid_sq_dists <= sigma * sigma).astype(np.float64)
+
+
+def radius_schedule(initial: float, final: float, epochs: int) -> np.ndarray:
+    """Linearly decreasing σ per epoch, from ``initial`` down to ``final``.
+
+    ``initial`` defaults in the trainers to half the grid diagonal and
+    ``final`` to 1.0 (one cell width), per the paper's description.
+    """
+    if epochs < 1:
+        raise ValueError(f"epochs must be >= 1, got {epochs}")
+    if initial < final:
+        raise ValueError(f"initial radius {initial} must be >= final {final}")
+    if final <= 0:
+        raise ValueError(f"final radius must be positive, got {final}")
+    if epochs == 1:
+        return np.array([initial], dtype=np.float64)
+    return np.linspace(initial, final, epochs)

@@ -1,0 +1,49 @@
+"""SOM quality measures: quantisation error and topographic error.
+
+Quantisation error (mean distance to the BMU) is the objective batch
+training drives down; topographic error (fraction of inputs whose two best
+units are not grid neighbours) measures topology preservation.  Both are
+the standard SOM health checks the test suite and the Fig. 7/8 benches use
+to assert the maps are "well-defined".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.som.bmu import pairwise_sq_distances
+from repro.som.codebook import SOMGrid
+
+__all__ = ["quantization_error", "topographic_error"]
+
+
+def quantization_error(data: np.ndarray, codebook: np.ndarray, chunk: int = 2048) -> float:
+    """Mean Euclidean distance from each input to its BMU."""
+    data = np.asarray(data, dtype=np.float64)
+    if data.shape[0] == 0:
+        raise ValueError("quantization error of an empty dataset is undefined")
+    total = 0.0
+    for start in range(0, data.shape[0], chunk):
+        d2 = pairwise_sq_distances(data[start : start + chunk], codebook)
+        total += np.sqrt(d2.min(axis=1)).sum()
+    return total / data.shape[0]
+
+
+def topographic_error(
+    data: np.ndarray, codebook: np.ndarray, grid: SOMGrid, chunk: int = 2048
+) -> float:
+    """Fraction of inputs whose best two units are not 4-neighbours."""
+    data = np.asarray(data, dtype=np.float64)
+    if data.shape[0] == 0:
+        raise ValueError("topographic error of an empty dataset is undefined")
+    if codebook.shape[0] != grid.n_units:
+        raise ValueError("codebook does not match grid size")
+    errors = 0
+    neighbor_sets = [set(grid.neighbors(k)) for k in range(grid.n_units)]
+    for start in range(0, data.shape[0], chunk):
+        d2 = pairwise_sq_distances(data[start : start + chunk], codebook)
+        order = np.argsort(d2, axis=1)[:, :2]
+        for first, second in order:
+            if int(second) not in neighbor_sets[int(first)]:
+                errors += 1
+    return errors / data.shape[0]

@@ -1,0 +1,99 @@
+"""U-matrix and component planes: the paper's SOM visualisations.
+
+Figures 7 and 8 present U-matrices of trained 50×50 maps.  The U-matrix
+value of a neuron is the mean distance between its weight vector and those
+of its grid neighbours; cluster interiors show low values, cluster
+boundaries show high "ridges".  ``umatrix`` returns the per-neuron (rows ×
+cols) form; ``umatrix_full`` the expanded (2r−1 × 2c−1) form with explicit
+between-neuron cells, as in classic U-matrix renderings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.som.codebook import SOMGrid
+
+__all__ = ["umatrix", "umatrix_full", "component_planes", "render_ascii"]
+
+
+def _weights_grid(grid: SOMGrid, codebook: np.ndarray) -> np.ndarray:
+    if codebook.shape[0] != grid.n_units:
+        raise ValueError(
+            f"codebook has {codebook.shape[0]} units, grid expects {grid.n_units}"
+        )
+    return codebook.reshape(grid.rows, grid.cols, -1)
+
+
+def umatrix(grid: SOMGrid, codebook: np.ndarray) -> np.ndarray:
+    """(rows, cols) mean weight distance from each unit to its neighbours.
+
+    Uses the grid's own adjacency, so hexagonal and toroidal topologies get
+    their 6-neighbour / wrapped U-matrices; the plain rectangular case runs
+    a fully vectorised path.
+    """
+    if grid.topology != "rect" or grid.periodic:
+        _weights_grid(grid, codebook)  # shape check
+        out = np.zeros(grid.n_units)
+        for k in range(grid.n_units):
+            neigh = grid.neighbors(k)
+            d = np.linalg.norm(codebook[neigh] - codebook[k], axis=1)
+            out[k] = d.mean() if len(neigh) else 0.0
+        return out.reshape(grid.rows, grid.cols)
+    w = _weights_grid(grid, codebook)
+    total = np.zeros((grid.rows, grid.cols))
+    count = np.zeros((grid.rows, grid.cols))
+    # vertical neighbour distances
+    if grid.rows > 1:
+        dv = np.linalg.norm(w[1:] - w[:-1], axis=2)
+        total[:-1] += dv
+        total[1:] += dv
+        count[:-1] += 1
+        count[1:] += 1
+    if grid.cols > 1:
+        dh = np.linalg.norm(w[:, 1:] - w[:, :-1], axis=2)
+        total[:, :-1] += dh
+        total[:, 1:] += dh
+        count[:, :-1] += 1
+        count[:, 1:] += 1
+    count[count == 0] = 1
+    return total / count
+
+
+def umatrix_full(grid: SOMGrid, codebook: np.ndarray) -> np.ndarray:
+    """Expanded (2r−1, 2c−1) U-matrix with explicit edge cells (rect only)."""
+    if grid.topology != "rect" or grid.periodic:
+        raise ValueError("umatrix_full supports plain rectangular grids only")
+    w = _weights_grid(grid, codebook)
+    rows, cols = grid.rows, grid.cols
+    out = np.zeros((2 * rows - 1, 2 * cols - 1))
+    if rows > 1:
+        out[1::2, 0::2] = np.linalg.norm(w[1:] - w[:-1], axis=2)
+    if cols > 1:
+        out[0::2, 1::2] = np.linalg.norm(w[:, 1:] - w[:, :-1], axis=2)
+    if rows > 1 and cols > 1:
+        d1 = np.linalg.norm(w[1:, 1:] - w[:-1, :-1], axis=2)
+        d2 = np.linalg.norm(w[1:, :-1] - w[:-1, 1:], axis=2)
+        out[1::2, 1::2] = 0.5 * (d1 + d2)
+    base = umatrix(grid, codebook)
+    out[0::2, 0::2] = base
+    return out
+
+
+def component_planes(grid: SOMGrid, codebook: np.ndarray) -> np.ndarray:
+    """(dim, rows, cols) view: one heat-map per input dimension."""
+    w = _weights_grid(grid, codebook)
+    return np.moveaxis(w, 2, 0)
+
+
+_SHADES = " .:-=+*#%@"
+
+
+def render_ascii(matrix: np.ndarray, width: int = 10) -> str:
+    """Terminal rendering of a U-matrix (dark = ridge), for the examples."""
+    m = np.asarray(matrix, dtype=np.float64)
+    lo, hi = float(m.min()), float(m.max())
+    span = (hi - lo) or 1.0
+    idx = ((m - lo) / span * (len(_SHADES) - 1)).astype(int)
+    del width
+    return "\n".join("".join(_SHADES[v] for v in row) for row in idx)

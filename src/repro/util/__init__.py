@@ -1,0 +1,17 @@
+"""Shared utilities: seeded RNG helpers, timers, rank-aware logging, units."""
+
+from repro.util.rng import derive_rng, spawn_rngs
+from repro.util.timer import Stopwatch, format_duration
+from repro.util.units import format_bytes, parse_bytes
+from repro.util.log import get_logger, rank_logger
+
+__all__ = [
+    "derive_rng",
+    "spawn_rngs",
+    "Stopwatch",
+    "format_duration",
+    "format_bytes",
+    "parse_bytes",
+    "get_logger",
+    "rank_logger",
+]

@@ -1,0 +1,68 @@
+"""Small timing helpers used by drivers, benchmarks and the DES harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Stopwatch", "format_duration"]
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch.
+
+    Usage::
+
+        sw = Stopwatch()
+        with sw:
+            work()
+        sw.elapsed  # seconds spent inside all `with` blocks so far
+    """
+
+    elapsed: float = 0.0
+    _start: float | None = field(default=None, repr=False)
+
+    def start(self) -> None:
+        if self._start is not None:
+            raise RuntimeError("Stopwatch already running")
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("Stopwatch not running")
+        dt = time.perf_counter() - self._start
+        self.elapsed += dt
+        self._start = None
+        return dt
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._start = None
+
+    @property
+    def running(self) -> bool:
+        return self._start is not None
+
+    def __enter__(self) -> "Stopwatch":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration the way the paper's charts label data points.
+
+    Sub-minute durations keep one decimal of seconds; longer durations use
+    minutes (the paper labels all data points in minutes).
+    """
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    if seconds < 60:
+        return f"{seconds:.1f}s"
+    minutes = seconds / 60.0
+    if minutes < 60:
+        return f"{minutes:.1f}min"
+    return f"{minutes / 60:.2f}h"

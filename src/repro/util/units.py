@@ -1,0 +1,41 @@
+"""Byte-size parsing and formatting (Lustre/RAM sizes appear all over)."""
+
+from __future__ import annotations
+
+__all__ = ["format_bytes", "parse_bytes", "KB", "MB", "GB", "TB"]
+
+KB = 1024
+MB = 1024**2
+GB = 1024**3
+TB = 1024**4
+
+_SUFFIXES = {"b": 1, "k": KB, "kb": KB, "m": MB, "mb": MB, "g": GB, "gb": GB, "t": TB, "tb": TB}
+
+
+def format_bytes(n: int | float) -> str:
+    """Human-readable byte count: ``format_bytes(3 * GB) == '3.0GB'``."""
+    n = float(n)
+    sign = "-" if n < 0 else ""
+    n = abs(n)
+    for unit, factor in (("TB", TB), ("GB", GB), ("MB", MB), ("KB", KB)):
+        if n >= factor:
+            return f"{sign}{n / factor:.1f}{unit}"
+    return f"{sign}{n:.0f}B"
+
+
+def parse_bytes(text: str | int | float) -> int:
+    """Parse ``'32GB'``, ``'1.5m'``, ``'4096'`` ... into an integer byte count."""
+    if isinstance(text, (int, float)):
+        return int(text)
+    s = text.strip().lower().replace(" ", "")
+    if not s:
+        raise ValueError("empty size string")
+    i = len(s)
+    while i > 0 and not (s[i - 1].isdigit() or s[i - 1] == "."):
+        i -= 1
+    num, suffix = s[:i], s[i:]
+    if not num:
+        raise ValueError(f"no numeric part in size string {text!r}")
+    if suffix and suffix not in _SUFFIXES:
+        raise ValueError(f"unknown size suffix {suffix!r} in {text!r}")
+    return int(float(num) * _SUFFIXES.get(suffix, 1))

@@ -1,0 +1,124 @@
+"""Translated search (blastx): frames, coordinate mapping, statistics."""
+
+import numpy as np
+import pytest
+
+from repro.bio import SeqRecord, random_genome, random_protein
+from repro.bio.seq import CODON_TABLE, reverse_complement
+from repro.blast import BlastOptions, DatabaseAlias, format_database
+from repro.blast.blastx import BlastxEngine, translated_frames
+from repro.blast.hsp import HSP
+
+
+def back_translate(protein: str) -> str:
+    """Deterministic codon per amino acid."""
+    by_aa: dict[str, str] = {}
+    for codon, aa in sorted(CODON_TABLE.items()):
+        by_aa.setdefault(aa, codon)
+    return "".join(by_aa[a] for a in protein)
+
+
+@pytest.fixture(scope="module")
+def protein_db(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("blastx")
+    target = random_protein(150, seed_or_rng=3)
+    decoy = random_protein(150, seed_or_rng=99)
+    alias = format_database(
+        [SeqRecord("prot_target", target), SeqRecord("decoy", decoy)],
+        tmp, "p", kind="protein",
+    )
+    return str(alias), target
+
+
+class TestTranslatedFrames:
+    def test_six_frames_for_stop_free_dna(self):
+        # Codons avoiding stop codons in frame +1 only; other frames vary.
+        rec = SeqRecord("r", back_translate(random_protein(60, seed_or_rng=1)))
+        frames = translated_frames(rec, min_aa=5)
+        signs = [s for s, _ in frames]
+        assert 1 in signs  # the encoding frame always survives
+        assert all(s in (1, 2, 3, -1, -2, -3) for s in signs)
+        for s, frec in frames:
+            assert frec.id.endswith(f"|frame{s:+d}")
+            assert len(frec.seq) >= 5
+
+    def test_short_frames_dropped(self):
+        rec = SeqRecord("tiny", "ATGTAA" * 2)  # stops everywhere
+        assert translated_frames(rec, min_aa=5) == []
+
+
+class TestBlastxSearch:
+    def _engine(self):
+        return BlastxEngine(BlastOptions.blastp(evalue=1e-8))
+
+    def test_forward_frame_hit_with_nt_coordinates(self, protein_db):
+        alias_path, target = protein_db
+        dna = back_translate(target)
+        # Shift by 1 base: the protein lies in frame +2.
+        query = SeqRecord("readF", "G" + dna + "AA")
+        part = DatabaseAlias.load(alias_path).open_partition(0)
+        hits = self._engine().search_block([query], part)
+        assert hits
+        best = hits[0]
+        assert best.subject_id == "prot_target"
+        assert best.frame == 2
+        assert best.strand == 1
+        # The aligned region in nt coordinates covers the encoded protein.
+        assert best.q_start >= 1
+        assert best.q_end <= 1 + 3 * len(target)
+        assert (best.q_end - best.q_start) == 3 * (best.s_end - best.s_start)
+        assert best.pident == 100.0
+
+    def test_reverse_frame_hit(self, protein_db):
+        alias_path, target = protein_db
+        dna = back_translate(target)
+        query = SeqRecord("readR", reverse_complement("AC" + dna))
+        part = DatabaseAlias.load(alias_path).open_partition(0)
+        hits = self._engine().search_block([query], part)
+        assert hits
+        best = hits[0]
+        assert best.strand == -1
+        assert best.frame < 0
+        assert best.subject_id == "prot_target"
+        # nt span must land inside the query and match 3x the aa span.
+        assert 0 <= best.q_start < best.q_end <= len(query.seq)
+        assert (best.q_end - best.q_start) == 3 * (best.s_end - best.s_start)
+
+    def test_unrelated_dna_no_hits(self, protein_db):
+        alias_path, _ = protein_db
+        part = DatabaseAlias.load(alias_path).open_partition(0)
+        query = SeqRecord("noise", random_genome(450, seed_or_rng=7))
+        assert self._engine().search_block([query], part) == []
+
+    def test_decoy_not_hit(self, protein_db):
+        alias_path, target = protein_db
+        query = SeqRecord("readF", back_translate(target))
+        part = DatabaseAlias.load(alias_path).open_partition(0)
+        hits = self._engine().search_block([query], part)
+        assert {h.subject_id for h in hits} == {"prot_target"}
+
+    def test_requires_protein_options(self):
+        with pytest.raises(ValueError, match="blastp-style options"):
+            BlastxEngine(BlastOptions.blastn())
+
+    def test_max_hits_applied_across_frames(self, protein_db, tmp_path):
+        alias_path, target = protein_db
+        # Many near-copies of the target -> more hits than max_hits.
+        copies = [SeqRecord(f"copy{i}", target) for i in range(6)]
+        alias2 = format_database(copies, tmp_path, "many", kind="protein")
+        part = DatabaseAlias.load(alias2).open_partition(0)
+        eng = BlastxEngine(BlastOptions.blastp(evalue=1e-8, max_hits=3))
+        hits = eng.search_block([SeqRecord("r", back_translate(target))], part)
+        assert len(hits) == 3
+
+
+class TestHspFrameField:
+    def test_translated_span_validation(self):
+        # 30 nt query span, 10 aa alignment columns: valid only with frame.
+        HSP("q", "s", 50, 25.0, 1e-9, 0, 30, 0, 10, 10, 10, frame=1)
+        with pytest.raises(ValueError):
+            HSP("q", "s", 50, 25.0, 1e-9, 0, 30, 0, 10, 10, 10, frame=0)
+
+    def test_invalid_frame_rejected(self):
+        with pytest.raises(ValueError):
+            HSP("q", "s", 50, 25.0, 1e-9, 0, 30, 0, 10, 10, 10, frame=4)

@@ -1,0 +1,59 @@
+"""Tabular round-trip of translated (blastx) hits."""
+
+import io
+
+from repro.blast.hsp import HSP
+from repro.blast.tabular import format_tabular, parse_tabular
+
+
+def test_blastx_hit_roundtrips_through_tabular():
+    original = HSP(
+        query_id="read1",
+        subject_id="prot",
+        score=500,
+        bit_score=198.2,
+        evalue=3.1e-52,
+        q_start=2,
+        q_end=452,   # 450 nt
+        s_start=10,
+        s_end=160,   # 150 aa
+        identities=120,
+        align_len=150,
+        gaps=0,
+        strand=1,
+        frame=2,
+    )
+    text = format_tabular([original])
+    parsed = next(iter(parse_tabular(io.StringIO(text))))
+    assert parsed.q_start == original.q_start
+    assert parsed.q_end == original.q_end
+    assert parsed.align_len == original.align_len
+    assert parsed.frame != 0  # recognised as translated
+    assert parsed.strand == 1
+
+
+def test_minus_frame_blastx_roundtrip():
+    original = HSP(
+        query_id="read2",
+        subject_id="prot",
+        score=300,
+        bit_score=120.0,
+        evalue=1e-30,
+        q_start=5,
+        q_end=305,
+        s_start=0,
+        s_end=100,
+        identities=90,
+        align_len=100,
+        strand=-1,
+        frame=-3,
+    )
+    parsed = next(iter(parse_tabular(io.StringIO(format_tabular([original])))))
+    assert parsed.strand == -1
+    assert parsed.frame == -1  # exact frame unknowable from 12 columns
+
+
+def test_untranslated_hit_keeps_frame_zero():
+    plain = HSP("q", "s", 100, 50.0, 1e-9, 0, 100, 0, 100, 95, 100)
+    parsed = next(iter(parse_tabular(io.StringIO(format_tabular([plain])))))
+    assert parsed.frame == 0

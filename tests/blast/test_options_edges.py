@@ -1,0 +1,138 @@
+"""Option validation and engine edge cases not covered elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.bio import SeqRecord, random_genome
+from repro.blast import (
+    BlastOptions,
+    DatabaseAlias,
+    format_database,
+    make_engine,
+)
+
+
+class TestBlastOptions:
+    def test_blastn_defaults(self):
+        o = BlastOptions.blastn()
+        assert o.program == "blastn"
+        assert o.word_size == 11
+        assert o.dust is True
+
+    def test_blastp_defaults(self):
+        o = BlastOptions.blastp()
+        assert o.word_size == 3
+        assert o.gap_open == 11 and o.gap_extend == 1
+        assert o.dust is False
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(program="tblastn"),
+            dict(word_size=1),
+            dict(reward=0),
+            dict(penalty=1),
+            dict(gap_open=-1),
+            dict(gap_extend=0),
+            dict(evalue=0.0),
+            dict(max_hits=0),
+            dict(band_width=0),
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            BlastOptions(**kwargs)
+
+    def test_blastp_large_word_rejected(self):
+        with pytest.raises(ValueError):
+            BlastOptions.blastp(word_size=7)
+
+    def test_with_db_size(self):
+        o = BlastOptions.blastn().with_db_size(10**9, 10**6)
+        assert o.db_length_override == 10**9
+        assert o.db_num_seqs_override == 10**6
+        with pytest.raises(ValueError):
+            o.with_db_size(0, 5)
+
+    def test_options_frozen(self):
+        o = BlastOptions.blastn()
+        with pytest.raises(AttributeError):
+            o.evalue = 1.0  # type: ignore[misc]
+
+
+class TestEngineEdges:
+    @pytest.fixture()
+    def small_db(self, tmp_path):
+        genome = random_genome(2000, seed_or_rng=60)
+        alias = format_database([SeqRecord("ref", genome)], tmp_path, "edge", kind="dna")
+        return DatabaseAlias.load(alias), genome
+
+    def test_query_with_ambiguity_codes(self, small_db):
+        alias, genome = small_db
+        noisy = "N" * 5 + genome[500:800] + "NN"
+        hits = make_engine(BlastOptions.blastn(evalue=1e-6)).search_block(
+            [SeqRecord("noisy", noisy)], alias.open_partition(0)
+        )
+        assert hits
+        assert hits[0].s_start >= 495
+
+    def test_query_shorter_than_word_size(self, small_db):
+        alias, _ = small_db
+        hits = make_engine(BlastOptions.blastn()).search_block(
+            [SeqRecord("tiny", "ACGTAC")], alias.open_partition(0)
+        )
+        assert hits == []
+
+    def test_alternate_word_size(self, small_db):
+        alias, genome = small_db
+        query = [SeqRecord("q", genome[100:300])]
+        for word in (8, 16):
+            hits = make_engine(BlastOptions.blastn(word_size=word, evalue=1e-8)).search_block(
+                query, alias.open_partition(0)
+            )
+            assert hits and hits[0].s_start == 100
+
+    def test_alternate_scoring_scheme(self, small_db):
+        alias, genome = small_db
+        opts = BlastOptions.blastn(reward=2, penalty=-3, evalue=1e-8)
+        hits = make_engine(opts).search_block(
+            [SeqRecord("q", genome[400:700])], alias.open_partition(0)
+        )
+        assert hits
+        assert hits[0].score == 2 * 300  # reward 2 per matched base
+
+    def test_both_strand_hits_reported(self, small_db):
+        from repro.bio.seq import reverse_complement
+
+        alias, genome = small_db
+        fwd = genome[100:400]
+        rev = reverse_complement(genome[1200:1500])
+        query = SeqRecord("chimera", fwd + "N" * 7 + rev)
+        hits = make_engine(BlastOptions.blastn(evalue=1e-8)).search_block(
+            [query], alias.open_partition(0)
+        )
+        strands = {h.strand for h in hits}
+        assert strands == {1, -1}
+
+    def test_dust_suppresses_low_complexity_query(self, small_db, tmp_path):
+        alias_poly = DatabaseAlias.load(
+            format_database([SeqRecord("polyA", "A" * 500)], tmp_path / "p", "poly", kind="dna")
+        )
+        query = [SeqRecord("qpoly", "A" * 300)]
+        with_dust = make_engine(BlastOptions.blastn(dust=True, evalue=10)).search_block(
+            query, alias_poly.open_partition(0)
+        )
+        without = make_engine(BlastOptions.blastn(dust=False, evalue=10)).search_block(
+            query, alias_poly.open_partition(0)
+        )
+        assert with_dust == []
+        assert without  # the masking, not the scoring, suppressed it
+
+    def test_duplicate_query_ids_allowed_but_grouped(self, small_db):
+        alias, genome = small_db
+        q = SeqRecord("dup", genome[100:350])
+        hits = make_engine(BlastOptions.blastn(evalue=1e-8, max_hits=5)).search_block(
+            [q, q], alias.open_partition(0)
+        )
+        # Both copies hit; reporting groups by id with top-K applied per id.
+        assert {h.query_id for h in hits} == {"dup"}

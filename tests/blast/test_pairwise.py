@@ -1,0 +1,149 @@
+"""Pairwise alignment rendering and the ops-string machinery behind it."""
+
+import pytest
+
+from repro.bio import SeqRecord, mutate_dna, random_genome, random_protein
+from repro.bio.alphabet import DNA
+from repro.bio.seq import reverse_complement
+from repro.blast import BlastOptions, DatabaseAlias, format_database, make_engine
+from repro.blast.gapped import extend_gapped
+from repro.blast.matrices import nucleotide_matrix
+from repro.blast.pairwise import align_ranges, render_pairwise
+
+NT = nucleotide_matrix(1, -2)
+
+
+class TestOpsString:
+    def test_perfect_match_all_m(self):
+        q = DNA.encode(random_genome(50, seed_or_rng=1))
+        g = extend_gapped(q, q, 25, 25, NT, 5, 2, xdrop=30, band=16)
+        assert g.ops == "M" * 50
+
+    def test_insertion_appears_as_d_run(self):
+        left = random_genome(40, seed_or_rng=2)
+        right = random_genome(40, seed_or_rng=3)
+        q = DNA.encode(left + right)
+        s = DNA.encode(left + "ACGTA" + right)
+        g = extend_gapped(q, s, 5, 5, NT, 5, 2, xdrop=40, band=32)
+        assert g.ops.count("D") == 5
+        assert "D" * 5 in g.ops
+        assert g.ops.count("M") == 80
+
+    def test_ops_consume_exactly_the_spans(self):
+        base = random_genome(150, seed_or_rng=4)
+        q = DNA.encode(base)
+        s = DNA.encode(mutate_dna(base, 0.08, seed_or_rng=5))
+        g = extend_gapped(q, s, 60, 60, NT, 5, 2, xdrop=40, band=48)
+        q_consumed = g.ops.count("M") + g.ops.count("I")
+        s_consumed = g.ops.count("M") + g.ops.count("D")
+        assert q_consumed == g.q_end - g.q_start
+        assert s_consumed == g.s_end - g.s_start
+        assert len(g.ops) == g.align_len
+
+
+class TestAlignRanges:
+    def test_recovers_full_range_alignment(self):
+        base = random_genome(120, seed_or_rng=6)
+        q = DNA.encode(base)
+        s = DNA.encode(mutate_dna(base, 0.05, seed_or_rng=7))
+        g = align_ranges(q, s, NT, 5, 2)
+        assert g is not None
+        assert g.q_start == 0 and g.s_start == 0
+        assert g.q_end >= 110  # covers essentially the whole range
+
+
+class TestRenderPairwise:
+    @pytest.fixture(scope="class")
+    def nt_hit(self, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("pw")
+        genome = random_genome(1200, seed_or_rng=8)
+        subj = mutate_dna(genome, 0.05, seed_or_rng=9)
+        alias = DatabaseAlias.load(
+            format_database([SeqRecord("subj", subj)], tmp, "pw", kind="dna")
+        )
+        query = SeqRecord("q", genome[200:500])
+        opts = BlastOptions.blastn(evalue=1e-6)
+        hits = make_engine(opts).search_block([query], alias.open_partition(0))
+        return hits[0], query.seq, subj, opts
+
+    def test_layout_and_statistics_line(self, nt_hit):
+        hsp, qseq, sseq, opts = nt_hit
+        text = render_pairwise(hsp, qseq, sseq, opts, width=60)
+        assert f"Identities = {hsp.identities}/{hsp.align_len}" in text
+        assert "Strand = Plus/Plus" in text
+        lines = text.splitlines()
+        q_lines = [l for l in lines if l.startswith("Query")]
+        s_lines = [l for l in lines if l.startswith("Sbjct")]
+        assert len(q_lines) == len(s_lines) >= 2
+
+    def test_rendered_residues_match_sources(self, nt_hit):
+        hsp, qseq, sseq, opts = nt_hit
+        text = render_pairwise(hsp, qseq, sseq, opts, width=50)
+        q_res = "".join(
+            l.split()[2] for l in text.splitlines() if l.startswith("Query")
+        ).replace("-", "")
+        s_res = "".join(
+            l.split()[2] for l in text.splitlines() if l.startswith("Sbjct")
+        ).replace("-", "")
+        assert q_res == qseq[hsp.q_start : hsp.q_end]
+        assert s_res == sseq[hsp.s_start : hsp.s_end]
+
+    def test_coordinates_are_one_based_and_contiguous(self, nt_hit):
+        hsp, qseq, sseq, opts = nt_hit
+        text = render_pairwise(hsp, qseq, sseq, opts, width=40)
+        q_lines = [l.split() for l in text.splitlines() if l.startswith("Query")]
+        assert int(q_lines[0][1]) == hsp.q_start + 1
+        assert int(q_lines[-1][3]) == hsp.q_end
+        for (_a, _s1, _seq, end), (_b, start, _seq2, _end2) in zip(q_lines, q_lines[1:]):
+            assert int(start) == int(end) + 1
+
+    def test_midline_marks_identities(self, nt_hit):
+        hsp, qseq, sseq, opts = nt_hit
+        text = render_pairwise(hsp, qseq, sseq, opts)
+        pipes = text.count("|")
+        assert pipes == hsp.identities
+
+    def test_minus_strand_rendering(self, tmp_path):
+        genome = random_genome(900, seed_or_rng=10)
+        alias = DatabaseAlias.load(
+            format_database([SeqRecord("fwd", genome)], tmp_path, "rc", kind="dna")
+        )
+        query = SeqRecord("rcq", reverse_complement(genome[300:600]))
+        opts = BlastOptions.blastn(evalue=1e-10)
+        hit = make_engine(opts).search_block([query], alias.open_partition(0))[0]
+        text = render_pairwise(hit, query.seq, genome, opts)
+        assert "Strand = Plus/Minus" in text
+        q_lines = [l.split() for l in text.splitlines() if l.startswith("Query")]
+        # Query coordinates descend on the minus strand.
+        assert int(q_lines[0][1]) > int(q_lines[-1][3])
+
+    def test_protein_midline_uses_plus_for_positives(self, tmp_path):
+        prot = random_protein(150, seed_or_rng=11)
+        alias = DatabaseAlias.load(
+            format_database([SeqRecord("p", prot)], tmp_path, "pp", kind="protein")
+        )
+        # Mutate a few residues so positives (non-identical, score>0) appear.
+        import numpy as np
+
+        rng = np.random.default_rng(3)
+        chars = list(prot)
+        for i in range(0, len(chars), 9):
+            chars[i] = "ARNDCQEGHILKMFPSTWYV"[rng.integers(0, 20)]
+        query = SeqRecord("qp", "".join(chars))
+        opts = BlastOptions.blastp(evalue=1e-6)
+        hit = make_engine(opts).search_block([query], alias.open_partition(0))[0]
+        text = render_pairwise(hit, query.seq, prot, opts)
+        assert text.count("|") == hit.identities
+
+    def test_translated_hsp_rejected(self, nt_hit):
+        from dataclasses import replace
+
+        hsp, qseq, sseq, opts = nt_hit
+        fake = replace(hsp, frame=1, q_start=0, q_end=3 * hsp.align_len)
+        with pytest.raises(ValueError, match="untranslated"):
+            render_pairwise(fake, qseq, sseq, opts)
+
+    def test_width_validation(self, nt_hit):
+        hsp, qseq, sseq, opts = nt_hit
+        with pytest.raises(ValueError):
+            render_pairwise(hsp, qseq, sseq, opts, width=5)

@@ -1,0 +1,144 @@
+"""The distributed seed-index prototype (§V's 'ground-breaking' idea)."""
+
+import pytest
+
+from repro.bio import (
+    SeqRecord,
+    random_genome,
+    shred_records,
+    synthetic_community,
+    synthetic_nt_database,
+)
+from repro.blast import BlastOptions, DatabaseAlias, format_database, make_engine
+from repro.blast.seedindex import DistributedSeedIndex
+from repro.mpi import run_spmd
+
+
+@pytest.fixture(scope="module")
+def workload(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("seedidx")
+    com = synthetic_community(n_genomes=3, genome_length=1800, seed=41)
+    db = synthetic_nt_database(com, n_decoys=2, decoy_length=1200, homolog_rate=0.04, seed=42)
+    alias_path = format_database(db, tmp, "nt", kind="dna", max_volume_bytes=1200)
+    reads = list(shred_records(com.genomes))[:6]
+    return str(alias_path), reads
+
+
+def _run_index(nprocs, alias_path, queries, **kwargs):
+    def main(comm):
+        alias = DatabaseAlias.load(alias_path)
+        index = DistributedSeedIndex(comm, alias, word_size=11)
+        stats = index.global_stats()
+        cands = index.candidates(queries, **kwargs)
+        return stats, cands
+
+    return run_spmd(nprocs, main)
+
+
+class TestBuild:
+    def test_global_postings_independent_of_rank_count(self, workload):
+        alias_path, reads = workload
+        (stats1, _), = _run_index(1, alias_path, reads[:1])[:1]
+        results4 = _run_index(4, alias_path, reads[:1])
+        stats4 = results4[0][0]
+        # Total postings = every word window of every DB sequence.
+        assert stats1[1] == stats4[1]
+        alias = DatabaseAlias.load(alias_path)
+        expected = sum(
+            max(alias.open_partition(p).lengths[i] - 11 + 1, 0)
+            for p in range(alias.num_partitions)
+            for i in range(alias.open_partition(p).num_seqs)
+        )
+        assert stats1[1] == expected
+
+    def test_protein_db_rejected(self, workload, tmp_path):
+        from repro.bio import synthetic_protein_database
+
+        _, db = synthetic_protein_database(n_families=1, members_per_family=1, length=50)
+        alias_path = format_database(db, tmp_path, "p", kind="protein")
+
+        def main(comm):
+            with pytest.raises(ValueError, match="nucleotide"):
+                DistributedSeedIndex(comm, DatabaseAlias.load(alias_path))
+            return True
+
+        assert run_spmd(1, main) == [True]
+
+    def test_word_size_validation(self, workload):
+        alias_path, _ = workload
+
+        def main(comm):
+            with pytest.raises(ValueError):
+                DistributedSeedIndex(comm, DatabaseAlias.load(alias_path), word_size=20)
+            return True
+
+        assert run_spmd(1, main) == [True]
+
+
+class TestCandidates:
+    def test_candidates_cover_engine_hits(self, workload):
+        """Index candidates must include every subject the engine reports."""
+        alias_path, reads = workload
+        alias = DatabaseAlias.load(alias_path)
+        opts = BlastOptions.blastn(evalue=1e-5).with_db_size(
+            alias.total_length, alias.num_seqs
+        )
+        engine = make_engine(opts)
+        engine_pairs = set()
+        for p in range(alias.num_partitions):
+            for h in engine.search_block(reads, alias.open_partition(p)):
+                engine_pairs.add((h.query_id, h.subject_id))
+
+        results = _run_index(3, alias_path, reads, min_word_hits=2)
+        cands = results[0][1]
+        cand_pairs = {
+            (qid, c.subject_id) for qid, cs in cands.items() for c in cs
+        }
+        assert engine_pairs, "workload must produce engine hits"
+        assert engine_pairs <= cand_pairs
+
+    def test_all_ranks_agree(self, workload):
+        alias_path, reads = workload
+        results = _run_index(3, alias_path, reads)
+        first = results[0][1]
+        for _stats, cands in results[1:]:
+            assert cands == first
+
+    def test_rank_count_invariance(self, workload):
+        alias_path, reads = workload
+        serial = _run_index(1, alias_path, reads)[0][1]
+        parallel = _run_index(4, alias_path, reads)[0][1]
+        assert set(serial) == set(parallel)
+        for qid in serial:
+            assert {(c.subject_id, c.strand) for c in serial[qid]} == {
+                (c.subject_id, c.strand) for c in parallel[qid]
+            }
+
+    def test_support_threshold_filters(self, workload):
+        alias_path, reads = workload
+        loose = _run_index(2, alias_path, reads, min_word_hits=1)[0][1]
+        strict = _run_index(2, alias_path, reads, min_word_hits=50)[0][1]
+        n_loose = sum(len(v) for v in loose.values())
+        n_strict = sum(len(v) for v in strict.values())
+        assert n_strict < n_loose
+        # Homolog candidates have massive word support; they survive.
+        assert any(
+            c.subject_id.startswith("db_genome") for v in strict.values() for c in v
+        )
+
+    def test_unrelated_query_has_no_strong_candidates(self, workload):
+        alias_path, _ = workload
+        noise = [SeqRecord("noise", random_genome(400, seed_or_rng=777))]
+        cands = _run_index(2, alias_path, noise, min_word_hits=3)[0][1]
+        assert cands.get("noise", []) == []
+
+    def test_min_word_hits_validation(self, workload):
+        alias_path, reads = workload
+
+        def main(comm):
+            index = DistributedSeedIndex(comm, DatabaseAlias.load(alias_path))
+            with pytest.raises(ValueError):
+                index.candidates(reads[:1], min_word_hits=0)
+            return True
+
+        assert run_spmd(1, main) == [True]

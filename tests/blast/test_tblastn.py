@@ -1,0 +1,111 @@
+"""tblastn: protein query vs translated nucleotide database."""
+
+import pytest
+
+from repro.bio import SeqRecord, random_genome, random_protein
+from repro.bio.seq import CODON_TABLE, reverse_complement
+from repro.blast import BlastOptions, DatabaseAlias, format_database
+from repro.blast.tblastn import TblastnEngine, TranslatedPartition
+
+
+def back_translate(protein: str) -> str:
+    by_aa: dict[str, str] = {}
+    for codon, aa in sorted(CODON_TABLE.items()):
+        by_aa.setdefault(aa, codon)
+    return "".join(by_aa[a] for a in protein)
+
+
+@pytest.fixture(scope="module")
+def dna_db(tmp_path_factory):
+    """Contigs embedding known protein-coding regions."""
+    tmp = tmp_path_factory.mktemp("tblastn")
+    proteins = [random_protein(120, seed_or_rng=i) for i in range(3)]
+    contigs = [
+        # gene on the plus strand at nt offset 30 (frame +1: 30 % 3 == 0)
+        SeqRecord("contigA", random_genome(30, seed_or_rng=1)
+                  + back_translate(proteins[0]) + random_genome(40, seed_or_rng=2)),
+        # gene on the minus strand
+        SeqRecord("contigB", reverse_complement(
+            random_genome(21, seed_or_rng=3) + back_translate(proteins[1])
+            + random_genome(33, seed_or_rng=4))),
+        SeqRecord("decoy", random_genome(400, seed_or_rng=5)),
+    ]
+    alias = format_database(contigs, tmp, "contigs", kind="dna")
+    return str(alias), proteins, contigs
+
+
+class TestTranslatedPartition:
+    def test_frames_and_stats(self, dna_db):
+        alias_path, _, contigs = dna_db
+        part = DatabaseAlias.load(alias_path).open_partition(0)
+        tr = TranslatedPartition(part)
+        virtual = list(tr)
+        assert all("|frame" in vid for vid, _ in virtual)
+        assert tr.num_seqs == 3
+        assert tr.total_length == sum(len(c.seq) for c in contigs) // 3
+        assert tr.nt_lengths["contigA"] == len(contigs[0].seq)
+
+    def test_protein_partition_rejected(self, tmp_path):
+        from repro.bio import synthetic_protein_database
+
+        _, db = synthetic_protein_database(n_families=1, members_per_family=1, length=40)
+        alias = format_database(db, tmp_path, "p", kind="protein")
+        part = DatabaseAlias.load(alias).open_partition(0)
+        with pytest.raises(ValueError, match="nucleotide"):
+            TranslatedPartition(part)
+
+
+class TestTblastnSearch:
+    def _engine(self, **kw):
+        return TblastnEngine(BlastOptions.blastp(evalue=1e-8, **kw))
+
+    def test_plus_strand_gene_located(self, dna_db):
+        alias_path, proteins, _ = dna_db
+        part = DatabaseAlias.load(alias_path).open_partition(0)
+        hits = self._engine().search_block([SeqRecord("q0", proteins[0])], part)
+        assert hits
+        best = hits[0]
+        assert best.subject_id == "contigA"
+        assert best.strand == 1 and best.frame > 0
+        # nt coordinates of the embedded gene: offset 30, length 360.
+        assert best.s_start == 30
+        assert best.s_end == 30 + 3 * 120
+        assert best.pident == 100.0
+
+    def test_minus_strand_gene_located(self, dna_db):
+        alias_path, proteins, contigs = dna_db
+        part = DatabaseAlias.load(alias_path).open_partition(0)
+        hits = self._engine().search_block([SeqRecord("q1", proteins[1])], part)
+        assert hits
+        best = hits[0]
+        assert best.subject_id == "contigB"
+        assert best.strand == -1 and best.frame < 0
+        L = len(contigs[1].seq)
+        # The gene occupies nt [33, 33+360) on the forward strand of contigB
+        # (reverse complement pushed the 33-base tail to the front).
+        assert best.s_start == 33
+        assert best.s_end == 33 + 3 * 120
+        assert 0 <= best.s_start < best.s_end <= L
+
+    def test_no_hits_in_decoy_only(self, dna_db):
+        alias_path, _, _ = dna_db
+        part = DatabaseAlias.load(alias_path).open_partition(0)
+        hits = self._engine().search_block(
+            [SeqRecord("qx", random_protein(120, seed_or_rng=50))], part
+        )
+        assert hits == []
+
+    def test_db_split_override_converted_to_aa(self, dna_db):
+        alias_path, proteins, _ = dna_db
+        alias = DatabaseAlias.load(alias_path)
+        opts = BlastOptions.blastp(evalue=1e-4).with_db_size(
+            alias.total_length, alias.num_seqs
+        )
+        engine = TblastnEngine(opts)
+        assert engine._inner.options.db_length_override == alias.total_length // 3
+        hits = engine.search_block([SeqRecord("q0", proteins[0])], alias.open_partition(0))
+        assert hits and hits[0].subject_id == "contigA"
+
+    def test_requires_protein_scoring(self):
+        with pytest.raises(ValueError, match="blastp-style"):
+            TblastnEngine(BlastOptions.blastn())

@@ -1,0 +1,91 @@
+"""DES dispatch internals: schedulers, traces, derived metrics."""
+
+import pytest
+
+from repro.cluster import nucleotide_workload, ranger, simulate_blast_run
+from repro.cluster.dispatch import _Scheduler
+
+
+class TestSchedulerClasses:
+    WL = nucleotide_workload(12_000)
+
+    def test_master_worker_exhausts_in_order(self):
+        s = _Scheduler(self.WL, "master_worker", workers=4, order="query_major")
+        first = s.next_unit(0, None)
+        assert first == (0, 0)
+        count = 1
+        while s.next_unit(0, None) is not None:
+            count += 1
+        assert count == self.WL.n_units
+        assert s.next_unit(0, None) is None  # stays exhausted
+
+    def test_static_partitioning_disjoint_and_complete(self):
+        workers = 8
+        s = _Scheduler(self.WL, "static", workers=workers)
+        seen = set()
+        for w in range(workers):
+            while True:
+                unit = s.next_unit(w, None)
+                if unit is None:
+                    break
+                assert unit not in seen
+                seen.add(unit)
+                # ownership rule: partition p belongs to worker p % workers
+                assert unit[1] % workers == w
+        assert len(seen) == self.WL.n_units
+
+    def test_affinity_feeds_current_partition_first(self):
+        s = _Scheduler(self.WL, "affinity", workers=4)
+        b, p = s.next_unit(0, None)
+        # With a current partition, the scheduler keeps serving it.
+        for _ in range(self.WL.n_blocks - 1):
+            b2, p2 = s.next_unit(0, p)
+            assert p2 == p
+        # Partition drained: next call claims a different partition.
+        _, p3 = s.next_unit(0, p)
+        assert p3 != p
+
+    def test_affinity_steals_when_claims_exhausted(self):
+        small = nucleotide_workload(12_000)
+        s = _Scheduler(small, "affinity", workers=4)
+        drained = 0
+        while s.next_unit(1, None) is not None:
+            drained += 1
+        assert drained == small.n_units
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            _Scheduler(self.WL, "round_robin", workers=2)
+
+
+class TestSimResultMetrics:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return simulate_blast_run(ranger(64), nucleotide_workload(12_000))
+
+    def test_makespan_composition(self, result):
+        assert result.makespan == pytest.approx(
+            result.map_makespan + result.collate_seconds + result.reduce_seconds
+        )
+
+    def test_core_seconds_and_per_query(self, result):
+        assert result.core_seconds == pytest.approx(result.makespan * 64)
+        expected = result.core_seconds / 60.0 / 12_000
+        assert result.core_minutes_per_query == pytest.approx(expected)
+
+    def test_traces_cover_workers(self, result):
+        assert len(result.traces) == result.cluster.workers
+        for t in result.traces:
+            assert t.io_seconds >= 0 and t.compute_seconds >= 0
+            for start, io_end, end in t.intervals:
+                assert start <= io_end <= end
+
+    def test_intervals_non_overlapping_per_worker(self, result):
+        for t in result.traces:
+            spans = sorted((s, e) for s, _m, e in t.intervals)
+            for (s1, e1), (s2, _e2) in zip(spans, spans[1:]):
+                assert s2 >= e1 - 1e-9
+
+    def test_busy_plus_idle_bounded_by_makespan(self, result):
+        for t in result.traces:
+            assert t.io_seconds + t.compute_seconds <= result.map_makespan + 1e-6

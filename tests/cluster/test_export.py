@@ -1,0 +1,37 @@
+"""CSV export of figure data."""
+
+import csv
+
+from repro.figures.export import export_all
+
+
+def test_export_all_writes_every_figure(tmp_path):
+    paths = export_all(str(tmp_path))
+    names = {p.rsplit("/", 1)[-1] for p in paths}
+    assert names == {
+        "fig3_blast_scaling.csv",
+        "fig4_block_size.csv",
+        "fig5_utilization.csv",
+        "protein_scaling.csv",
+        "fig6_som_scaling.csv",
+        "htc_comparison.csv",
+        "ablation_scheduling.csv",
+    }
+    # Every CSV parses and has data rows.
+    for path in paths:
+        with open(path, newline="") as fh:
+            rows = list(csv.reader(fh))
+        assert len(rows) >= 2, f"{path} has no data rows"
+        assert all(len(r) == len(rows[0]) for r in rows)
+
+
+def test_fig3_csv_contents(tmp_path):
+    export_all(str(tmp_path))
+    with open(tmp_path / "fig3_blast_scaling.csv", newline="") as fh:
+        rows = list(csv.DictReader(fh))
+    series = {r["series"] for r in rows}
+    assert "80K" in series and "12K" in series
+    eighty = [r for r in rows if r["series"] == "80K"]
+    assert [int(r["cores"]) for r in eighty] == [32, 64, 128, 256, 512, 1024]
+    walls = [float(r["wall_minutes"]) for r in eighty]
+    assert walls == sorted(walls, reverse=True)

@@ -1,0 +1,62 @@
+"""The §II.A fault-tolerance trade-off model."""
+
+import math
+
+import pytest
+
+from repro.cluster import nucleotide_workload, ranger, simulate_blast_run
+from repro.cluster.faults import FaultModel, compare_fault_costs
+
+
+class TestFaultModel:
+    def test_survival_formula(self):
+        m = FaultModel(failures_per_core_hour=1e-4)
+        assert m.job_survival(1000, 1.0) == pytest.approx(math.exp(-0.1))
+        assert m.job_survival(10, 0.0) == 1.0
+
+    def test_survival_decreases_with_scale_and_length(self):
+        m = FaultModel(failures_per_core_hour=1e-4)
+        assert m.job_survival(1024, 5.0) < m.job_survival(1024, 1.0)
+        assert m.job_survival(1024, 1.0) < m.job_survival(32, 1.0)
+
+    def test_expected_attempts_geometric(self):
+        m = FaultModel(failures_per_core_hour=1e-4)
+        p = m.job_survival(1000, 2.0)
+        assert m.expected_mpi_attempts(1000, 2.0) == pytest.approx(1.0 / p)
+
+    def test_htc_overhead_small_and_linear(self):
+        m = FaultModel(failures_per_core_hour=1e-4)
+        assert m.expected_htc_overhead_fraction(0.5) == pytest.approx(5e-5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultModel(failures_per_core_hour=-1)
+        m = FaultModel()
+        with pytest.raises(ValueError):
+            m.job_survival(0, 1.0)
+        with pytest.raises(ValueError):
+            m.expected_htc_overhead_fraction(-1)
+
+
+class TestComparison:
+    @pytest.fixture(scope="class")
+    def run(self):
+        return simulate_blast_run(ranger(256), nucleotide_workload(40_000))
+
+    def test_reliable_cluster_mpi_essentially_free(self, run):
+        cmp = compare_fault_costs(run, FaultModel(failures_per_core_hour=1e-7))
+        assert cmp.mpi_survival > 0.99
+        assert cmp.mpi_overhead_fraction < 0.01
+        assert cmp.htc_overhead_fraction < cmp.mpi_overhead_fraction + 1e-6
+
+    def test_flaky_cluster_punishes_mpi_more_than_htc(self, run):
+        cmp = compare_fault_costs(run, FaultModel(failures_per_core_hour=5e-3))
+        assert cmp.mpi_survival < 0.9
+        # MPI restarts whole jobs; HTC redoes single tasks.
+        assert cmp.mpi_overhead_fraction > 10 * cmp.htc_overhead_fraction
+
+    def test_base_core_hours_consistent(self, run):
+        cmp = compare_fault_costs(run)
+        assert cmp.base_core_hours == pytest.approx(run.core_seconds / 3600.0)
+        assert cmp.mpi_expected_core_hours >= cmp.base_core_hours
+        assert cmp.htc_expected_core_hours >= cmp.base_core_hours

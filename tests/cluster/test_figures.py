@@ -1,0 +1,97 @@
+"""The figures package: per-figure generators and the report builder."""
+
+import numpy as np
+import pytest
+
+from repro.figures import format_table
+from repro.figures.blast_scaling import (
+    fig3_blast_scaling,
+    fig4_block_size,
+    protein_scaling_result,
+)
+from repro.figures.comparisons import ablation_scheduling, htc_comparison
+from repro.figures.som_maps import fig7_rgb_clustering, fig8_highdim_umatrix
+from repro.figures.som_scaling import fig6_som_scaling
+from repro.figures.utilization import fig5_utilization
+
+SMALL_CORES = (32, 128)
+
+
+class TestFigureGenerators:
+    def test_fig3_structure(self):
+        series = fig3_blast_scaling(SMALL_CORES)
+        assert set(series) == {"12K", "40K", "80K", "80K/2000-blocks"}
+        for pts in series.values():
+            assert [p.cores for p in pts] == list(SMALL_CORES)
+            assert all(p.wall_minutes > 0 for p in pts)
+
+    def test_fig4_superlinear_point(self):
+        series = fig4_block_size(SMALL_CORES)
+        small = series["80 blocks x 1000"]
+        assert small[1].core_minutes_per_query < small[0].core_minutes_per_query
+        assert small[0].cache_hit_rate < 0.05 < small[1].cache_hit_rate
+
+    def test_fig5_trace_fields(self):
+        trace = fig5_utilization(cores=256, n_bins=30)
+        assert trace.minutes.shape == trace.utilization.shape == (30,)
+        assert 0 < trace.plateau <= 1.0
+        assert 0 < trace.taper_start_fraction <= 1.0
+
+    def test_fig6_anchor(self):
+        points = fig6_som_scaling((32, 1024))
+        assert points[0].efficiency_vs_32 == pytest.approx(1.0)
+        assert points[1].efficiency_vs_32 > 0.93
+
+    def test_protein_result_fields(self):
+        r = protein_scaling_result()
+        assert r.wall_512_minutes > r.wall_1024_minutes
+        assert r.extra_cost_percent == pytest.approx(
+            (r.core_min_per_query_ratio - 1) * 100
+        )
+
+    def test_fig7_small_map(self):
+        r = fig7_rgb_clustering(rows=8, cols=8, epochs=10)
+        assert r.codebook.shape == (64, 3)
+        assert r.neighbor_contrast < 0.5
+        assert r.umatrix.shape == (8, 8)
+
+    def test_fig8_small_map(self):
+        r = fig8_highdim_umatrix(rows=8, cols=8, n_vectors=200, dim=50, epochs=5)
+        assert r.codebook.shape == (64, 50)
+        assert np.isfinite(r.umatrix).all()
+        assert r.neighbor_contrast < 0.9
+
+    def test_htc_comparison_fields(self):
+        r = htc_comparison()
+        assert r.mrmpi_wall_minutes > 0
+        assert r.htc_longest_job_minutes > 0
+        assert 0.3 < r.wall_ratio < 3.0
+
+    def test_ablation_covers_all_schedulers(self):
+        pts = ablation_scheduling(n_queries=12_000, cores_list=(64,))
+        assert {p.scheduler for p in pts} == {
+            "master_worker", "affinity", "static", "glidein",
+        }
+        without = ablation_scheduling(
+            n_queries=12_000, cores_list=(64,), include_glidein=False
+        )
+        assert {p.scheduler for p in without} == {"master_worker", "affinity", "static"}
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        table = format_table(["a", "bbb"], [[1, 2], [333, 4]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all rows equally wide
+
+    def test_write_experiments_report(self, tmp_path):
+        from repro.figures.report import write_experiments_report
+
+        out = tmp_path / "exp.md"
+        text = write_experiments_report(str(out))
+        assert out.exists()
+        assert "Figure 3" in text
+        assert "Figure 6" in text
+        assert "167%" in text or "167 %" in text

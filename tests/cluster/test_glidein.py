@@ -1,0 +1,71 @@
+"""The glide-in (pilot-job) model from the paper's introduction."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.cluster import (
+    GlideinSpec,
+    nucleotide_workload,
+    ranger,
+    simulate_blast_run,
+    simulate_glidein_run,
+)
+
+
+class TestGlideinModel:
+    def test_work_conservation(self):
+        wl = nucleotide_workload(12_000)
+        r = simulate_glidein_run(ranger(64), wl)
+        assert sum(t.units for t in r.traces) == wl.n_units
+        assert r.scheduler == "glidein"
+
+    def test_determinism(self):
+        wl = nucleotide_workload(12_000)
+        a = simulate_glidein_run(ranger(64), wl)
+        b = simulate_glidein_run(ranger(64), wl)
+        assert a.makespan == b.makespan
+
+    def test_zero_overhead_glidein_close_to_mrmpi(self):
+        """With free scheduling, glide-in ~ master/worker (same work, and
+        one extra worker since no rank is sacrificed as master)."""
+        wl = nucleotide_workload(12_000)
+        free = GlideinSpec(scheduler_latency=0.0, fork_overhead=0.0,
+                           gateway_concurrency=10_000)
+        gl = simulate_glidein_run(ranger(64), wl, free)
+        mr = simulate_blast_run(ranger(64), wl)
+        assert gl.map_makespan <= mr.map_makespan * 1.05
+
+    def test_overhead_grows_as_units_shrink(self):
+        """The paper-relevant contrast: fine-grained units punish glide-ins."""
+        coarse = nucleotide_workload(40_000, queries_per_block=1000)
+        fine = replace(
+            nucleotide_workload(40_000, queries_per_block=200), name="fine"
+        )
+        cluster = ranger(128)
+        ratio_coarse = (
+            simulate_glidein_run(cluster, coarse).makespan
+            / simulate_blast_run(cluster, coarse).makespan
+        )
+        ratio_fine = (
+            simulate_glidein_run(cluster, fine).makespan
+            / simulate_blast_run(cluster, fine).makespan
+        )
+        assert ratio_fine > ratio_coarse
+        assert ratio_fine > 1.1
+
+    def test_gateway_concurrency_limits_dispatch(self):
+        wl = nucleotide_workload(12_000)
+        narrow = simulate_glidein_run(
+            ranger(256), wl, GlideinSpec(scheduler_latency=0.5, gateway_concurrency=4)
+        )
+        wide = simulate_glidein_run(
+            ranger(256), wl, GlideinSpec(scheduler_latency=0.5, gateway_concurrency=512)
+        )
+        assert narrow.makespan > wide.makespan
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            GlideinSpec(scheduler_latency=-1)
+        with pytest.raises(ValueError):
+            GlideinSpec(gateway_concurrency=0)

@@ -1,0 +1,90 @@
+"""SVG chart kit and figure plotting."""
+
+import xml.dom.minidom
+
+import pytest
+
+from repro.figures.svg import LineChart, Series, _log_ticks, _nice_ticks
+
+
+class TestSeries:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Series("bad", [1, 2], [1])
+        with pytest.raises(ValueError):
+            Series("empty", [], [])
+
+
+class TestTicks:
+    def test_nice_ticks_cover_range(self):
+        ticks = _nice_ticks(0.0, 103.0)
+        assert ticks[0] >= 0.0 and ticks[-1] <= 103.0
+        assert len(ticks) >= 2
+        steps = {round(b - a, 9) for a, b in zip(ticks, ticks[1:])}
+        assert len(steps) == 1  # uniform
+
+    def test_log_ticks_powers_of_ten(self):
+        ticks = _log_ticks(3.0, 5000.0)
+        assert ticks == [10.0, 100.0, 1000.0]
+
+    def test_log_ticks_degenerate_span(self):
+        ticks = _log_ticks(40.0, 90.0)  # no powers of ten inside
+        assert len(ticks) >= 2
+
+
+class TestLineChart:
+    def _chart(self, **kwargs):
+        chart = LineChart("T", "x", "y", **kwargs)
+        chart.add(Series("a", [1, 10, 100], [3.0, 2.0, 1.0]))
+        chart.add(Series("b", [1, 10, 100], [1.0, 2.0, 3.0]))
+        return chart
+
+    def test_renders_valid_xml_with_series(self):
+        svg = self._chart(x_log=True).render()
+        doc = xml.dom.minidom.parseString(svg)
+        assert len(doc.getElementsByTagName("polyline")) == 2
+        texts = [t.firstChild.nodeValue for t in doc.getElementsByTagName("text")
+                 if t.firstChild]
+        assert "T" in texts and "a" in texts and "b" in texts
+
+    def test_log_axis_rejects_nonpositive(self):
+        chart = LineChart("T", "x", "y", y_log=True)
+        with pytest.raises(ValueError):
+            chart.add(Series("z", [1, 2], [0.0, 1.0]))
+
+    def test_distinct_default_styles(self):
+        chart = self._chart()
+        assert chart.series[0].color != chart.series[1].color
+        assert chart.series[0].marker != chart.series[1].marker
+
+    def test_empty_chart_rejected(self):
+        with pytest.raises(ValueError):
+            LineChart("T", "x", "y").render()
+
+    def test_title_escaping(self):
+        chart = LineChart("a < b & c", "x", "y")
+        chart.add(Series("s", [1], [1]))
+        svg = chart.render()
+        assert "a &lt; b &amp; c" in svg
+        xml.dom.minidom.parseString(svg)
+
+    def test_write(self, tmp_path):
+        path = self._chart().write(str(tmp_path / "c.svg"))
+        assert open(path).read().startswith("<svg")
+
+
+class TestPlotAll:
+    def test_scaling_plots_written(self, tmp_path):
+        # Only the cheap SVG figures (7/8 retrain SOMs; covered elsewhere).
+        from repro.figures.plots import plot_fig3, plot_fig4, plot_fig5, plot_fig6
+
+        for plotter in (plot_fig3, plot_fig4, plot_fig5, plot_fig6):
+            path = plotter(str(tmp_path))
+            xml.dom.minidom.parse(path)  # valid XML
+
+    def test_fig7_images(self, tmp_path):
+        from repro.figures.plots import plot_fig7
+
+        ppm, pgm = plot_fig7(str(tmp_path), rows=8, cols=8, epochs=5)
+        assert open(ppm, "rb").read(2) == b"P6"
+        assert open(pgm, "rb").read(2) == b"P5"

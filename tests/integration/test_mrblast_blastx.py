@@ -1,0 +1,65 @@
+"""blastx end-to-end through the full MR-MPI pipeline."""
+
+import pytest
+
+from repro.bio import SeqRecord, random_protein
+from repro.bio.seq import CODON_TABLE, reverse_complement
+from repro.blast import BlastOptions, format_database
+from repro.core import MrBlastConfig, mrblast_spmd
+from repro.core.baselines import run_serial_blast
+from repro.core.mrblast.merge import collect_rank_hits
+
+
+def back_translate(protein: str) -> str:
+    by_aa: dict[str, str] = {}
+    for codon, aa in sorted(CODON_TABLE.items()):
+        by_aa.setdefault(aa, codon)
+    return "".join(by_aa[a] for a in protein)
+
+
+@pytest.fixture(scope="module")
+def blastx_workload(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("xmr")
+    proteins = [random_protein(160, seed_or_rng=i) for i in range(4)]
+    db = [SeqRecord(f"prot{i}", p) for i, p in enumerate(proteins)]
+    alias = format_database(db, tmp, "protdb", kind="protein", max_volume_bytes=2048)
+    reads = [
+        SeqRecord("readF0", "GG" + back_translate(proteins[0])),
+        SeqRecord("readR1", reverse_complement(back_translate(proteins[1]) + "A")),
+        SeqRecord("readF2", back_translate(proteins[2][:80])),
+    ]
+    blocks = [reads[:2], reads[2:]]
+    options = BlastOptions.blastx(evalue=1e-8, max_hits=5)
+    return str(alias), blocks, options
+
+
+def test_mrblast_blastx_equals_serial(blastx_workload, tmp_path):
+    alias, blocks, options = blastx_workload
+    serial = run_serial_blast(alias, blocks, options)
+    assert set(serial) == {"readF0", "readR1", "readF2"}
+
+    results = mrblast_spmd(3, MrBlastConfig(
+        alias_path=alias, query_blocks=blocks, options=options,
+        output_dir=str(tmp_path / "x"),
+    ))
+    merged = collect_rank_hits([r.output_path for r in results])
+    assert set(merged) == set(serial)
+    for qid in serial:
+        got = [(h.subject_id, h.q_start, h.q_end, h.strand) for h in merged[qid]]
+        want = [(h.subject_id, h.q_start, h.q_end, h.strand) for h in serial[qid]]
+        assert got == want
+
+
+def test_blastx_targets_correct_subjects(blastx_workload, tmp_path):
+    alias, blocks, options = blastx_workload
+    serial = run_serial_blast(alias, blocks, options)
+    assert serial["readF0"][0].subject_id == "prot0"
+    assert serial["readR1"][0].subject_id == "prot1"
+    assert serial["readR1"][0].strand == -1
+    assert serial["readF2"][0].subject_id == "prot2"
+
+
+def test_blastx_options_factory():
+    o = BlastOptions.blastx(evalue=1e-4)
+    assert o.program == "blastx"
+    assert o.word_size == 3 and o.gap_open == 11

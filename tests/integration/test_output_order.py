@@ -1,0 +1,53 @@
+"""Per-rank output files preserve the original query order (paper §III.A)."""
+
+import pytest
+
+from repro.bio import shred_records, synthetic_community, synthetic_nt_database
+from repro.blast import BlastOptions, format_database
+from repro.blast.tabular import parse_tabular
+from repro.core import MrBlastConfig, mrblast_spmd
+
+
+@pytest.fixture(scope="module")
+def run(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("order")
+    com = synthetic_community(n_genomes=3, genome_length=2000, seed=51)
+    db = synthetic_nt_database(com, n_decoys=2, decoy_length=1200, seed=52)
+    alias = format_database(db, tmp, "nt", kind="dna", max_volume_bytes=1400)
+    reads = list(shred_records(com.genomes))[:10]
+    blocks = [reads[i : i + 2] for i in range(0, len(reads), 2)]
+    results = mrblast_spmd(3, MrBlastConfig(
+        alias_path=str(alias), query_blocks=blocks,
+        options=BlastOptions.blastn(evalue=1e-4),
+        output_dir=str(tmp / "out"),
+    ))
+    return reads, results
+
+
+def test_queries_in_each_rank_file_follow_input_order(run):
+    reads, results = run
+    position = {r.id: i for i, r in enumerate(reads)}
+    saw_hits = False
+    for r in results:
+        qids = []
+        for h in parse_tabular(r.output_path):
+            if not qids or qids[-1] != h.query_id:
+                qids.append(h.query_id)
+        if qids:
+            saw_hits = True
+        assert len(set(qids)) == len(qids), "a query's hits must be contiguous"
+        indices = [position[q] for q in qids]
+        assert indices == sorted(indices), f"rank {r.rank} file out of input order"
+    assert saw_hits
+
+
+def test_hits_within_each_query_evalue_sorted(run):
+    _, results = run
+    for r in results:
+        current_q, last_e = None, None
+        for h in parse_tabular(r.output_path):
+            if h.query_id != current_q:
+                current_q, last_e = h.query_id, h.evalue
+            else:
+                assert h.evalue >= last_e
+                last_e = h.evalue

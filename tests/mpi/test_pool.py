@@ -1,0 +1,110 @@
+"""The MPIPool task farm."""
+
+import threading
+
+import pytest
+
+from repro.mpi import run_spmd
+from repro.mpi.pool import MPIPool
+
+
+def _with_pool(nprocs, body):
+    """Run `body(pool)` on rank 0 inside a pool; workers serve."""
+
+    def main(comm):
+        with MPIPool(comm) as pool:
+            if pool is not None:
+                return body(pool)
+            return "served"
+
+    return run_spmd(nprocs, main)
+
+
+class TestMap:
+    @pytest.mark.parametrize("nprocs", [1, 2, 4])
+    def test_squares_in_order(self, nprocs):
+        results = _with_pool(nprocs, lambda pool: pool.map(lambda x: x * x, range(25)))
+        assert results[0] == [x * x for x in range(25)]
+        assert all(r == "served" for r in results[1:])
+
+    def test_multiple_iterables(self):
+        results = _with_pool(
+            3, lambda pool: pool.map(lambda a, b: a + b, [1, 2, 3], [10, 20, 30])
+        )
+        assert results[0] == [11, 22, 33]
+
+    def test_starmap(self):
+        results = _with_pool(
+            3, lambda pool: pool.starmap(lambda a, b: a * b, [(2, 3), (4, 5)])
+        )
+        assert results[0] == [6, 20]
+
+    def test_empty_input(self):
+        assert _with_pool(2, lambda pool: pool.map(len, []))[0] == []
+        assert _with_pool(2, lambda pool: pool.starmap(len, []))[0] == []
+
+    def test_work_actually_distributed(self):
+        seen = set()
+        lock = threading.Lock()
+
+        def record(x):
+            with lock:
+                seen.add(threading.current_thread().name)
+            return x
+
+        _with_pool(4, lambda pool: pool.map(record, range(60)))
+        assert len(seen) >= 2  # multiple worker ranks participated
+
+    def test_consecutive_maps_reuse_pool(self):
+        def body(pool):
+            first = pool.map(lambda x: x + 1, range(5))
+            second = pool.map(lambda x: x * 2, range(5))
+            return (first, second)
+
+        first, second = _with_pool(3, body)[0]
+        assert first == [1, 2, 3, 4, 5]
+        assert second == [0, 2, 4, 6, 8]
+
+
+class TestErrors:
+    def test_worker_exception_propagates(self):
+        def explode(x):
+            if x == 7:
+                raise ValueError("bad item 7")
+            return x
+
+        def main(comm):
+            with MPIPool(comm) as pool:
+                if pool is not None:
+                    with pytest.raises(ValueError, match="bad item 7"):
+                        pool.map(explode, range(20))
+                    return True
+                return True
+
+        assert all(run_spmd(3, main))
+
+    def test_map_requires_context(self):
+        def main(comm):
+            pool = MPIPool(comm)
+            if comm.rank == 0:
+                with pytest.raises(RuntimeError, match="context manager"):
+                    pool.map(len, ["ab"])
+            # Enter properly so workers are released.
+            with pool as p:
+                if p is not None:
+                    return p.map(len, ["abc"])
+                return None
+
+        assert run_spmd(2, main)[0] == [3]
+
+    def test_map_after_shutdown_rejected(self):
+        def main(comm):
+            with MPIPool(comm) as pool:
+                if pool is not None:
+                    pool.shutdown()
+                    with pytest.raises(RuntimeError, match="shut down"):
+                        pool.map(len, ["x"])
+                    return True
+                return True
+
+        assert all(run_spmd(2, main))

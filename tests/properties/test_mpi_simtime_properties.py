@@ -1,0 +1,105 @@
+"""Property-based tests: MPI collectives and the DES kernel."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi import MAX, MIN, SUM, run_spmd
+from repro.simtime import Environment
+
+
+@given(
+    st.integers(1, 6),
+    st.lists(st.integers(-1000, 1000), min_size=1, max_size=6),
+)
+@settings(max_examples=25, deadline=None)
+def test_allreduce_matches_numpy(nprocs, values):
+    """allreduce over arbitrary per-rank values equals the numpy reduction."""
+    per_rank = [values[r % len(values)] for r in range(nprocs)]
+
+    def main(comm):
+        mine = per_rank[comm.rank]
+        return (
+            comm.allreduce(mine, op=SUM),
+            comm.allreduce(mine, op=MIN),
+            comm.allreduce(mine, op=MAX),
+        )
+
+    results = run_spmd(nprocs, main)
+    expected = (sum(per_rank), min(per_rank), max(per_rank))
+    assert results == [expected] * nprocs
+
+
+@given(st.integers(1, 6), st.integers(0, 5))
+@settings(max_examples=20, deadline=None)
+def test_bcast_from_any_root(nprocs, root_seed):
+    root = root_seed % nprocs
+
+    def main(comm):
+        payload = {"from": comm.rank} if comm.rank == root else None
+        return comm.bcast(payload, root=root)
+
+    assert run_spmd(nprocs, main) == [{"from": root}] * nprocs
+
+
+@given(st.integers(2, 6), st.data())
+@settings(max_examples=20, deadline=None)
+def test_alltoall_is_a_transpose(nprocs, data):
+    matrix = [
+        [data.draw(st.integers(0, 100)) for _ in range(nprocs)] for _ in range(nprocs)
+    ]
+
+    def main(comm):
+        return comm.alltoall(matrix[comm.rank])
+
+    results = run_spmd(nprocs, main)
+    for dst in range(nprocs):
+        assert results[dst] == [matrix[src][dst] for src in range(nprocs)]
+
+
+@given(st.lists(st.floats(min_value=0.001, max_value=100.0, allow_nan=False),
+                min_size=1, max_size=20))
+@settings(max_examples=50, deadline=None)
+def test_des_fires_events_in_time_order(delays):
+    env = Environment()
+    fired: list[tuple[float, int]] = []
+
+    def proc(env, idx, delay):
+        yield env.timeout(delay)
+        fired.append((env.now, idx))
+
+    for i, d in enumerate(delays):
+        env.process(proc(env, i, d))
+    env.run()
+    times = [t for t, _ in fired]
+    assert times == sorted(times)
+    assert len(fired) == len(delays)
+    assert env.now == max(delays)
+    # Simultaneous events fire in schedule order.
+    for (t1, i1), (t2, i2) in zip(fired, fired[1:]):
+        if t1 == t2:
+            assert i1 < i2
+
+
+@given(st.lists(st.floats(min_value=0.01, max_value=10.0, allow_nan=False),
+                min_size=1, max_size=12),
+       st.integers(1, 4))
+@settings(max_examples=40, deadline=None)
+def test_des_resource_serialises_work(durations, capacity):
+    """With capacity c, makespan >= total/c and >= longest job."""
+    from repro.simtime import Resource
+
+    env = Environment()
+    res = Resource(env, capacity=capacity)
+
+    def job(env, d):
+        yield res.request()
+        yield env.timeout(d)
+        res.release()
+
+    for d in durations:
+        env.process(job(env, d))
+    env.run()
+    assert env.now >= max(durations) - 1e-9
+    assert env.now >= sum(durations) / capacity - 1e-9
+    assert env.now <= sum(durations) + 1e-9

@@ -1,0 +1,91 @@
+"""Property-based tests: SOM invariants and bio workload invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.bio import SeqRecord, kmer_frequencies, shred_record
+from repro.som.batch import accumulate_batch, batch_update
+from repro.som.bmu import best_matching_units, pairwise_sq_distances
+from repro.som.codebook import SOMGrid, init_codebook
+from repro.som.neighborhood import gaussian_kernel
+
+small_floats = st.floats(min_value=-10, max_value=10, allow_nan=False, width=64)
+
+
+def data_matrices(min_rows=1, max_rows=30, dim=4):
+    return arrays(np.float64, st.tuples(st.integers(min_rows, max_rows), st.just(dim)),
+                  elements=small_floats)
+
+
+@given(data_matrices(min_rows=2), st.integers(2, 5), st.integers(2, 5))
+@settings(max_examples=50, deadline=None)
+def test_batch_update_stays_in_data_hull(data, rows, cols):
+    """Eq. 5 weights are convex combinations of inputs: new weights lie in
+    the per-dimension bounding box of the data (touched units only)."""
+    grid = SOMGrid(rows, cols)
+    codebook = init_codebook(grid, data, method="random", seed_or_rng=1)
+    kernel = gaussian_kernel(grid.grid_sq_distances(), 2.0)
+    num, denom = accumulate_batch(data, codebook, kernel)
+    new = batch_update(codebook, num, denom)
+    lo, hi = data.min(axis=0), data.max(axis=0)
+    touched = denom > 0
+    assert (new[touched] >= lo - 1e-6).all()
+    assert (new[touched] <= hi + 1e-6).all()
+
+
+@given(data_matrices(min_rows=4), st.integers(1, 4))
+@settings(max_examples=50, deadline=None)
+def test_accumulation_partition_invariance(data, n_parts):
+    grid = SOMGrid(3, 3)
+    codebook = init_codebook(grid, data, method="random", seed_or_rng=2)
+    kernel = gaussian_kernel(grid.grid_sq_distances(), 1.5)
+    whole_num, whole_den = accumulate_batch(data, codebook, kernel)
+    part_num, part_den = None, None
+    for chunk in np.array_split(data, n_parts):
+        part_num, part_den = accumulate_batch(chunk, codebook, kernel, part_num, part_den)
+    np.testing.assert_allclose(whole_num, part_num, atol=1e-9)
+    np.testing.assert_allclose(whole_den, part_den, atol=1e-9)
+
+
+@given(data_matrices(min_rows=3))
+@settings(max_examples=50, deadline=None)
+def test_bmu_is_the_true_argmin(data):
+    codebook = data[: max(2, data.shape[0] // 2)].copy() + 0.25
+    bmus = best_matching_units(data, codebook)
+    d2 = pairwise_sq_distances(data, codebook)
+    for i, b in enumerate(bmus):
+        assert d2[i, b] <= d2[i].min() + 1e-9
+
+
+@given(st.text(alphabet="ACGT", min_size=1, max_size=900),
+       st.integers(50, 400), st.integers(0, 40))
+@settings(max_examples=60, deadline=None)
+def test_shred_reconstructs_and_respects_bounds(seq, fragment, overlap):
+    overlap = min(overlap, fragment - 1)
+    rec = SeqRecord("g", seq)
+    frags = list(shred_record(rec, fragment=fragment, overlap=overlap))
+    assert frags, "at least one fragment always emitted for non-empty input"
+    # Every fragment is a verbatim slice at its declared coordinates.
+    rebuilt_end = 0
+    for f in frags:
+        coords = f.id.rsplit("/", 1)[1]
+        start, end = (int(x) for x in coords.split("-"))
+        assert seq[start:end] == f.seq
+        assert len(f.seq) <= fragment
+        rebuilt_end = max(rebuilt_end, end)
+    assert rebuilt_end == len(seq)  # full coverage to the final base
+    step = fragment - overlap
+    starts = [int(f.id.rsplit("/", 1)[1].split("-")[0]) for f in frags]
+    assert all(b - a == step for a, b in zip(starts, starts[1:]))
+
+
+@given(st.text(alphabet="ACGTN", min_size=0, max_size=300), st.integers(1, 5))
+@settings(max_examples=60, deadline=None)
+def test_kmer_counts_sum_to_window_count(seq, k):
+    counts = kmer_frequencies(seq, k=k, normalize=False)
+    expected = max(len(seq) - k + 1, 0)
+    assert counts.sum() == expected
+    assert counts.shape == (4**k,)
+    assert (counts >= 0).all()

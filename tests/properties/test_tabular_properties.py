@@ -1,0 +1,77 @@
+"""Property-based round-trip of the tabular format over arbitrary HSPs."""
+
+import io
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.blast.hsp import HSP
+from repro.blast.tabular import format_tabular, parse_tabular
+
+
+@st.composite
+def hsps(draw):
+    strand = draw(st.sampled_from([1, -1]))
+    q_start = draw(st.integers(0, 5000))
+    q_span = draw(st.integers(1, 2000))
+    s_start = draw(st.integers(0, 5000))
+    # A one-base subject span prints s_first == s_last, making the strand
+    # unrecoverable from the 12-column format (true of real BLAST output
+    # too) — keep minus-strand spans >= 2.
+    s_span = draw(st.integers(2 if strand == -1 else 1, 2000))
+    align_len = max(q_span, s_span) + draw(st.integers(0, 50))
+    identities = draw(st.integers(0, align_len))
+    gaps = draw(st.integers(0, align_len - identities))
+    return HSP(
+        query_id=draw(st.text(alphabet="abcXYZ019_.|/", min_size=1, max_size=24)),
+        subject_id=draw(st.text(alphabet="abcXYZ019_.", min_size=1, max_size=24)),
+        score=draw(st.integers(1, 10**6)),
+        bit_score=draw(st.floats(min_value=0.1, max_value=1e5, allow_nan=False)),
+        evalue=draw(st.floats(min_value=0.0, max_value=10.0, allow_nan=False)),
+        q_start=q_start,
+        q_end=q_start + q_span,
+        s_start=s_start,
+        s_end=s_start + s_span,
+        identities=identities,
+        align_len=align_len,
+        gaps=gaps,
+        strand=strand,
+    )
+
+
+@given(st.lists(hsps(), min_size=1, max_size=10))
+@settings(max_examples=120, deadline=None)
+def test_tabular_roundtrip_preserves_everything_recoverable(records):
+    # Tab is the column separator; ids cannot contain it (enforced upstream
+    # by FASTA id rules), and these generated ids never do.
+    text = format_tabular(records)
+    parsed = list(parse_tabular(io.StringIO(text)))
+    assert len(parsed) == len(records)
+    for orig, back in zip(records, parsed):
+        assert back.query_id == orig.query_id
+        assert back.subject_id == orig.subject_id
+        assert back.q_start == orig.q_start and back.q_end == orig.q_end
+        assert back.s_start == orig.s_start and back.s_end == orig.s_end
+        assert back.strand == orig.strand
+        assert back.align_len == orig.align_len
+        assert back.gaps == orig.gaps
+        assert abs(back.bit_score - orig.bit_score) <= 0.05 + 1e-9
+        if orig.evalue > 0:
+            assert back.evalue > 0
+            # >= 1e-3 prints with 4 significant digits, below with 7.
+            tol = 1e-3 if orig.evalue >= 1e-3 else 1e-5
+            assert abs(back.evalue - orig.evalue) / orig.evalue < tol
+        else:
+            assert back.evalue == 0.0
+        # identities round-trip through pident with bounded error
+        assert abs(back.identities - orig.identities) <= max(
+            1, orig.align_len * 5e-5
+        )
+
+
+@given(hsps())
+@settings(max_examples=100, deadline=None)
+def test_every_line_has_twelve_columns(h):
+    from repro.blast.tabular import format_tabular_line
+
+    assert len(format_tabular_line(h).split("\t")) == 12

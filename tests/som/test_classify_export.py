@@ -1,0 +1,132 @@
+"""Semi-supervised classification and image export."""
+
+import numpy as np
+import pytest
+
+from repro.som import (
+    BatchSOM,
+    SOMGrid,
+    classify,
+    codebook_to_rgb,
+    label_units,
+    propagate_labels,
+    write_pgm,
+    write_ppm,
+)
+
+
+@pytest.fixture(scope="module")
+def trained_two_cluster():
+    rng = np.random.default_rng(5)
+    a = rng.normal(0.2, 0.03, size=(80, 4))
+    b = rng.normal(0.8, 0.03, size=(80, 4))
+    data = np.vstack([a, b])
+    labels = ["A"] * 80 + ["B"] * 80
+    grid = SOMGrid(8, 8)
+    codebook = BatchSOM(grid, dim=4).train(data, epochs=15)
+    return data, labels, grid, codebook
+
+
+class TestLabelUnits:
+    def test_majority_labels_and_empty_units(self, trained_two_cluster):
+        data, labels, grid, codebook = trained_two_cluster
+        unit_labels = label_units(data, labels, codebook, grid)
+        assert len(unit_labels) == grid.n_units
+        present = {lab for lab in unit_labels if lab is not None}
+        assert present == {"A", "B"}
+        assert None in unit_labels  # transition units get no vectors
+
+    def test_length_mismatch(self, trained_two_cluster):
+        data, labels, grid, codebook = trained_two_cluster
+        with pytest.raises(ValueError):
+            label_units(data, labels[:-1], codebook, grid)
+
+
+class TestPropagate:
+    def test_fills_all_units_from_neighbours(self, trained_two_cluster):
+        data, labels, grid, codebook = trained_two_cluster
+        unit_labels = label_units(data, labels, codebook, grid)
+        full = propagate_labels(unit_labels, grid)
+        assert None not in full
+        # Propagation never flips an existing label.
+        for orig, new in zip(unit_labels, full):
+            if orig is not None:
+                assert new == orig
+
+    def test_spatial_propagation(self):
+        grid = SOMGrid(1, 5)
+        filled = propagate_labels(["L", None, None, None, "R"], grid)
+        assert filled == ["L", "L", "L", "R", "R"]  # tie at centre -> lowest index
+
+    def test_no_labels_raises(self):
+        with pytest.raises(ValueError, match="no labelled units"):
+            propagate_labels([None, None], SOMGrid(1, 2))
+
+    def test_wrong_length(self):
+        with pytest.raises(ValueError):
+            propagate_labels(["A"], SOMGrid(2, 2))
+
+
+class TestClassify:
+    def test_holdout_accuracy(self, trained_two_cluster):
+        data, labels, grid, codebook = trained_two_cluster
+        unit_labels = label_units(data, labels, codebook, grid)
+        rng = np.random.default_rng(9)
+        test_a = rng.normal(0.2, 0.03, size=(30, 4))
+        test_b = rng.normal(0.8, 0.03, size=(30, 4))
+        predictions = classify(np.vstack([test_a, test_b]), codebook, unit_labels, grid)
+        truth = ["A"] * 30 + ["B"] * 30
+        accuracy = np.mean([p == t for p, t in zip(predictions, truth)])
+        assert accuracy > 0.95
+
+    def test_without_propagation_can_abstain(self, trained_two_cluster):
+        data, labels, grid, codebook = trained_two_cluster
+        unit_labels = label_units(data, labels, codebook, grid)
+        mid = np.full((5, 4), 0.5)  # between the clusters
+        preds = classify(mid, codebook, unit_labels, grid, propagate=False)
+        assert len(preds) == 5  # may include None; must not crash
+
+    def test_empty_input(self, trained_two_cluster):
+        data, labels, grid, codebook = trained_two_cluster
+        unit_labels = label_units(data, labels, codebook, grid)
+        assert classify(np.zeros((0, 4)), codebook, unit_labels, grid) == []
+
+
+class TestExport:
+    def test_pgm_roundtrip_header_and_size(self, tmp_path):
+        m = np.arange(12, dtype=float).reshape(3, 4)
+        path = write_pgm(m, tmp_path / "u.pgm")
+        blob = open(path, "rb").read()
+        assert blob.startswith(b"P5\n4 3\n255\n")
+        pixels = blob.split(b"255\n", 1)[1]
+        assert len(pixels) == 12
+        assert pixels[0] == 0 and pixels[-1] == 255
+
+    def test_pgm_invert(self, tmp_path):
+        m = np.array([[0.0, 1.0]])
+        normal = open(write_pgm(m, tmp_path / "a.pgm"), "rb").read()[-2:]
+        inverted = open(write_pgm(m, tmp_path / "b.pgm", invert=True), "rb").read()[-2:]
+        assert normal == bytes([0, 255])
+        assert inverted == bytes([255, 0])
+
+    def test_pgm_rejects_non_2d(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_pgm(np.zeros(5), tmp_path / "x.pgm")
+
+    def test_ppm_from_codebook(self, tmp_path):
+        grid = SOMGrid(4, 5)
+        codebook = np.random.default_rng(0).random((20, 3))
+        img = codebook_to_rgb(grid, codebook, scale=2)
+        assert img.shape == (8, 10, 3)
+        path = write_ppm(img, tmp_path / "map.ppm")
+        blob = open(path, "rb").read()
+        assert blob.startswith(b"P6\n10 8\n255\n")
+        assert len(blob.split(b"255\n", 1)[1]) == 8 * 10 * 3
+
+    def test_ppm_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_ppm(np.zeros((3, 3)), tmp_path / "bad.ppm")
+        with pytest.raises(ValueError):
+            codebook_to_rgb(SOMGrid(2, 2), np.zeros((4, 5)))
+        with pytest.raises(ValueError):
+            codebook_to_rgb(SOMGrid(2, 2), np.zeros((4, 3)), scale=0)

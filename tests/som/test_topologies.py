@@ -1,0 +1,98 @@
+"""Hexagonal and toroidal SOM grid topologies."""
+
+import numpy as np
+import pytest
+
+from repro.som import BatchSOM, SOMGrid, quantization_error, topographic_error, umatrix
+from repro.som.umatrix import umatrix_full
+
+
+class TestHexGrid:
+    def test_interior_unit_has_six_equidistant_neighbors(self):
+        g = SOMGrid(6, 6, topology="hex")
+        center = 3 * 6 + 3
+        neigh = g.neighbors(center)
+        assert len(neigh) == 6
+        pos = g.positions()
+        dists = np.linalg.norm(pos[neigh] - pos[center], axis=1)
+        np.testing.assert_allclose(dists, 1.0, atol=1e-9)
+
+    def test_corner_units_have_fewer_neighbors(self):
+        g = SOMGrid(5, 5, topology="hex")
+        assert 2 <= len(g.neighbors(0)) <= 3
+
+    def test_row_spacing_compressed(self):
+        g = SOMGrid(4, 4, topology="hex")
+        pos = g.positions()
+        assert pos[4, 0] == pytest.approx(np.sqrt(3) / 2)
+        assert pos[4 + 1, 1] == pytest.approx(1.5)  # odd row shifted by 0.5
+
+    def test_neighbor_relation_symmetric(self):
+        g = SOMGrid(5, 7, topology="hex")
+        for k in range(g.n_units):
+            for n in g.neighbors(k):
+                assert k in g.neighbors(n)
+
+    def test_training_on_hex_grid_works(self):
+        data = np.random.default_rng(2).random((150, 3))
+        grid = SOMGrid(8, 8, topology="hex")
+        cb = BatchSOM(grid, dim=3).train(data, epochs=12)
+        assert quantization_error(data, cb) < 0.15
+        assert topographic_error(data, cb, grid) < 0.25
+        u = umatrix(grid, cb)
+        assert u.shape == (8, 8)
+        assert np.isfinite(u).all() and (u > 0).all()
+
+    def test_umatrix_full_rejected_on_hex(self):
+        g = SOMGrid(3, 3, topology="hex")
+        with pytest.raises(ValueError):
+            umatrix_full(g, np.zeros((9, 2)))
+
+
+class TestToroidalGrid:
+    def test_every_unit_has_four_neighbors(self):
+        g = SOMGrid(4, 5, periodic=True)
+        for k in range(g.n_units):
+            assert len(g.neighbors(k)) == 4
+
+    def test_wraparound_adjacency(self):
+        g = SOMGrid(4, 5, periodic=True)
+        # Unit (0, 0) is adjacent to (3, 0) and (0, 4) across the seams.
+        assert 3 * 5 + 0 in g.neighbors(0)
+        assert 0 * 5 + 4 in g.neighbors(0)
+
+    def test_distances_wrap(self):
+        g = SOMGrid(8, 8, periodic=True)
+        d2 = g.grid_sq_distances()
+        # Opposite corners are 2 steps apart on the torus, not ~9.9.
+        assert d2[0, 7 * 8 + 7] == pytest.approx(2.0)
+        np.testing.assert_array_equal(d2, d2.T)
+        assert d2.max() <= 2 * (4**2)
+
+    def test_diagonal_reflects_torus(self):
+        g = SOMGrid(10, 10, periodic=True)
+        assert g.diagonal == pytest.approx(np.hypot(5, 5))
+
+    def test_training_and_umatrix(self):
+        data = np.random.default_rng(3).random((120, 3))
+        grid = SOMGrid(7, 7, periodic=True)
+        cb = BatchSOM(grid, dim=3).train(data, epochs=10)
+        assert quantization_error(data, cb) < 0.2
+        u = umatrix(grid, cb)
+        assert u.shape == (7, 7) and (u > 0).all()
+
+    def test_hex_periodic_combination_rejected(self):
+        with pytest.raises(ValueError):
+            SOMGrid(4, 4, topology="hex", periodic=True)
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ValueError):
+            SOMGrid(4, 4, topology="triangular")
+
+
+class TestBackwardCompatibility:
+    def test_default_grid_unchanged(self):
+        g = SOMGrid(3, 4)
+        assert g.topology == "rect" and not g.periodic
+        assert g.diagonal == pytest.approx(np.hypot(2, 3))
+        assert sorted(g.neighbors(5)) == [1, 4, 6, 9]
