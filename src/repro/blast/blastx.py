@@ -73,6 +73,19 @@ class BlastxEngine:
     def last_stats(self):
         return self._inner.last_stats
 
+    @property
+    def lookup_cache(self):
+        return self._inner.lookup_cache
+
+    def set_lookup_cache(self, cache) -> None:
+        """Forward the cross-partition lookup cache to the inner engine.
+
+        Frame records are re-derived per call, but the cache key is content
+        based (id, length, string hash), so identical queries hit across
+        partitions regardless.
+        """
+        self._inner.set_lookup_cache(cache)
+
     def search_block(
         self, queries: Sequence[SeqRecord], partition: DbPartition
     ) -> list[HSP]:

@@ -12,13 +12,28 @@ past this lookup table" (paper §II.B).  This module is that machinery:
   remote homologies (and why protein search examines many more candidate
   matches — the CPU-bound behaviour the paper's Fig. 5 relies on).
 
+The word table is a flat CSR (compressed sparse row) layout: one sorted
+array of distinct word ids, one offsets array, and one concatenated
+postings array of query positions.  ``scan()`` is then a pure
+``np.searchsorted`` join — pack the subject's words, binary-search them
+against the word array, and gather the postings ranges — with no
+Python-level loop over matching windows.  The per-work-unit fixed cost of
+building the table is what the paper's Fig. 4/Fig. 5 block-size analysis is
+about, so the builders are vectorised end to end and whole tables can be
+reused across DB partitions through :class:`LookupCache`.
+
+:class:`ReferenceNucleotideLookup` / :class:`ReferenceProteinLookup` keep
+the original dict-of-arrays implementation as a parity oracle for the
+property tests and the seeding benchmark.
+
 Soft-masked query positions (DUST/SEG) produce no words, but extensions may
 still run through them.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from collections import OrderedDict
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
@@ -29,7 +44,16 @@ from repro.blast.dust import dust_mask
 from repro.blast.matrices import BLOSUM62
 from repro.blast.seg import seg_mask
 
-__all__ = ["QueryContext", "QueryBlock", "NucleotideLookup", "ProteinLookup"]
+__all__ = [
+    "QueryContext",
+    "QueryBlock",
+    "NucleotideLookup",
+    "ProteinLookup",
+    "ReferenceNucleotideLookup",
+    "ReferenceProteinLookup",
+    "LookupCache",
+    "block_fingerprint",
+]
 
 
 @dataclass
@@ -77,6 +101,57 @@ class QueryBlock:
         """Context index (or array of indices) for concatenated positions."""
         return np.searchsorted(self._starts, concat_pos, side="right") - 1
 
+    def localize(self, concat_pos: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised (context indices, context-local positions)."""
+        ctx = np.searchsorted(self._starts, concat_pos, side="right") - 1
+        return ctx, concat_pos - self._starts[ctx]
+
+
+def block_fingerprint(records: Sequence[SeqRecord]) -> tuple:
+    """Content identity of a query block, for :class:`LookupCache` keys.
+
+    ``hash(str)`` is cached on the string object, so repeated fingerprints
+    of the same records are O(1) per record after the first call.
+    """
+    return tuple((rec.id, len(rec.seq), hash(rec.seq)) for rec in records)
+
+
+class LookupCache:
+    """LRU cache of built ``(QueryBlock, lookup table)`` pairs.
+
+    The DB side of mrblast already caches the open partition per rank; this
+    is the query-side mirror the paper's locality-aware dispatch needs: a
+    block searched against *m* partitions builds its lookup table once, not
+    *m* times.  Keys must capture block content and every option that shapes
+    the table (see ``_EngineBase._lookup_key``).
+    """
+
+    def __init__(self, capacity: int = 8) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple, tuple] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: tuple):
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: tuple, block, lookup) -> None:
+        self._entries[key] = (block, lookup)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
 
 def _pack_words(codes: np.ndarray, word_size: int, alphabet_size: int) -> np.ndarray:
     """Packed integer of every window of ``word_size`` letters (vectorised)."""
@@ -98,7 +173,206 @@ def _window_unmasked(mask: np.ndarray, word_size: int) -> np.ndarray:
 
 
 class _LookupBase:
-    """Shared scan machinery: word table + vectorised subject scanning."""
+    """Shared CSR machinery: flat word table + searchsorted scanning."""
+
+    word_size: int
+    alphabet_size: int
+
+    def __init__(self, block: QueryBlock) -> None:
+        self.block = block
+        words, positions = self._build_postings()
+        # Stable sort by word: postings of one word stay position-ascending
+        # (contexts are appended in offset order), matching the insertion
+        # order of the reference dict implementation.
+        order = np.argsort(words, kind="stable")
+        sorted_words = words[order]
+        self._positions = np.ascontiguousarray(positions[order])
+        self._words, starts = np.unique(sorted_words, return_index=True)
+        self._offsets = np.append(starts, sorted_words.size).astype(np.int64)
+        self._table_cache: dict[int, np.ndarray] | None = None
+
+    # subclasses return parallel (word, concat query position) arrays
+    def _build_postings(self) -> tuple[np.ndarray, np.ndarray]:  # pragma: no cover
+        raise NotImplementedError
+
+    @property
+    def n_words(self) -> int:
+        return int(self._words.size)
+
+    @property
+    def n_postings(self) -> int:
+        return int(self._positions.size)
+
+    def postings(self, word: int) -> np.ndarray:
+        """Query positions indexed under ``word`` (empty when absent)."""
+        i = int(np.searchsorted(self._words, word))
+        if i >= self._words.size or self._words[i] != word:
+            return np.empty(0, dtype=np.int64)
+        return self._positions[self._offsets[i] : self._offsets[i + 1]]
+
+    @property
+    def _table(self) -> dict[int, np.ndarray]:
+        """Dict view of the CSR table (compatibility/introspection only)."""
+        if self._table_cache is None:
+            self._table_cache = {
+                int(w): self._positions[self._offsets[i] : self._offsets[i + 1]]
+                for i, w in enumerate(self._words)
+            }
+        return self._table_cache
+
+    def _subject_words(self, subject_codes: np.ndarray) -> np.ndarray:
+        """Packed word of every subject window; -1 for unscannable windows."""
+        sub = subject_codes
+        if self.alphabet_size == 20:
+            # Protein subjects may contain ambiguity codes >= 20: windows
+            # containing them cannot be looked up (give them an impossible
+            # word id so they never match).
+            valid = _window_unmasked(sub >= 20, self.word_size)
+            words = _pack_words(np.minimum(sub, 19), self.word_size, self.alphabet_size)
+            return np.where(valid, words, -1)
+        return _pack_words(sub, self.word_size, self.alphabet_size)
+
+    def scan(self, subject_codes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """All word hits against one subject.
+
+        Returns ``(query_concat_positions, subject_positions)`` arrays of
+        equal length.  One ``searchsorted`` joins the subject's words
+        against the CSR word array; the postings ranges of the matching
+        windows are gathered with a single fancy-index — no Python-level
+        loop at any size.
+        """
+        words = self._subject_words(subject_codes)
+        if words.size == 0 or self._words.size == 0:
+            return (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        idx = np.searchsorted(self._words, words)
+        idx_c = np.minimum(idx, self._words.size - 1)
+        spos = np.flatnonzero(self._words[idx_c] == words)
+        if spos.size == 0:
+            return (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        widx = idx[spos]
+        row_starts = self._offsets[widx]
+        counts = self._offsets[widx + 1] - row_starts
+        total = int(counts.sum())
+        # Flat gather of all postings ranges: for each matching window k,
+        # indices row_starts[k] .. row_starts[k]+counts[k).
+        ends = np.cumsum(counts)
+        flat = np.arange(total, dtype=np.int64) - np.repeat(ends - counts, counts)
+        flat += np.repeat(row_starts, counts)
+        return self._positions[flat], np.repeat(spos, counts)
+
+
+class NucleotideLookup(_LookupBase):
+    """Exact-word lookup (blastn stage-1), built by sort over packed words."""
+
+    def __init__(self, block: QueryBlock, word_size: int = 11) -> None:
+        if word_size < 4 or word_size > 31:
+            raise ValueError(f"nucleotide word_size must be in [4, 31], got {word_size}")
+        self.word_size = word_size
+        self.alphabet_size = 4
+        super().__init__(block)
+
+    def _build_postings(self) -> tuple[np.ndarray, np.ndarray]:
+        words_out: list[np.ndarray] = []
+        pos_out: list[np.ndarray] = []
+        for ctx in self.block.contexts:
+            words = _pack_words(ctx.codes, self.word_size, 4)
+            usable = np.flatnonzero(_window_unmasked(ctx.mask, self.word_size))
+            words_out.append(words[usable])
+            pos_out.append(ctx.offset + usable.astype(np.int64))
+        if not words_out:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        return np.concatenate(words_out), np.concatenate(pos_out)
+
+
+#: threshold -> (neighbour words int16, offsets int64 of length 8001): row t
+#: holds every word scoring >= threshold against query triple t.  Computed
+#: once per process per threshold and shared by every block build — the
+#: neighbourhood of a word depends only on the scoring matrix, never on the
+#: query, so this is the "per-residue neighbour columns" precomputation that
+#: turns the per-block build into a pure gather.
+_NEIGHBOR_CSR_CACHE: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+
+def _neighbor_csr(threshold: int) -> tuple[np.ndarray, np.ndarray]:
+    """CSR of BLOSUM62 3-mer neighbourhoods for every possible query triple."""
+    entry = _NEIGHBOR_CSR_CACHE.get(threshold)
+    if entry is not None:
+        return entry
+    B = BLOSUM62[:20, :20].astype(np.int16)
+    words_parts: list[np.ndarray] = []
+    counts = np.empty(8000, dtype=np.int64)
+    # One first-residue slab at a time keeps the (b, c, x, y, z) score
+    # broadcast at 20^5 = 3.2M int16 cells.
+    for a in range(20):
+        scores = (
+            B[a][None, None, :, None, None]
+            + B[:, None, None, :, None]
+            + B[None, :, None, None, :]
+        )
+        b_i, c_i, x_i, y_i, z_i = np.nonzero(scores >= threshold)
+        # np.nonzero is row-major: grouped by query triple (b, c), with
+        # neighbour words ascending within each triple.
+        words_parts.append((x_i * 400 + y_i * 20 + z_i).astype(np.int16))
+        counts[a * 400 : (a + 1) * 400] = np.bincount(b_i * 20 + c_i, minlength=400)
+    offsets = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+    entry = (np.concatenate(words_parts), offsets)
+    _NEIGHBOR_CSR_CACHE[threshold] = entry
+    return entry
+
+
+class ProteinLookup(_LookupBase):
+    """Neighbourhood-word lookup (blastp stage-1).
+
+    For each query word position, every word of the 20-letter alphabet whose
+    BLOSUM62 score against the query word is at least ``threshold`` (T) is
+    added to the table pointing back at that position.  The per-triple
+    neighbourhoods come from the process-wide :func:`_neighbor_csr` table,
+    so building a block's postings is one vectorised gather over the
+    block's query triples — no per-position cube enumeration.
+    """
+
+    def __init__(self, block: QueryBlock, word_size: int = 3, threshold: int = 11) -> None:
+        if word_size != 3:
+            raise ValueError(f"protein lookup supports word_size 3, got {word_size}")
+        self.word_size = word_size
+        self.alphabet_size = 20
+        self.threshold = threshold
+        super().__init__(block)
+
+    def _build_postings(self) -> tuple[np.ndarray, np.ndarray]:
+        nbr_words, nbr_offsets = _neighbor_csr(self.threshold)
+        words_out: list[np.ndarray] = []
+        pos_out: list[np.ndarray] = []
+        for ctx in self.block.contexts:
+            codes = np.minimum(ctx.codes, 19).astype(np.int64)  # clip ambiguity
+            starts = np.flatnonzero(
+                _window_unmasked(ctx.mask | (ctx.codes >= 20), self.word_size)
+            )
+            if starts.size == 0:
+                continue
+            triples = codes[starts] * 400 + codes[starts + 1] * 20 + codes[starts + 2]
+            row_starts = nbr_offsets[triples]
+            counts = nbr_offsets[triples + 1] - row_starts
+            total = int(counts.sum())
+            ends = np.cumsum(counts)
+            flat = np.arange(total, dtype=np.int64) - np.repeat(ends - counts, counts)
+            flat += np.repeat(row_starts, counts)
+            words_out.append(nbr_words[flat].astype(np.int64))
+            pos_out.append(np.repeat(ctx.offset + starts.astype(np.int64), counts))
+        if not words_out:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        return np.concatenate(words_out), np.concatenate(pos_out)
+
+
+# ---------------------------------------------------------------------------
+# Reference implementations (pre-CSR): the parity oracle for property tests
+# and the baseline for benchmarks/bench_seeding.py.  Deliberately kept as
+# the original dict-of-arrays build and per-window scan loop.
+# ---------------------------------------------------------------------------
+
+
+class _DictLookupBase:
+    """Original dict-based word table + per-matching-window scan loop."""
 
     word_size: int
     alphabet_size: int
@@ -107,10 +381,8 @@ class _LookupBase:
         self.block = block
         self._table: dict[int, np.ndarray] = {}
         self._build()
-        # Sorted key array for fast membership pre-filtering during scans.
         self._keys = np.array(sorted(self._table), dtype=np.int64)
 
-    # subclasses fill self._table: word -> concatenated query positions
     def _build(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
 
@@ -119,17 +391,8 @@ class _LookupBase:
         return len(self._table)
 
     def scan(self, subject_codes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """All word hits against one subject.
-
-        Returns ``(query_concat_positions, subject_positions)`` arrays of
-        equal length.  Purely vectorised pre-filtering keeps the Python-level
-        loop proportional to the number of *matching* windows only.
-        """
         sub = subject_codes
         if self.alphabet_size == 20:
-            # Protein subjects may contain ambiguity codes >= 20: windows
-            # containing them cannot be looked up (give them an impossible
-            # word id so they never match).
             valid = _window_unmasked(sub >= 20, self.word_size)
             words = _pack_words(np.minimum(sub, 19), self.word_size, self.alphabet_size)
             words = np.where(valid, words, -1)
@@ -138,10 +401,9 @@ class _LookupBase:
         if words.size == 0 or self._keys.size == 0:
             return (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
         candidate = np.isin(words, self._keys)
-        spos_list = np.nonzero(candidate)[0]
         q_out: list[np.ndarray] = []
         s_out: list[np.ndarray] = []
-        for spos in spos_list:
+        for spos in np.nonzero(candidate)[0]:
             qpositions = self._table[int(words[spos])]
             q_out.append(qpositions)
             s_out.append(np.full(qpositions.size, spos, dtype=np.int64))
@@ -150,8 +412,8 @@ class _LookupBase:
         return np.concatenate(q_out), np.concatenate(s_out)
 
 
-class NucleotideLookup(_LookupBase):
-    """Exact-word lookup (blastn stage-1)."""
+class ReferenceNucleotideLookup(_DictLookupBase):
+    """Original per-position nucleotide builder (parity oracle)."""
 
     def __init__(self, block: QueryBlock, word_size: int = 11) -> None:
         if word_size < 4 or word_size > 31:
@@ -170,13 +432,8 @@ class NucleotideLookup(_LookupBase):
         self._table = {w: np.array(ps, dtype=np.int64) for w, ps in table.items()}
 
 
-class ProteinLookup(_LookupBase):
-    """Neighbourhood-word lookup (blastp stage-1).
-
-    For each query word position, every word of the 20-letter alphabet whose
-    BLOSUM62 score against the query word is at least ``threshold`` (T) is
-    added to the table pointing back at that position.
-    """
+class ReferenceProteinLookup(_DictLookupBase):
+    """Original per-position neighbourhood-cube builder (parity oracle)."""
 
     def __init__(self, block: QueryBlock, word_size: int = 3, threshold: int = 11) -> None:
         if word_size != 3:

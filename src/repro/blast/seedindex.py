@@ -72,18 +72,39 @@ class DistributedSeedIndex:
 
     # ------------------------------------------------------------------ build
 
+    def _owners(self, words: np.ndarray) -> np.ndarray:
+        """Owner rank of each word; hashes each distinct word only once."""
+        uniq, inv = np.unique(words, return_inverse=True)
+        cache = self._owner_cache
+        size = self.comm.size
+        owners_u = np.empty(uniq.size, dtype=np.int64)
+        for i, w in enumerate(uniq.tolist()):
+            owner = cache.get(w)
+            if owner is None:
+                owner = stable_hash(w) % size
+                cache[w] = owner
+            owners_u[i] = owner
+        return owners_u[inv]
+
     def _build(self) -> None:
         comm = self.comm
         # Each rank scans a strided share of the partitions and buckets the
-        # (word, posting) pairs by owner rank.
+        # (word, posting) pairs by owner rank; word ownership is computed
+        # per distinct word over the whole subject, not per position.
+        self._owner_cache: dict[int, int] = {}
         outgoing: list[list[tuple[int, str, int]]] = [[] for _ in range(comm.size)]
         for p in range(comm.rank, self.alias.num_partitions, comm.size):
             partition = self.alias.open_partition(p)
             for sid, codes in partition:
                 words = _pack_words(codes, self.word_size, 4)
-                for pos, word in enumerate(words):
-                    w = int(word)
-                    outgoing[stable_hash(w) % comm.size].append((w, sid, pos))
+                if words.size == 0:
+                    continue
+                owners = self._owners(words)
+                for r in np.unique(owners).tolist():
+                    sel = np.flatnonzero(owners == r)
+                    outgoing[r].extend(
+                        (w, sid, pos) for w, pos in zip(words[sel].tolist(), sel.tolist())
+                    )
         incoming = comm.alltoall(outgoing)
         for batch in incoming:
             for w, sid, pos in batch:
@@ -129,17 +150,24 @@ class DistributedSeedIndex:
         requests: list[list[tuple[int, int, int]]] = [[] for _ in range(comm.size)]
         contexts: list[tuple[str, int]] = []  # request id -> (query id, strand)
         if my_queries:
+            from repro.blast.lookup import _window_unmasked
+
             block = QueryBlock(my_queries, "blastn", use_mask=True)
             for ctx in block.contexts:
                 rid = len(contexts)
                 contexts.append((block.records[ctx.query_index].id, ctx.strand))
                 words = _pack_words(ctx.codes, self.word_size, 4)
-                from repro.blast.lookup import _window_unmasked
-
-                usable = _window_unmasked(ctx.mask, self.word_size)
-                for q_pos in np.nonzero(usable)[0]:
-                    w = int(words[q_pos])
-                    requests[stable_hash(w) % comm.size].append((rid, w, int(q_pos)))
+                usable = np.flatnonzero(_window_unmasked(ctx.mask, self.word_size))
+                if usable.size == 0:
+                    continue
+                ctx_words = words[usable]
+                owners = self._owners(ctx_words)
+                for r in np.unique(owners).tolist():
+                    sel = np.flatnonzero(owners == r)
+                    requests[r].extend(
+                        (rid, w, q)
+                        for w, q in zip(ctx_words[sel].tolist(), usable[sel].tolist())
+                    )
 
         incoming = comm.alltoall(requests)
 

@@ -107,6 +107,14 @@ class TblastnEngine:
     def last_stats(self):
         return self._inner.last_stats
 
+    @property
+    def lookup_cache(self):
+        return self._inner.lookup_cache
+
+    def set_lookup_cache(self, cache) -> None:
+        """Forward the cross-partition lookup cache to the inner engine."""
+        self._inner.set_lookup_cache(cache)
+
     def search_block(
         self, queries: Sequence[SeqRecord], partition: DbPartition
     ) -> list[HSP]:

@@ -57,6 +57,11 @@ class MrBlastConfig:
     #: receive units for the DB partition they already hold, cutting
     #: partition reloads (see the scheduling ablation bench).
     locality_aware: bool = False
+    #: capacity (in query blocks) of the per-rank cross-partition lookup
+    #: cache: the query-side mirror of the DB-partition cache, letting one
+    #: block's stage-1 lookup table be reused across every partition it
+    #: meets on a rank.  0 disables caching (the pre-cache behaviour).
+    lookup_cache_blocks: int = 8
     #: combiner optimisation: apply the per-query top-K locally (compress())
     #: before collate, shrinking the shuffled key-value volume.  Safe because
     #: the global top-K is a subset of the union of per-rank top-Ks — the
@@ -78,6 +83,8 @@ class MrBlastConfig:
             raise ValueError("query_blocks must not be empty")
         if self.blocks_per_iteration < 0:
             raise ValueError("blocks_per_iteration must be >= 0")
+        if self.lookup_cache_blocks < 0:
+            raise ValueError("lookup_cache_blocks must be >= 0")
         if self.stop_after_iterations is not None and self.stop_after_iterations < 1:
             raise ValueError("stop_after_iterations must be >= 1 when set")
 
@@ -97,6 +104,10 @@ class MrBlastResult:
     map_seconds: float
     collate_seconds: float
     reduce_seconds: float
+    seed_seconds: float = 0.0
+    ungapped_seconds: float = 0.0
+    gapped_seconds: float = 0.0
+    lookup_cache_hits: int = 0
 
 
 def run_mrblast(comm: Comm, config: MrBlastConfig) -> MrBlastResult:
@@ -131,7 +142,11 @@ def run_mrblast(comm: Comm, config: MrBlastConfig) -> MrBlastResult:
         open(output_path, "w").close()
 
     mapper = MrBlastMapper(
-        alias, config.query_blocks, config.options, hit_filter=config.hit_filter
+        alias,
+        config.query_blocks,
+        config.options,
+        hit_filter=config.hit_filter,
+        lookup_cache_blocks=config.lookup_cache_blocks,
     )
     reducer = MrBlastReducer(mapper.options, output_path)
     mr = MapReduce(comm, memsize=config.memsize, mapstyle=config.mapstyle)
@@ -158,11 +173,9 @@ def run_mrblast(comm: Comm, config: MrBlastConfig) -> MrBlastResult:
         ):
             break
         block_ids = range(first_block, min(first_block + step, n_blocks))
-        items = [
-            item
-            for item in build_work_items(n_blocks, alias.num_partitions, config.work_order)
-            if item.block_index in block_ids
-        ]
+        items = build_work_items(
+            n_blocks, alias.num_partitions, config.work_order, block_range=block_ids
+        )
         log.debug("iteration from block %d: %d work units", first_block, len(items))
         mr.map_items(
             items,
@@ -202,6 +215,10 @@ def run_mrblast(comm: Comm, config: MrBlastConfig) -> MrBlastResult:
         map_seconds=timers.get("map", 0.0),
         collate_seconds=timers.get("aggregate", 0.0) + timers.get("convert", 0.0),
         reduce_seconds=timers.get("reduce", 0.0),
+        seed_seconds=mapper.stats.seed_seconds,
+        ungapped_seconds=mapper.stats.ungapped_seconds,
+        gapped_seconds=mapper.stats.gapped_seconds,
+        lookup_cache_hits=mapper.stats.lookup_cache_hits,
     )
 
 

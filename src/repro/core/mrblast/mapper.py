@@ -20,6 +20,7 @@ from repro.bio.shred import parent_id
 from repro.blast.dbreader import DatabaseAlias, DbPartition
 from repro.blast.engine import make_engine
 from repro.blast.hsp import HSP
+from repro.blast.lookup import LookupCache
 from repro.blast.options import BlastOptions
 from repro.core.mrblast.workitems import WorkItem
 from repro.mrmpi.keyvalue import KeyValue
@@ -34,12 +35,23 @@ def exclude_self_hits(query_id: str, hsp: HSP) -> bool:
 
 @dataclass
 class MapperStats:
-    """Per-rank instrumentation mirroring what Fig. 5 plots."""
+    """Per-rank instrumentation mirroring what Fig. 5 plots.
+
+    The per-stage seconds break the engine's busy time into seeding
+    (lookup build/fetch + scans), ungapped extension and gapped extension;
+    ``lookup_cache_hits`` counts work units whose query-block lookup table
+    came out of the cross-partition :class:`~repro.blast.lookup.LookupCache`
+    instead of being rebuilt.
+    """
 
     units_processed: int = 0
     partition_switches: int = 0
     hits_emitted: int = 0
     busy_seconds: float = 0.0
+    seed_seconds: float = 0.0
+    ungapped_seconds: float = 0.0
+    gapped_seconds: float = 0.0
+    lookup_cache_hits: int = 0
     #: (start, end, busy) wall-clock interval of each unit, for traces
     intervals: list[tuple[float, float, float]] = field(default_factory=list)
 
@@ -59,6 +71,7 @@ class MrBlastMapper:
         query_blocks: Sequence[Sequence[SeqRecord]],
         options: BlastOptions,
         hit_filter: Callable[[str, HSP], bool] | None = None,
+        lookup_cache_blocks: int = 8,
     ) -> None:
         # Always search with whole-database statistics (DB-split rule).
         self.options = options.with_db_size(alias.total_length, alias.num_seqs)
@@ -69,6 +82,12 @@ class MrBlastMapper:
         self._partition: DbPartition | None = None
         self._partition_index: int | None = None
         self._engine = make_engine(self.options)
+        # Query-side mirror of the DB-partition cache: a block searched
+        # against m partitions builds its lookup table once, not m times.
+        self.lookup_cache: LookupCache | None = (
+            LookupCache(capacity=lookup_cache_blocks) if lookup_cache_blocks > 0 else None
+        )
+        self._engine.set_lookup_cache(self.lookup_cache)
 
     def _get_partition(self, index: int) -> DbPartition:
         if self._partition_index != index:
@@ -94,4 +113,9 @@ class MrBlastMapper:
         t1 = time.perf_counter()
         self.stats.units_processed += 1
         self.stats.busy_seconds += t1 - t0
-        self.stats.intervals.append((t0, t1, self._engine.last_stats.busy_seconds))
+        last = self._engine.last_stats
+        self.stats.seed_seconds += last.seed_seconds
+        self.stats.ungapped_seconds += last.ungapped_seconds
+        self.stats.gapped_seconds += last.gapped_seconds
+        self.stats.lookup_cache_hits += last.lookup_cache_hits
+        self.stats.intervals.append((t0, t1, last.busy_seconds))

@@ -30,28 +30,38 @@ class WorkItem:
 
 
 def build_work_items(
-    n_blocks: int, n_partitions: int, order: str = "partition_major"
+    n_blocks: int,
+    n_partitions: int,
+    order: str = "partition_major",
+    block_range: Sequence[int] | None = None,
 ) -> list[WorkItem]:
-    """The full n_blocks × n_partitions work matrix.
+    """The n_blocks × n_partitions work matrix (or a slice of its blocks).
 
     ``partition_major`` lists all blocks of partition 0 first, so
     consecutive units share a partition and the per-rank DB-object cache hits
     often; ``query_major`` is the transpose.  The scaling figures use
     partition-major (the favourable order for DB reload cost, matching the
     caching discussion in §IV.A).
+
+    ``block_range`` restricts generation to those block indices (the
+    driver's outer iteration window), producing exactly the items — in the
+    same order — that filtering the full matrix would, without ever
+    materialising it.
     """
     if n_blocks < 1 or n_partitions < 1:
         raise ValueError(
             f"need at least one block and one partition, got {n_blocks}x{n_partitions}"
         )
+    if block_range is None:
+        blocks: Sequence[int] = range(n_blocks)
+    else:
+        blocks = block_range
+        if any(b < 0 or b >= n_blocks for b in blocks):
+            raise ValueError(f"block_range entries must lie in [0, {n_blocks})")
     if order == "partition_major":
-        return [
-            WorkItem(b, p) for p in range(n_partitions) for b in range(n_blocks)
-        ]
+        return [WorkItem(b, p) for p in range(n_partitions) for b in blocks]
     if order == "query_major":
-        return [
-            WorkItem(b, p) for b in range(n_blocks) for p in range(n_partitions)
-        ]
+        return [WorkItem(b, p) for b in blocks for p in range(n_partitions)]
     raise ValueError(f"unknown order {order!r}")
 
 
