@@ -12,6 +12,16 @@ jumps over covered/overlapping stretches, so the Python-level loop executes
 only for extension *triggers* and two-hit anchors — not for every raw word
 hit.  An optional :class:`~repro.blast.lookup.LookupCache` lets the same
 query block reuse its built lookup table across DB partitions.
+
+Stage 2 is batched: every hit that could trigger an extension gets its
+X-drop extent precomputed by one
+:func:`~repro.blast.extend.batch_ungapped_extend` call per context —
+windows escalate geometrically inside the kernel until every extension
+terminates in-batch — and the admission state machine consumes the
+precomputed extents; the scalar
+:func:`~repro.blast.extend.ungapped_extend` fallback remains for any row
+the kernel reports incomplete (bit-identical either way).  Stage timing is
+accumulated per batch/per admitted gapped trigger, never per word hit.
 """
 
 from __future__ import annotations
@@ -24,8 +34,8 @@ import numpy as np
 
 from repro.bio.seq import SeqRecord
 from repro.blast.dbreader import DbPartition
-from repro.blast.extend import ungapped_extend
-from repro.blast.gapped import extend_gapped
+from repro.blast.extend import batch_ungapped_extend, ungapped_extend
+from repro.blast.gapped import extend_gapped_batch
 from repro.blast.hsp import HSP, cull_overlapping, top_hits
 from repro.blast.karlin import gapped_params, karlin_params
 from repro.blast.lookup import (
@@ -240,30 +250,45 @@ class _EngineBase:
             # at most window + word behind it.  Runs without such a pair are
             # pure no-ops (coverage only changes after an extension), so the
             # Python loop below visits extension-capable runs only.
-            pair_ok = np.zeros(max(n - 1, 0), dtype=np.int64)
-            same_run = np.ones(max(n - 1, 0), dtype=bool)
+            pair_ok = np.zeros(max(n - 1, 0), dtype=bool)
             if n > 1:
                 same_run = (ctx_r[1:] == ctx_r[:-1]) & (diag_r[1:] == diag_r[:-1])
-                pair_ok = (same_run & (s_r[1:] - s_r[:-1] <= window + word)).astype(
-                    np.int64
-                )
-            csum = np.concatenate(([0], np.cumsum(pair_ok)))
+                pair_ok = same_run & (s_r[1:] - s_r[:-1] <= window + word)
+            csum = np.concatenate(([0], np.cumsum(pair_ok.astype(np.int64))))
             live = csum[run_ends - 1] - csum[run_starts] > 0
             run_starts = run_starts[live]
             run_ends = run_ends[live]
 
-        for a, b in zip(run_starts, run_ends):
-            ctx = block.contexts[int(ctx_r[a])]
-            rec = block.records[ctx.query_index]
-            s_run = s_r[a:b]
-            covered = 0  # subject end of the last extension on this diagonal
-            last_end = -1  # two-hit anchor: end of the last admitted word hit
-            i = int(a)
+        # Stage 2, batched by rounds: every (context, diagonal) run is an
+        # independent admission state machine, and walking one to its next
+        # extension trigger needs no extents — coverage jumps and two-hit
+        # anchoring depend only on word-hit coordinates.  Each round
+        # advances every live run to its pending trigger, extends all of
+        # them with one batched kernel call per context, then resumes the
+        # runs with their precomputed extents.  Rows extended equal
+        # triggers consumed — never the full candidate list — while the
+        # kernel amortises the per-extension numpy overhead across runs.
+        s_index = s_codes if s_codes.dtype == np.intp else s_codes.astype(np.intp)
+        ext_score = np.zeros(n, dtype=np.int64)
+        ext_qs = np.zeros(n, dtype=np.int64)
+        ext_qe = np.zeros(n, dtype=np.int64)
+        ext_ss = np.zeros(n, dtype=np.int64)
+        ext_se = np.zeros(n, dtype=np.int64)
+        ext_complete = np.zeros(n, dtype=bool)
+
+        # Run state: [a, i, b, covered, last_end].  ``covered`` is the
+        # subject end of the last extension on the diagonal; ``last_end``
+        # the two-hit anchor (end of the last admitted word hit).
+        states = [[int(a), int(a), int(b), 0, -1] for a, b in zip(run_starts, run_ends)]
+
+        def _advance(st: list) -> int:
+            """Walk a run to its next extension trigger; -1 when exhausted."""
+            a, i, b, covered, last_end = st
             while i < b:
                 s_pos = int(s_r[i])
                 if s_pos < covered:
                     # Jump over every hit inside the already-extended region.
-                    i = int(a) + int(np.searchsorted(s_run, covered, side="left"))
+                    i = a + int(np.searchsorted(s_r[a:b], covered, side="left"))
                     continue
                 if two_hit:
                     # NCBI's two-hit rule: remember the *end* of the last
@@ -278,76 +303,133 @@ class _EngineBase:
                         continue
                     if s_pos < last_end:
                         # Jump over the whole overlapping stretch at once.
-                        i = int(a) + int(np.searchsorted(s_run, last_end, side="left"))
+                        i = a + int(np.searchsorted(s_r[a:b], last_end, side="left"))
                         continue
                     if s_pos - last_end > window:
                         last_end = s_pos + word
                         i += 1
                         continue
                     last_end = s_pos + word
+                st[1], st[4] = i, last_end
+                return i
+            st[1], st[4] = i, last_end
+            return -1
 
-                q_pos = int(q_r[i])
-                t_u = time.perf_counter()
-                u = ungapped_extend(
-                    ctx.codes, s_codes, q_pos, s_pos, word, self.matrix, opts.xdrop_ungapped
+        waiting = [st for st in states if _advance(st) >= 0]
+        while waiting:
+            t_ext = time.perf_counter()
+            by_ctx: dict[int, list[int]] = {}
+            for st in waiting:
+                by_ctx.setdefault(int(ctx_r[st[1]]), []).append(st[1])
+            for c, row_list in by_ctx.items():
+                rows = np.asarray(row_list, dtype=np.int64)
+                ext = batch_ungapped_extend(
+                    block.contexts[c].codes_index,
+                    s_index,
+                    q_r[rows],
+                    s_r[rows],
+                    word,
+                    self.matrix,
+                    opts.xdrop_ungapped,
+                    window=opts.extension_window,
                 )
-                t_g = time.perf_counter()
-                stats.n_ungapped += 1
-                stats.ungapped_seconds += t_g - t_u
-                covered = u.s_end
-                if bit_score(u.score, self.ungapped_params) < opts.ungapped_cutoff_bits:
-                    i += 1
-                    continue
+                ext_score[rows] = ext.score
+                ext_qs[rows] = ext.q_start
+                ext_qe[rows] = ext.q_end
+                ext_ss[rows] = ext.s_start
+                ext_se[rows] = ext.s_end
+                ext_complete[rows] = ext.complete
+            stats.ungapped_seconds += time.perf_counter() - t_ext
 
-                q_seed, s_seed = u.seed_point()
+            # Consume the extents run by run; admitted triggers only queue
+            # their gapped job here — the extensions themselves run below as
+            # one batched call.  A run's gapped result can only influence
+            # *its own* later triggers (coverage on its diagonal), so every
+            # job queued in a round is independent of the others.
+            gapped_jobs: list[tuple] = []
+            for st in waiting:
+                i = st[1]
+                ctx = block.contexts[int(ctx_r[i])]
+                if ext_complete[i]:
+                    u_score = int(ext_score[i])
+                    u_q_start = int(ext_qs[i])
+                    u_q_end = int(ext_qe[i])
+                    u_s_start = int(ext_ss[i])
+                    u_s_end = int(ext_se[i])
+                else:
+                    # Kernel escalation was capped: exact scalar path.
+                    t_u = time.perf_counter()
+                    u = ungapped_extend(
+                        ctx.codes_index, s_index, int(q_r[i]), int(s_r[i]),
+                        word, self.matrix, opts.xdrop_ungapped,
+                    )
+                    stats.ungapped_seconds += time.perf_counter() - t_u
+                    u_score = u.score
+                    u_q_start, u_q_end = u.q_start, u.q_end
+                    u_s_start, u_s_end = u.s_start, u.s_end
+                stats.n_ungapped += 1
+                st[3] = u_s_end  # covered
+                if bit_score(u_score, self.ungapped_params) >= opts.ungapped_cutoff_bits:
+                    # Mid-point of the ungapped segment — the gapped anchor
+                    # (same arithmetic as UngappedHSP.seed_point).
+                    mid = (u_q_end - u_q_start) // 2
+                    gapped_jobs.append((st, i, ctx, u_q_start + mid, u_s_start + mid))
+
+            if gapped_jobs:
                 t_g = time.perf_counter()
-                g = extend_gapped(
-                    ctx.codes,
-                    s_codes,
-                    q_seed,
-                    s_seed,
+                aligns = extend_gapped_batch(
+                    [
+                        (ctx.codes_index, s_index, q_seed, s_seed)
+                        for _, _, ctx, q_seed, s_seed in gapped_jobs
+                    ],
                     self.matrix,
                     opts.gap_open,
                     opts.gap_extend,
                     opts.xdrop_gapped,
                     opts.band_width,
                 )
-                stats.n_gapped += 1
+                stats.n_gapped += len(gapped_jobs)
                 stats.gapped_seconds += time.perf_counter() - t_g
-                if g is None:
-                    i += 1
-                    continue
-                covered = max(covered, g.s_end)
-
-                e = evalue(g.score, self.gapped_stats_params, len(rec.seq), db_len, db_seqs)
-                if e > opts.evalue:
-                    i += 1
-                    continue
-                if ctx.strand == 1:
-                    q_start, q_end = g.q_start, g.q_end
-                else:
-                    q_start, q_end = ctx.length - g.q_end, ctx.length - g.q_start
-                found.append(
-                    (
-                        int(rank_r[i]),
-                        HSP(
-                            query_id=rec.id,
-                            subject_id=subject_id,
-                            score=g.score,
-                            bit_score=bit_score(g.score, self.gapped_stats_params),
-                            evalue=e,
-                            q_start=q_start,
-                            q_end=q_end,
-                            s_start=g.s_start,
-                            s_end=g.s_end,
-                            identities=g.identities,
-                            align_len=g.align_len,
-                            gaps=g.gaps,
-                            strand=ctx.strand,
-                        ),
+                for (st, i, ctx, _, _), g in zip(gapped_jobs, aligns):
+                    if g is None:
+                        continue
+                    st[3] = max(st[3], g.s_end)
+                    rec = block.records[ctx.query_index]
+                    e = evalue(
+                        g.score, self.gapped_stats_params, len(rec.seq), db_len, db_seqs
                     )
-                )
-                i += 1
+                    if e <= opts.evalue:
+                        if ctx.strand == 1:
+                            q_start, q_end = g.q_start, g.q_end
+                        else:
+                            q_start, q_end = ctx.length - g.q_end, ctx.length - g.q_start
+                        found.append(
+                            (
+                                int(rank_r[i]),
+                                HSP(
+                                    query_id=rec.id,
+                                    subject_id=subject_id,
+                                    score=g.score,
+                                    bit_score=bit_score(g.score, self.gapped_stats_params),
+                                    evalue=e,
+                                    q_start=q_start,
+                                    q_end=q_end,
+                                    s_start=g.s_start,
+                                    s_end=g.s_end,
+                                    identities=g.identities,
+                                    align_len=g.align_len,
+                                    gaps=g.gaps,
+                                    strand=ctx.strand,
+                                ),
+                            )
+                        )
+
+            next_waiting = []
+            for st in waiting:
+                st[1] += 1
+                if _advance(st) >= 0:
+                    next_waiting.append(st)
+            waiting = next_waiting
         found.sort(key=lambda rh: rh[0])
         return cull_overlapping([h for _, h in found])
 

@@ -2,9 +2,22 @@
 
 A word hit is extended in both directions as long as the running score does
 not fall more than ``xdrop`` below the best score seen (paper §II.B: "the
-second stage extends each matching word as an ungapped alignment").  The
-inner loops are vectorised: pair scores come from one fancy-indexing gather
-and the X-drop stopping point from a cumulative-sum/running-max scan.
+second stage extends each matching word as an ungapped alignment").
+
+Two implementations share the same semantics:
+
+- :func:`ungapped_extend` extends one hit (pair scores from one
+  fancy-indexing gather, the X-drop stopping point from a cumulative-sum/
+  running-max scan).  It is the parity oracle for the batched kernel and
+  the engine's fallback for extensions that outrun the batch window.
+- :func:`batch_ungapped_extend` extends many hits of one (query, subject)
+  pair at once: fixed-size left/right windows are gathered into padded 2-D
+  arrays, scored with one ``matrix[q, s]`` gather, and every hit's X-drop
+  extent found with one row-wise cumsum/running-max scan.  Hits that
+  outrun the window are re-batched with geometrically wider windows until
+  every extension terminates in-batch, so results are bit-identical to
+  :func:`ungapped_extend`; an explicit ``max_window`` caps the escalation
+  and reports capped rows incomplete for the caller's scalar fallback.
 """
 
 from __future__ import annotations
@@ -13,7 +26,21 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["UngappedHSP", "ungapped_extend", "extension_scores"]
+#: fill for cells past a row's admissible scan limit (batch grids are int32)
+_I32_MIN = np.int32(np.iinfo(np.int32).min)
+
+__all__ = [
+    "UngappedHSP",
+    "UngappedExtents",
+    "ungapped_extend",
+    "batch_ungapped_extend",
+    "extension_scores",
+]
+
+
+def _as_index(codes: np.ndarray) -> np.ndarray:
+    """Codes as an ``intp`` index array, avoiding the copy when possible."""
+    return codes if codes.dtype == np.intp else codes.astype(np.intp)
 
 
 @dataclass(frozen=True)
@@ -44,7 +71,7 @@ def extension_scores(
         raise ValueError("segments must have equal length")
     if q_codes.size == 0:
         return np.empty(0, dtype=np.int64)
-    return matrix[q_codes.astype(np.intp), s_codes.astype(np.intp)].astype(np.int64)
+    return matrix[_as_index(q_codes), _as_index(s_codes)].astype(np.int64)
 
 
 def _xdrop_extent(scores: np.ndarray, xdrop: float) -> tuple[int, int]:
@@ -120,4 +147,193 @@ def ungapped_extend(
         q_end=q_pos + word_size + right_len,
         s_start=s_pos - left_len,
         s_end=s_pos + word_size + right_len,
+    )
+
+
+@dataclass(frozen=True)
+class UngappedExtents:
+    """Per-hit results of :func:`batch_ungapped_extend` (parallel arrays).
+
+    Rows with ``complete=False`` hit the batch window boundary before the
+    X-drop rule terminated them; their values are a lower bound only and the
+    caller must re-extend those hits with :func:`ungapped_extend`.
+    """
+
+    score: np.ndarray
+    q_start: np.ndarray
+    q_end: np.ndarray
+    s_start: np.ndarray
+    s_end: np.ndarray
+    complete: np.ndarray
+
+
+def _batch_extents(
+    scores: np.ndarray, avail: np.ndarray, xdrop: float
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Row-wise :func:`_xdrop_extent` over a padded score window.
+
+    ``scores[r, t]`` is the t-th step score of row r; cells at ``t >=
+    avail[r]`` must already hold a pad below ``-xdrop`` so the scan drops at
+    the boundary.  Returns (gain, length, complete) arrays; a row is
+    complete when the X-drop rule fired inside the window or the window
+    covered everything reachable.
+    """
+    window = scores.shape[1]
+    cum = np.cumsum(scores, axis=1)  # int32: |cum| <= window * max|score|
+    runmax = np.maximum.accumulate(cum, axis=1)
+    np.maximum(runmax, 0, out=runmax)
+    np.subtract(runmax, cum, out=runmax)  # reused as the drop depth
+    # Integer depth > float xdrop  <=>  depth >= floor(xdrop) + 1.
+    dropped = runmax >= np.int32(int(np.floor(xdrop)) + 1)
+    any_drop = dropped.any(axis=1)
+    complete = any_drop | (avail <= window)
+    limit = np.where(any_drop, np.argmax(dropped, axis=1), np.minimum(avail, window))
+    cols = np.arange(window, dtype=np.int64)
+    masked = np.where(cols[None, :] < limit[:, None], cum, _I32_MIN)
+    best_idx = np.argmax(masked, axis=1)
+    best = masked.max(axis=1)
+    positive = (limit > 0) & (best > 0)
+    gain = np.where(positive, best, 0)
+    length = np.where(positive, best_idx + 1, 0)
+    return gain, length, complete
+
+
+def _batch_pass(
+    q_idx: np.ndarray,
+    s_idx: np.ndarray,
+    qp: np.ndarray,
+    sp: np.ndarray,
+    word_size: int,
+    matrix: np.ndarray,
+    xdrop: float,
+    window: int,
+    cell_budget: int,
+) -> tuple[np.ndarray, ...]:
+    """One fixed-window pass over a set of hits (chunked to the cell budget)."""
+    n = qp.size
+    qlen, slen = q_idx.size, s_idx.size
+    pad = np.int32(int(np.floor(xdrop)) + 1)
+    steps = np.arange(window, dtype=np.int64)
+    word_steps = np.arange(word_size, dtype=np.int64)
+    chunk = max(1, cell_budget // max(window, 1))
+    if matrix.dtype != np.int32:
+        matrix = matrix.astype(np.int32)
+
+    score = np.empty(n, dtype=np.int64)
+    len_left = np.empty(n, dtype=np.int64)
+    len_right = np.empty(n, dtype=np.int64)
+    complete = np.empty(n, dtype=bool)
+
+    for lo in range(0, n, chunk):
+        qp_c = qp[lo : lo + chunk, None]
+        sp_c = sp[lo : lo + chunk, None]
+        nc = qp_c.shape[0]
+
+        word_scores = matrix[
+            q_idx[qp_c + word_steps], s_idx[sp_c + word_steps]
+        ].sum(axis=1, dtype=np.int64)
+
+        # Right of the word: step t reads q[qp+word+t], s[sp+word+t].
+        avail_r = np.minimum(qlen - (qp_c[:, 0] + word_size), slen - (sp_c[:, 0] + word_size))
+        q_r = np.minimum(qp_c + word_size + steps, qlen - 1)
+        s_r = np.minimum(sp_c + word_size + steps, slen - 1)
+        scores_r = matrix[q_idx[q_r], s_idx[s_r]]
+        scores_r[steps[None, :] >= avail_r[:, None]] = -pad
+
+        # Left of the word: step t reads q[qp-1-t], s[sp-1-t] (outward walk).
+        avail_l = np.minimum(qp_c[:, 0], sp_c[:, 0])
+        q_l = np.maximum(qp_c - 1 - steps, 0)
+        s_l = np.maximum(sp_c - 1 - steps, 0)
+        scores_l = matrix[q_idx[q_l], s_idx[s_l]]
+        scores_l[steps[None, :] >= avail_l[:, None]] = -pad
+
+        # Both directions share one row-wise X-drop scan (they are
+        # independent rows of the same fixed-window problem).
+        gain, length, comp = _batch_extents(
+            np.concatenate((scores_r, scores_l), axis=0),
+            np.concatenate((avail_r, avail_l)),
+            xdrop,
+        )
+
+        sl = slice(lo, lo + nc)
+        score[sl] = word_scores + gain[:nc] + gain[nc:]
+        len_left[sl] = length[nc:]
+        len_right[sl] = length[:nc]
+        complete[sl] = comp[:nc] & comp[nc:]
+
+    return score, len_left, len_right, complete
+
+
+def batch_ungapped_extend(
+    q_codes: np.ndarray,
+    s_codes: np.ndarray,
+    q_pos: np.ndarray,
+    s_pos: np.ndarray,
+    word_size: int,
+    matrix: np.ndarray,
+    xdrop: float,
+    window: int = 64,
+    chunk: int = 4096,
+    max_window: int | None = None,
+) -> UngappedExtents:
+    """Ungapped X-drop extension of many word hits in array passes.
+
+    ``q_pos``/``s_pos`` are parallel arrays of word-start coordinates into
+    ``q_codes``/``s_codes``.  Left and right windows of ``window`` steps are
+    gathered into 2-D arrays; positions past a sequence end are padded with
+    a score below ``-xdrop`` so the X-drop scan stops exactly at the
+    boundary.  Rows whose extension outruns the window are re-batched with
+    a 4x larger window — only the shrinking incomplete set pays for the
+    wider gather — until every row terminates, so by default all rows come
+    back ``complete=True`` and bit-identical to :func:`ungapped_extend`.
+    ``max_window`` caps the escalation; capped rows come back
+    ``complete=False`` with lower-bound extents and must be re-extended on
+    the scalar path.  Memory stays O(chunk * window) cells throughout: the
+    row count per pass shrinks as the window grows.
+    """
+    q_idx = _as_index(q_codes)
+    s_idx = _as_index(s_codes)
+    qp = np.asarray(q_pos, dtype=np.int64)
+    sp = np.asarray(s_pos, dtype=np.int64)
+    n = qp.size
+    out_score = np.zeros(n, dtype=np.int64)
+    out_len_l = np.zeros(n, dtype=np.int64)
+    out_len_r = np.zeros(n, dtype=np.int64)
+    out_complete = np.zeros(n, dtype=bool)
+    qlen, slen = q_idx.size, s_idx.size
+    cell_budget = max(chunk, 1) * max(window, 1)
+
+    pending = np.arange(n)
+    w = max(window, 1)
+    while pending.size:
+        score, len_l, len_r, complete = _batch_pass(
+            q_idx, s_idx, qp[pending], sp[pending], word_size, matrix, xdrop,
+            w, cell_budget,
+        )
+        out_score[pending] = score
+        out_len_l[pending] = len_l
+        out_len_r[pending] = len_r
+        out_complete[pending] = complete
+        pending = pending[~complete]
+        if pending.size == 0:
+            break
+        if max_window is not None and w >= max_window:
+            break
+        # A window covering everything reachable completes every row, so
+        # the escalation terminates at the widest remaining reach.
+        reach_r = np.minimum(qlen - (qp[pending] + word_size),
+                             slen - (sp[pending] + word_size))
+        reach_l = np.minimum(qp[pending], sp[pending])
+        reach = int(max(reach_r.max(), reach_l.max(), 1))
+        w = min(w * 4, reach)
+        if max_window is not None:
+            w = min(w, max_window)
+
+    return UngappedExtents(
+        out_score,
+        qp - out_len_l,
+        qp + word_size + out_len_r,
+        sp - out_len_l,
+        sp + word_size + out_len_r,
+        out_complete,
     )

@@ -12,21 +12,44 @@ independently to the left and to the right with a gapped dynamic program
 
 Gap cost model: a gap of length g costs ``gap_open + g*gap_extend``.
 
-Rows are computed with numpy vector operations; the within-row gap
-recurrence uses a prefix-max scan, so the Python-level loop is over rows
-only.  Full state matrices are retained for an exact traceback that yields
-identities, alignment length and gap count.
+The production kernel stores the three DP states M/Ix/Iy *band-compressed*:
+``(rows, 2*band+1)`` int32 arrays indexed by diagonal offset ``c = j - i +
+band``, with an integer ``-inf`` sentinel.  Only the live strip is ever
+allocated — the O(n·m) dense matrices of the original implementation are
+gone — and the traceback walks the compressed band directly with exact
+integer comparisons (no float tolerance).  Rows are computed with numpy
+vector operations; the within-row gap recurrence is a prefix-max scan, so
+the Python-level loop is over rows only.
+
+:func:`reference_half_extension` / :func:`reference_extend_gapped` keep the
+original dense float32 implementation as the parity oracle: the property
+tests assert the banded kernel reproduces its scores, coordinates and
+operation strings element-for-element.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["GappedAlignment", "HalfExtension", "extend_gapped", "half_extension"]
+__all__ = [
+    "GappedAlignment",
+    "HalfExtension",
+    "extend_gapped",
+    "extend_gapped_batch",
+    "half_extension",
+    "reference_extend_gapped",
+    "reference_half_extension",
+]
 
 _NEG = np.float32(-1e30)
+#: integer -inf for the band-compressed kernel: deep enough that no real
+#: path score (bounded by sequence length times the matrix range) comes
+#: near it, shallow enough that per-row arithmetic on sentinels cannot
+#: overflow int32.
+_NEG_I32 = np.int32(-(2**30))
 
 
 @dataclass(frozen=True)
@@ -60,6 +83,9 @@ class GappedAlignment:
     ops: str = ""
 
 
+_ZERO_HALF = HalfExtension(0, 0, 0, 0, 0, 0)
+
+
 def half_extension(
     q: np.ndarray,
     s: np.ndarray,
@@ -71,13 +97,572 @@ def half_extension(
 ) -> HalfExtension:
     """Best global-start alignment of prefixes of ``q`` and ``s``.
 
+    Band-compressed kernel: DP cell (i, j) lives at column ``j - i + band``
+    of row i, so a row is ``2*band+1`` wide regardless of subject length.
     Returns the zero extension when nothing scores positive.
     """
     n, m_full = int(q.size), int(s.size)
     if n == 0 or m_full == 0:
-        return HalfExtension(0, 0, 0, 0, 0, 0)
+        return _ZERO_HALF
     # The path cannot drift more than ``band`` off the diagonal, so at most
     # n + band subject residues are reachable.
+    m = min(m_full, n + band)
+
+    open_cost = gap_open + gap_extend
+    width = 2 * band + 1
+    NEG = _NEG_I32
+
+    q_idx = q if q.dtype == np.intp else q.astype(np.intp)
+    s_idx = s[:m] if s.dtype == np.intp else s[:m].astype(np.intp)
+    # Pad the subject so row i's pair-score gather is always one contiguous
+    # window: step c of row i reads s[i-1 + c - band] = s_pad[i-1 + c].
+    # Sized for the deepest row (i = n), which reads up to index n-1+width.
+    s_pad = np.zeros(max(m, n) + 2 * band, dtype=np.intp)
+    s_pad[band : band + m] = s_idx
+    # Pair scores pairs[i-1, c] = matrix[q[i-1], s[i-1+c-band]] are gathered
+    # in blocks of rows — one 2-D fancy index per block instead of one per
+    # row, without paying for rows the X-drop never reaches.
+    windows = np.lib.stride_tricks.sliding_window_view(s_pad, width)[:n]
+    pair_block_rows = 128
+    pair_block = np.empty((0, width), dtype=np.int32)
+    pair_lo = 0  # first q row covered by pair_block
+
+    # One slab per DP matrix inside a single grid: G[:, i] is the (3, width)
+    # view of row i, so X-drop masking hits M, Ix and Iy in one broadcast.
+    G = np.full((3, n + 1, width), NEG, dtype=np.int32)
+    M, Ix, Iy = G[0], G[1], G[2]  # Ix: gap in subject; Iy: gap in query
+    M[0, band] = 0
+    jmax0 = min(band, m)
+    if jmax0 >= 1:
+        j0 = np.arange(1, jmax0 + 1)
+        Iy[0, band + j0] = -open_cost - gap_extend * (j0 - 1)
+
+    ext_c = (gap_extend * np.arange(width)).astype(np.int32)
+    # Per-column Iy deduction: open_cost + gap_extend * (c - 1).
+    iy_off = (open_cost + gap_extend * np.arange(-1, width - 1)).astype(np.int32)
+    # ``prev_best`` carries max(M, Ix, Iy) of the previous row *after* its
+    # X-drop masking, so it never needs recomputing; it swaps with
+    # ``row_best`` at the bottom of the loop.
+    prev_best = np.maximum(M[0], Iy[0])
+    scratch = np.empty(width, dtype=np.int32)
+    row_best = np.empty(width, dtype=np.int32)
+    dead_floor = int(NEG) // 2
+    best_seen = 0
+    last_live_row = 0
+
+    for i in range(1, n + 1):
+        prev_Ix = Ix[i - 1]
+
+        # M[i, c] comes from (i-1, j-1): the same diagonal offset c.  Rows
+        # are computed in place in the grids, so there is no copy-back.
+        r = i - 1
+        if r - pair_lo >= pair_block.shape[0]:
+            pair_lo = r
+            blk = matrix[q_idx[r : r + pair_block_rows, None], windows[r : r + pair_block_rows]]
+            pair_block = blk if blk.dtype == np.int32 else blk.astype(np.int32)
+        m_row = M[i]
+        np.add(prev_best, pair_block[r - pair_lo], out=m_row)
+
+        # Ix[i, c] comes from (i-1, j): offset c+1 in the previous row.
+        ix_row = Ix[i]
+        np.subtract(prev_best[1:], open_cost, out=ix_row[:-1])
+        np.subtract(prev_Ix[1:], gap_extend, out=scratch[:-1])
+        np.maximum(ix_row[:-1], scratch[:-1], out=ix_row[:-1])
+        ix_row[-1] = NEG
+
+        # Columns whose j = i + c - band falls outside the subject do not
+        # exist; M additionally needs j >= 1 (it consumes s[j-1]).  The
+        # valid c range is contiguous, so masking is two slice stores.
+        lo = band - i  # c of j == 0
+        hi = lo + m  # c of j == m
+        if lo > 0:
+            m_row[: lo + 1] = NEG  # j <= 0
+            ix_row[:lo] = NEG  # j < 0
+        elif lo == 0:
+            m_row[0] = NEG  # j == 0 in range
+        if hi < width - 1:
+            tail = max(hi + 1, 0)
+            m_row[tail:] = NEG
+            ix_row[tail:] = NEG
+
+        # Iy[i, c] = max_{c'<c} base[c'] - open_cost - ext*(c-1-c'), solved
+        # with a prefix-max scan over t[c'] = base[c'] + ext*c' (band-prune
+        # M and Ix first so the scan can only chain from kept cells — the
+        # traceback relies on every stored value being explained by stored
+        # predecessors).
+        np.maximum(m_row, ix_row, out=row_best)  # also the Iy scan base
+        np.add(row_best, ext_c, out=scratch)
+        np.maximum.accumulate(scratch, out=scratch)
+        iy_row = Iy[i]
+        np.subtract(scratch[:-1], iy_off[1:], out=iy_row[1:])
+        iy_row[0] = NEG
+        if lo >= 0:
+            iy_row[: lo + 1] = NEG  # j <= 0
+        if hi < width - 1:
+            iy_row[max(hi + 1, 0) :] = NEG
+
+        np.maximum(row_best, iy_row, out=row_best)
+        row_max = int(row_best.max())
+        if row_max <= dead_floor:
+            last_live_row = i - 1
+            break
+        # Integer v < float t  <=>  v < ceil(t): keeps the compare in int32.
+        dead = row_best < np.int32(math.ceil(best_seen - xdrop))
+        np.copyto(G[:, i], NEG, where=dead)
+        np.copyto(row_best, NEG, where=dead)
+        prev_best, row_best = row_best, prev_best
+
+        if row_max > best_seen:
+            best_seen = row_max
+        last_live_row = i
+
+    rows = last_live_row + 1
+    best_grid = np.maximum(np.maximum(M[:rows], Ix[:rows]), Iy[:rows])
+    flat = int(np.argmax(best_grid))
+    bi, bc = divmod(flat, width)
+    best_score = int(best_grid[bi, bc])
+    if best_score <= 0:
+        return _ZERO_HALF
+    bj = bc + bi - band
+
+    return _traceback_banded(
+        q, s, M, Ix, Iy, band, bi, bj, best_score, gap_extend, open_cost
+    )
+
+
+#: upper bound on halves advanced in one lockstep grid; beyond this the
+#: per-row elementwise work dominates and bigger batches stop paying.
+_CHUNK_HALVES = 64
+#: cap on one chunk's (3, nmax+1, k, width) DP grid, so a single very deep
+#: half cannot blow memory up — the chunk narrows instead.
+_CHUNK_BYTES = 32 << 20
+
+
+def _half_extension_many(
+    halves: list,
+    matrix: np.ndarray,
+    gap_open: int,
+    gap_extend: int,
+    xdrop: float,
+    band: int,
+) -> list:
+    """Many independent half extensions, advanced in lockstep batches.
+
+    ``halves`` is a list of ``(q, s)`` code arrays; the result list matches
+    it index for index.  Halves are sorted by query depth (descending) and
+    cut into chunks whose DP grids fit ``_CHUNK_BYTES``; within a chunk all
+    halves advance one DP row per Python iteration, so the per-row numpy
+    dispatch cost is amortised across the batch.  Per-half semantics are
+    exactly :func:`half_extension` — independent X-drop thresholds,
+    termination rows, tracebacks — which the parity suite checks against
+    the dense oracle.
+    """
+    out: list = [None] * len(halves)
+    active = []
+    for idx, (q_h, s_h) in enumerate(halves):
+        if q_h.size == 0 or s_h.size == 0:
+            out[idx] = _ZERO_HALF
+        else:
+            active.append(idx)
+    if not active:
+        return out
+    depths = np.array([halves[i][0].size for i in active], dtype=np.int64)
+    order = np.argsort(-depths, kind="stable")
+    width = 2 * band + 1
+    pos = 0
+    while pos < len(active):
+        # Sorted descending, so the chunk's deepest half comes first and
+        # sizes the grid; similar depths land together, keeping the padded
+        # rows (beyond a shallower half's end) cheap.
+        nmax = int(depths[order[pos]])
+        fit = _CHUNK_BYTES // (3 * (nmax + 1) * width * 4)
+        k = max(1, min(_CHUNK_HALVES, fit, len(active) - pos))
+        idxs = [active[int(order[p])] for p in range(pos, pos + k)]
+        pos += k
+        results = _half_extension_chunk(
+            [halves[i] for i in idxs], matrix, gap_open, gap_extend, xdrop, band
+        )
+        for i, res in zip(idxs, results):
+            out[i] = res
+    return out
+
+
+def _half_extension_chunk(
+    halves: list,
+    matrix: np.ndarray,
+    gap_open: int,
+    gap_extend: int,
+    xdrop: float,
+    band: int,
+) -> list:
+    """One lockstep chunk: halves non-empty, sorted by query depth desc.
+
+    Every DP row is computed for the *live prefix* of the chunk only: the
+    depth sort means halves whose query is exhausted form a suffix, so row
+    ``i`` slices all per-row arrays to the first ``klive`` halves and the
+    work per row tracks the number of halves that still need it.
+    """
+    k = len(halves)
+    open_cost = gap_open + gap_extend
+    width = 2 * band + 1
+    NEG = _NEG_I32
+    ns = np.array([q_h.size for q_h, _ in halves], dtype=np.int64)
+    ms = np.array(
+        [min(int(s_h.size), int(n) + band) for (_, s_h), n in zip(halves, ns)],
+        dtype=np.int64,
+    )
+    nmax = int(ns[0])  # deepest half first
+
+    q_idx = [
+        q_h if q_h.dtype == np.intp else q_h.astype(np.intp) for q_h, _ in halves
+    ]
+    windows = []
+    for (_, s_h), n_h, m_h in zip(halves, ns, ms):
+        n_h, m_h = int(n_h), int(m_h)
+        s_i = s_h[:m_h] if s_h.dtype == np.intp else s_h[:m_h].astype(np.intp)
+        s_pad = np.zeros(max(m_h, n_h) + 2 * band, dtype=np.intp)
+        s_pad[band : band + m_h] = s_i
+        windows.append(np.lib.stride_tricks.sliding_window_view(s_pad, width)[:n_h])
+
+    pair_block_rows = 128
+    pair_block = np.empty((0, k, width), dtype=np.int32)
+    pair_lo = 0
+
+    # Same slab layout as half_extension with the batch axis in between:
+    # G[:, i] is the (3, k, width) view of row i across all halves.
+    G = np.full((3, nmax + 1, k, width), NEG, dtype=np.int32)
+    M, Ix, Iy = G[0], G[1], G[2]
+    M[0, :, band] = 0
+    for h in range(k):
+        jmax0 = min(band, int(ms[h]))
+        if jmax0 >= 1:
+            j0 = np.arange(1, jmax0 + 1)
+            Iy[0, h, band + j0] = -open_cost - gap_extend * (j0 - 1)
+
+    ext_c = (gap_extend * np.arange(width)).astype(np.int32)
+    iy_off = (open_cost + gap_extend * np.arange(-1, width - 1)).astype(np.int32)
+
+    # Cell (i, c) is subject column j = c + i - band.  The left band edge
+    # (j <= 0 for M/Iy, j < 0 for Ix) is one contiguous slice per row; the
+    # right edge j > m is per-half (ragged), masked with one compare whose
+    # result serves all three states.
+    cols_j = np.arange(width, dtype=np.int64) - band  # j - i per column
+    ms_col = ms[:, None]
+    gt_buf = np.empty((k, width), dtype=bool)
+
+    prev_best = np.maximum(M[0], Iy[0])  # (k, width)
+    scratch = np.empty((k, width), dtype=np.int32)
+    row_best = np.empty((k, width), dtype=np.int32)
+    thr = np.empty((k, 1), dtype=np.int32)
+    dead_floor = np.int32(int(NEG) // 2)
+    # Integer v < float(B - x)  <=>  v < ceil(B - x) == B - floor(x) for
+    # integer B: the whole X-drop compare stays in int32.
+    xfloor = np.int32(math.floor(xdrop))
+    best_seen = np.zeros(k, dtype=np.int32)
+    last_live = np.zeros(k, dtype=np.int64)
+    alive = np.ones(k, dtype=bool)
+
+    klive = k
+    for i in range(1, nmax + 1):
+        while klive > 0 and int(ns[klive - 1]) < i:
+            klive -= 1  # finished halves drop off the live prefix
+        if klive == 0 or not alive[:klive].any():
+            break
+        sl = slice(0, klive)
+        pb = prev_best[sl]
+        sc = scratch[sl]
+        rb = row_best[sl]
+
+        r = i - 1
+        if r - pair_lo >= pair_block.shape[0]:
+            pair_lo = r
+            # Zero-filled rows keep a shorter half's sentinel arithmetic in
+            # range on rows it never reaches.
+            pair_block = np.zeros((pair_block_rows, k, width), dtype=np.int32)
+            for h in range(klive):
+                win = windows[h][r : r + pair_block_rows]
+                if win.shape[0]:
+                    pair_block[: win.shape[0], h] = matrix[
+                        q_idx[h][r : r + win.shape[0], None], win
+                    ]
+        m_row = M[i, sl]
+        np.add(pb, pair_block[r - pair_lo, sl], out=m_row)
+        ix_row = Ix[i, sl]
+        np.subtract(pb[:, 1:], open_cost, out=ix_row[:, :-1])
+        np.subtract(Ix[i - 1, sl][:, 1:], gap_extend, out=sc[:, :-1])
+        np.maximum(ix_row[:, :-1], sc[:, :-1], out=ix_row[:, :-1])
+        ix_row[:, -1] = NEG  # no c+1 predecessor at the right band edge
+
+        lo = band - i  # column of j == 0
+        if lo >= 0:
+            m_row[:, : lo + 1] = NEG  # j <= 0
+            if lo > 0:
+                ix_row[:, :lo] = NEG  # j < 0
+        np.greater(cols_j + i, ms_col[sl], out=gt_buf[sl])  # j > m[h]
+        gt = gt_buf[sl]
+        np.copyto(m_row, NEG, where=gt)
+        np.copyto(ix_row, NEG, where=gt)
+
+        np.maximum(m_row, ix_row, out=rb)  # also the Iy scan base
+        np.add(rb, ext_c, out=sc)
+        np.maximum.accumulate(sc, axis=1, out=sc)
+        iy_row = Iy[i, sl]
+        np.subtract(sc[:, :-1], iy_off[1:], out=iy_row[:, 1:])
+        iy_row[:, 0] = NEG  # no c' < c at the left band edge
+        if lo >= 0:
+            iy_row[:, : lo + 1] = NEG
+        np.copyto(iy_row, NEG, where=gt)
+
+        np.maximum(rb, iy_row, out=rb)
+        rm = rb.max(axis=1)  # (klive,)
+        # Mask with the thresholds of the *previous* rows: best_seen is
+        # updated only after masking, exactly as in the solo kernel.
+        np.subtract(best_seen[sl], xfloor, out=thr[sl, 0])
+        dead = rb < thr[sl]
+        np.copyto(G[:, i, sl], NEG, where=dead)
+        np.copyto(rb, NEG, where=dead)
+        prev_best, row_best = row_best, prev_best
+
+        # A row whose masked maximum sinks to the sentinel floor kills its
+        # half for good: last_live freezes, later rows stay all-NEG.
+        row_dead = rm <= dead_floor
+        alive[sl] &= ~row_dead
+        upd = alive[sl]
+        np.maximum(best_seen[sl], rm, out=best_seen[sl], where=upd)
+        last_live[sl][upd] = i
+
+    results = []
+    for h in range(k):
+        rows = int(last_live[h]) + 1
+        best_grid = np.maximum(np.maximum(M[:rows, h], Ix[:rows, h]), Iy[:rows, h])
+        flat = int(np.argmax(best_grid))
+        bi, bc = divmod(flat, width)
+        best_score = int(best_grid[bi, bc])
+        if best_score <= 0:
+            results.append(_ZERO_HALF)
+            continue
+        bj = bc + bi - band
+        results.append(
+            _traceback_banded(
+                halves[h][0], halves[h][1], M[:, h], Ix[:, h], Iy[:, h],
+                band, bi, bj, best_score, gap_extend, open_cost,
+            )
+        )
+    return results
+
+
+def _traceback_banded(
+    q: np.ndarray,
+    s: np.ndarray,
+    M: np.ndarray,
+    Ix: np.ndarray,
+    Iy: np.ndarray,
+    band: int,
+    bi: int,
+    bj: int,
+    best_score: int,
+    gap_extend: int,
+    open_cost: int,
+) -> HalfExtension:
+    """Walk back from the best cell over the compressed band.
+
+    Cell (i, j) lives at ``[i, j - i + band]``; every move in the walk stays
+    inside the band by construction (stored cells only chain from stored
+    cells).  Integer scores make the gap-run test an exact equality.
+    """
+    width = 2 * band + 1
+    NEG = int(_NEG_I32)
+
+    def cell(grid: np.ndarray, i: int, j: int) -> int:
+        c = j - i + band
+        if 0 <= c < width:
+            return grid.item(i, c)
+        return NEG
+
+    def argmax3(a: int, b: int, c: int) -> int:
+        if a >= b:
+            return 0 if a >= c else 2
+        return 1 if b >= c else 2
+
+    i, j = bi, bj
+    state = argmax3(cell(M, i, j), cell(Ix, i, j), cell(Iy, i, j))
+    identities = 0
+    align_len = 0
+    gaps = 0
+    ops: list[str] = []  # collected end -> seed; reversed below
+    max_steps = 2 * (bi + bj) + 4  # every step decrements i or j; guard anyway
+    steps = 0
+    while i > 0 or j > 0:
+        steps += 1
+        if steps > max_steps:  # pragma: no cover - defensive
+            raise RuntimeError("gapped traceback failed to terminate")
+        if state == 0:  # M: aligned pair
+            align_len += 1
+            ops.append("M")
+            if q[i - 1] == s[j - 1]:
+                identities += 1
+            i -= 1
+            j -= 1
+            if i == 0 and j == 0:
+                break
+            state = argmax3(cell(M, i, j), cell(Ix, i, j), cell(Iy, i, j))
+        elif state == 1:  # Ix: gap in subject, consume query
+            align_len += 1
+            gaps += 1
+            ops.append("I")
+            cur = cell(Ix, i, j)
+            i -= 1
+            if cur == cell(Ix, i, j) - gap_extend:
+                state = 1
+            else:
+                state = argmax3(cell(M, i, j), NEG, cell(Iy, i, j))
+        else:  # Iy: gap in query, consume subject
+            align_len += 1
+            gaps += 1
+            ops.append("D")
+            cur = cell(Iy, i, j)
+            j -= 1
+            if cur == cell(Iy, i, j) - gap_extend:
+                state = 2
+            else:
+                state = argmax3(cell(M, i, j), cell(Ix, i, j), NEG)
+    return HalfExtension(
+        score=best_score,
+        q_len=bi,
+        s_len=bj,
+        identities=identities,
+        align_len=align_len,
+        gaps=gaps,
+        ops="".join(reversed(ops)),  # seed -> extension end order
+    )
+
+
+def extend_gapped(
+    q_codes: np.ndarray,
+    s_codes: np.ndarray,
+    q_seed: int,
+    s_seed: int,
+    matrix: np.ndarray,
+    gap_open: int,
+    gap_extend: int,
+    xdrop: float,
+    band: int,
+) -> GappedAlignment | None:
+    """Gapped extension around ``(q_seed, s_seed)``.
+
+    The left half aligns the reversed prefixes ending just before the seed;
+    the right half aligns the suffixes starting at the seed.  Both halves
+    run in one lockstep batch (:func:`_half_extension_many`).  Returns
+    ``None`` when no positive-scoring alignment exists.
+    """
+    return extend_gapped_batch(
+        [(q_codes, s_codes, q_seed, s_seed)],
+        matrix, gap_open, gap_extend, xdrop, band,
+    )[0]
+
+
+def extend_gapped_batch(
+    seeds,
+    matrix: np.ndarray,
+    gap_open: int,
+    gap_extend: int,
+    xdrop: float,
+    band: int,
+) -> list:
+    """Gapped extensions around many seed points, batched.
+
+    ``seeds`` is a sequence of ``(q_codes, s_codes, q_seed, s_seed)``
+    tuples; the result list matches it index for index, each entry a
+    :class:`GappedAlignment` or ``None`` exactly as :func:`extend_gapped`
+    would return for that seed.  All ``2 * len(seeds)`` halves advance
+    through :func:`_half_extension_many` in lockstep chunks, so the per-DP-
+    row numpy overhead is paid once per chunk instead of once per seed.
+    """
+    halves = []
+    for q_codes, s_codes, q_seed, s_seed in seeds:
+        if not (0 <= q_seed <= q_codes.size) or not (0 <= s_seed <= s_codes.size):
+            raise ValueError("seed point out of range")
+        halves.append((q_codes[:q_seed][::-1], s_codes[:s_seed][::-1]))
+        halves.append((q_codes[q_seed:], s_codes[s_seed:]))
+    done = _half_extension_many(halves, matrix, gap_open, gap_extend, xdrop, band)
+    return [
+        _combine_halves(done[2 * t], done[2 * t + 1], seed[2], seed[3])
+        for t, seed in enumerate(seeds)
+    ]
+
+
+def _extend_gapped_with(
+    half,
+    q_codes: np.ndarray,
+    s_codes: np.ndarray,
+    q_seed: int,
+    s_seed: int,
+    matrix: np.ndarray,
+    gap_open: int,
+    gap_extend: int,
+    xdrop: float,
+    band: int,
+) -> GappedAlignment | None:
+    """Shared seed-splitting logic over either half-extension kernel."""
+    if not (0 <= q_seed <= q_codes.size) or not (0 <= s_seed <= s_codes.size):
+        raise ValueError("seed point out of range")
+    right = half(
+        q_codes[q_seed:], s_codes[s_seed:], matrix, gap_open, gap_extend, xdrop, band
+    )
+    left = half(
+        q_codes[:q_seed][::-1], s_codes[:s_seed][::-1], matrix, gap_open, gap_extend, xdrop, band
+    )
+    return _combine_halves(left, right, q_seed, s_seed)
+
+
+def _combine_halves(
+    left: HalfExtension, right: HalfExtension, q_seed: int, s_seed: int
+) -> GappedAlignment | None:
+    """Join the two half extensions around the seed point."""
+    score = left.score + right.score
+    if score <= 0:
+        return None
+    q_start, q_end = q_seed - left.q_len, q_seed + right.q_len
+    s_start, s_end = s_seed - left.s_len, s_seed + right.s_len
+    if q_end <= q_start or s_end <= s_start:
+        return None
+    return GappedAlignment(
+        score=score,
+        q_start=q_start,
+        q_end=q_end,
+        s_start=s_start,
+        s_end=s_end,
+        identities=left.identities + right.identities,
+        align_len=left.align_len + right.align_len,
+        gaps=left.gaps + right.gaps,
+        # left half ops run seed -> leftward; reverse to get left-to-right.
+        ops=left.ops[::-1] + right.ops,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Reference implementation (pre-banded): dense float32 matrices with the
+# tolerance-based traceback.  Kept as the parity oracle for property tests
+# and the baseline for benchmarks/bench_extension.py.
+# ---------------------------------------------------------------------------
+
+
+def reference_half_extension(
+    q: np.ndarray,
+    s: np.ndarray,
+    matrix: np.ndarray,
+    gap_open: int,
+    gap_extend: int,
+    xdrop: float,
+    band: int,
+) -> HalfExtension:
+    """Original dense-matrix half extension (parity oracle).
+
+    Returns the zero extension when nothing scores positive.
+    """
+    n, m_full = int(q.size), int(s.size)
+    if n == 0 or m_full == 0:
+        return _ZERO_HALF
     m = min(m_full, n + band)
     s = s[:m]
 
@@ -143,12 +728,14 @@ def half_extension(
     bi, bj = divmod(flat, m + 1)
     best_score = float(best_grid[bi, bj])
     if best_score <= 0:
-        return HalfExtension(0, 0, 0, 0, 0, 0)
+        return _ZERO_HALF
 
-    return _traceback(q, s, M, Ix, Iy, bi, bj, int(round(best_score)), gap_extend, open_cost)
+    return _traceback_dense(
+        q, s, M, Ix, Iy, bi, bj, int(round(best_score)), gap_extend, open_cost
+    )
 
 
-def _traceback(
+def _traceback_dense(
     q: np.ndarray,
     s: np.ndarray,
     M: np.ndarray,
@@ -220,7 +807,7 @@ def _traceback(
     )
 
 
-def extend_gapped(
+def reference_extend_gapped(
     q_codes: np.ndarray,
     s_codes: np.ndarray,
     q_seed: int,
@@ -231,36 +818,8 @@ def extend_gapped(
     xdrop: float,
     band: int,
 ) -> GappedAlignment | None:
-    """Gapped extension around ``(q_seed, s_seed)``.
-
-    The left half aligns the reversed prefixes ending just before the seed;
-    the right half aligns the suffixes starting at the seed.  Returns
-    ``None`` when no positive-scoring alignment exists.
-    """
-    if not (0 <= q_seed <= q_codes.size) or not (0 <= s_seed <= s_codes.size):
-        raise ValueError("seed point out of range")
-    right = half_extension(
-        q_codes[q_seed:], s_codes[s_seed:], matrix, gap_open, gap_extend, xdrop, band
-    )
-    left = half_extension(
-        q_codes[:q_seed][::-1], s_codes[:s_seed][::-1], matrix, gap_open, gap_extend, xdrop, band
-    )
-    score = left.score + right.score
-    if score <= 0:
-        return None
-    q_start, q_end = q_seed - left.q_len, q_seed + right.q_len
-    s_start, s_end = s_seed - left.s_len, s_seed + right.s_len
-    if q_end <= q_start or s_end <= s_start:
-        return None
-    return GappedAlignment(
-        score=score,
-        q_start=q_start,
-        q_end=q_end,
-        s_start=s_start,
-        s_end=s_end,
-        identities=left.identities + right.identities,
-        align_len=left.align_len + right.align_len,
-        gaps=left.gaps + right.gaps,
-        # left half ops run seed -> leftward; reverse to get left-to-right.
-        ops=left.ops[::-1] + right.ops,
+    """Original dense-kernel gapped extension (parity oracle)."""
+    return _extend_gapped_with(
+        reference_half_extension, q_codes, s_codes, q_seed, s_seed, matrix,
+        gap_open, gap_extend, xdrop, band,
     )

@@ -105,6 +105,12 @@ def cull_overlapping(hsps: Sequence[HSP], max_overlap: float = 0.5) -> list[HSP]
     copies; only the best exemplar survives.  ``max_overlap`` is the query-
     range overlap fraction (of the smaller span) above which the worse HSP
     is culled — only applied within the same (subject, strand).
+
+    Culling ranks by :meth:`HSP.sort_key` rather than engine admission
+    order, so the result is independent of the order in which the
+    extension stage emitted the HSPs — the batched stage-2 kernel is free
+    to precompute extents out of scan order as long as the admitted set is
+    unchanged.
     """
     if not (0.0 <= max_overlap <= 1.0):
         raise ValueError(f"max_overlap must be in [0, 1], got {max_overlap}")

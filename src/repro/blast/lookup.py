@@ -70,6 +70,21 @@ class QueryContext:
     def length(self) -> int:
         return int(self.codes.size)
 
+    @property
+    def codes_index(self) -> np.ndarray:
+        """``codes`` as an ``intp`` index array, converted once and cached.
+
+        Every extension-stage matrix gather indexes with these, so the
+        conversion is hoisted here — one copy per context for the life of
+        the block (shared across subjects, partitions, and the
+        :class:`LookupCache`) instead of one per kernel call.
+        """
+        idx = getattr(self, "_codes_index", None)
+        if idx is None:
+            idx = self.codes.astype(np.intp)
+            self._codes_index = idx
+        return idx
+
 
 class QueryBlock:
     """Concatenated query contexts with global-position bookkeeping."""

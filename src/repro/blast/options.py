@@ -40,6 +40,10 @@ class BlastOptions:
     xdrop_gapped: float = 30.0
     ungapped_cutoff_bits: float = 12.0  # HSPs below this never reach gapped stage
     band_width: int = 48  # gapped extension band half-width
+    #: batched stage-2 window: steps gathered each side of a word hit in the
+    #: first pass; hits whose X-drop extent outruns it are re-batched with
+    #: geometrically wider windows until every extension terminates
+    extension_window: int = 64
 
     # Reporting
     evalue: float = 10.0
@@ -72,6 +76,10 @@ class BlastOptions:
             raise ValueError(f"max_hits must be >= 1, got {self.max_hits}")
         if self.band_width < 1:
             raise ValueError(f"band_width must be >= 1, got {self.band_width}")
+        if self.extension_window < 1:
+            raise ValueError(
+                f"extension_window must be >= 1, got {self.extension_window}"
+            )
 
     @staticmethod
     def blastn(**overrides) -> "BlastOptions":

@@ -6,8 +6,11 @@ located in uncharacterised nucleotide data (e.g. finding genes in
 metagenomic contigs), the other direction of the paper's annotation story.
 
 Each DNA subject expands into up to six translated virtual subjects
-(``id|frame±k``); the inner blastp engine searches them; hits map back to
-*nucleotide* subject coordinates (frame ±k at nt length L):
+(``id|frame±k``); the inner blastp engine searches them — each translated
+frame runs through the same batched ungapped kernel and band-compressed
+gapped DP as a native protein subject, with its codes hoisted to index
+dtype once per virtual subject; hits map back to *nucleotide* subject
+coordinates (frame ±k at nt length L):
 
 - frame +k:  nt = (k-1) + 3*aa
 - frame -k:  nt = L - (k-1) - 3*aa   (minus strand)

@@ -1,0 +1,299 @@
+"""Parity properties: batched/banded extension kernels vs their retained oracles.
+
+The PR-2 contract is bit-identity, not approximation: every complete row of
+:func:`batch_ungapped_extend` must equal :func:`ungapped_extend` field for
+field, and :func:`extend_gapped` (band-compressed int32) must reproduce
+:func:`reference_extend_gapped` (dense float32) including coordinates and
+operation strings.  Random sequences here are deliberately homolog-biased so
+the gapped band actually fills, plus directed band-edge and all-negative
+cases.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bio import mutate_dna, random_genome, random_protein
+from repro.bio.alphabet import DNA, PROTEIN
+from repro.blast.extend import batch_ungapped_extend, ungapped_extend
+import repro.blast.gapped as gapped_mod
+from repro.blast.gapped import (
+    extend_gapped,
+    extend_gapped_batch,
+    reference_extend_gapped,
+)
+from repro.blast.matrices import BLOSUM62, nucleotide_matrix
+
+NT = nucleotide_matrix(1, -2)
+
+dna_seq = st.text(alphabet="ACGT", min_size=30, max_size=150)
+
+
+def _scalar_tuple(q, s, qp, sp, word, matrix, xdrop):
+    u = ungapped_extend(q, s, qp, sp, word, matrix, xdrop)
+    return (u.score, u.q_start, u.q_end, u.s_start, u.s_end)
+
+
+def _batch_row(ext, r):
+    return (
+        int(ext.score[r]),
+        int(ext.q_start[r]),
+        int(ext.q_end[r]),
+        int(ext.s_start[r]),
+        int(ext.s_end[r]),
+    )
+
+
+class TestBatchedUngappedParity:
+    @given(
+        dna_seq,
+        st.integers(0, 2**31 - 1),
+        st.sampled_from([2, 4, 8, 16, 64]),
+        st.floats(1.0, 25.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_complete_rows_match_scalar(self, base, seed, window, xdrop):
+        """Every complete row is bit-identical; incomplete rows lower-bound."""
+        word = 8
+        q = DNA.encode(base)
+        s = DNA.encode(mutate_dna(base, 0.10, seed_or_rng=seed))
+        rng = np.random.default_rng(seed)
+        n_hits = 25
+        qp = rng.integers(0, q.size - word + 1, size=n_hits)
+        sp = rng.integers(0, s.size - word + 1, size=n_hits)
+        # Capped at the initial window: rows that outrun it must say so.
+        capped = batch_ungapped_extend(
+            q, s, qp, sp, word, NT, xdrop, window=window, max_window=window
+        )
+        # Default escalation: every row terminates in-batch.
+        ext = batch_ungapped_extend(q, s, qp, sp, word, NT, xdrop, window=window)
+        assert ext.complete.all()
+        for r in range(n_hits):
+            scalar = _scalar_tuple(q, s, int(qp[r]), int(sp[r]), word, NT, xdrop)
+            assert _batch_row(ext, r) == scalar
+            if capped.complete[r]:
+                assert _batch_row(capped, r) == scalar
+            else:
+                # Window truncation can only lose score, never invent it.
+                assert int(capped.score[r]) <= scalar[0]
+
+    @given(st.integers(0, 2**31 - 1), st.sampled_from([1, 2, 3, 7]))
+    @settings(max_examples=40, deadline=None)
+    def test_protein_rows_match_scalar(self, seed, window):
+        rng = np.random.default_rng(seed)
+        base = random_protein(120, seed_or_rng=seed)
+        q = PROTEIN.encode(base)
+        chars = list(base)
+        aa = "ARNDCQEGHILKMFPSTWYV"
+        for i in range(len(chars)):
+            if rng.random() < 0.2:
+                chars[i] = aa[rng.integers(0, 20)]
+        s = PROTEIN.encode("".join(chars))
+        word = 3
+        qp = rng.integers(0, q.size - word + 1, size=15)
+        sp = rng.integers(0, s.size - word + 1, size=15)
+        ext = batch_ungapped_extend(q, s, qp, sp, word, BLOSUM62, 16.0, window=window)
+        assert ext.complete.all()
+        for r in range(15):
+            assert _batch_row(ext, r) == _scalar_tuple(
+                q, s, int(qp[r]), int(sp[r]), word, BLOSUM62, 16.0
+            )
+
+    def test_all_negative_scores_terminate_immediately(self):
+        """No-similarity pairs: the X-drop fires inside any window."""
+        q = DNA.encode("A" * 80)
+        s = DNA.encode("C" * 80)
+        qp = np.array([10, 30, 50])
+        sp = np.array([12, 28, 55])
+        # With -2 per step and xdrop=5 the drop proves itself at step 3,
+        # so any window of at least 3 terminates every row in-batch.
+        for window in (3, 64):
+            ext = batch_ungapped_extend(q, s, qp, sp, 8, NT, xdrop=5.0, window=window)
+            assert ext.complete.all()
+            for r in range(3):
+                assert _batch_row(ext, r) == _scalar_tuple(
+                    q, s, int(qp[r]), int(sp[r]), 8, NT, 5.0
+                )
+                # Pure mismatch: no gain on either side, seed word only.
+                assert int(ext.q_end[r]) - int(ext.q_start[r]) == 8
+
+    def test_boundary_hits_are_complete(self):
+        """Hits whose reach ends exactly at a sequence boundary complete
+        in-window: the pad forces the drop at the edge, not past it."""
+        seq = DNA.encode(random_genome(100, seed_or_rng=7))
+        word = 11
+        # Seed at the very start and very end: one side has avail == 0.
+        qp = np.array([0, 100 - word])
+        sp = np.array([0, 100 - word])
+        ext = batch_ungapped_extend(seq, seq, qp, sp, word, NT, 20.0, window=128)
+        assert ext.complete.all()
+        for r in range(2):
+            assert _batch_row(ext, r) == _scalar_tuple(
+                seq, seq, int(qp[r]), int(sp[r]), word, NT, 20.0
+            )
+            assert (int(ext.q_start[r]), int(ext.q_end[r])) == (0, 100)
+
+
+def _assert_gapped_parity(q, s, q_seed, s_seed, matrix, go, ge, xdrop, band):
+    got = extend_gapped(q, s, q_seed, s_seed, matrix, go, ge, xdrop, band)
+    want = reference_extend_gapped(q, s, q_seed, s_seed, matrix, go, ge, xdrop, band)
+    # Frozen dataclass equality covers score, all four coordinates,
+    # identities, align_len, gaps, and the ops string.
+    assert got == want
+
+
+class TestBandedGappedParity:
+    @given(
+        dna_seq,
+        st.integers(0, 2**31 - 1),
+        st.integers(1, 48),
+        st.floats(5.0, 60.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_dna_homologs(self, base, seed, band, xdrop):
+        q = DNA.encode(base)
+        s = DNA.encode(mutate_dna(base, 0.08, seed_or_rng=seed))
+        rng = np.random.default_rng(seed)
+        q_seed = int(rng.integers(0, q.size + 1))
+        s_seed = int(rng.integers(0, s.size + 1))
+        _assert_gapped_parity(q, s, q_seed, s_seed, NT, 5, 2, xdrop, band)
+
+    @given(st.integers(0, 2**31 - 1), st.integers(1, 32))
+    @settings(max_examples=30, deadline=None)
+    def test_protein_homologs(self, seed, band):
+        rng = np.random.default_rng(seed)
+        base = random_protein(130, seed_or_rng=seed)
+        chars = list(base)
+        aa = "ARNDCQEGHILKMFPSTWYV"
+        for i in range(len(chars)):
+            if rng.random() < 0.15:
+                chars[i] = aa[rng.integers(0, 20)]
+        q = PROTEIN.encode(base)
+        s = PROTEIN.encode("".join(chars))
+        mid = q.size // 2
+        _assert_gapped_parity(q, s, mid, mid, BLOSUM62, 11, 1, 38.0, band)
+
+    @given(dna_seq, st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_unrelated_sequences(self, base, seed):
+        """Unrelated pairs: both kernels must agree even when the answer is
+        None or a tiny chance alignment."""
+        q = DNA.encode(base)
+        s = DNA.encode(random_genome(len(base), seed_or_rng=seed))
+        _assert_gapped_parity(q, s, q.size // 2, s.size // 2, NT, 5, 2, 20.0, 16)
+
+    def test_all_negative_is_none_in_both(self):
+        q = DNA.encode("A" * 40)
+        s = DNA.encode("C" * 40)
+        for band in (1, 8, 48):
+            got = extend_gapped(q, s, 20, 20, NT, 5, 2, 10.0, band)
+            want = reference_extend_gapped(q, s, 20, 20, NT, 5, 2, 10.0, band)
+            assert got is None and want is None
+
+    def test_band_edge_insertion(self):
+        """An insertion of exactly ``band`` needs the outermost diagonal;
+        one of ``band + 1`` does not fit.  Parity must hold right at the
+        edge in both regimes."""
+        left = random_genome(60, seed_or_rng=30)
+        right = random_genome(60, seed_or_rng=31)
+        for gap_len, band in [(8, 8), (9, 8), (1, 1), (2, 1)]:
+            insert = random_genome(gap_len, seed_or_rng=32 + gap_len)
+            q = DNA.encode(left + right)
+            s = DNA.encode(left + insert + right)
+            _assert_gapped_parity(q, s, 5, 5, NT, 5, 2, 200.0, band)
+
+    def test_query_longer_than_subject(self):
+        """Rows past the subject end exercise the tail masking and the
+        extended s_pad sizing."""
+        base = random_genome(120, seed_or_rng=40)
+        q = DNA.encode(base)
+        s = DNA.encode(base[:35])
+        _assert_gapped_parity(q, s, 0, 0, NT, 5, 2, 80.0, 12)
+        _assert_gapped_parity(q, s, 10, 10, NT, 5, 2, 80.0, 4)
+
+    def test_seed_at_sequence_ends(self):
+        """Degenerate halves: one side of the seed is empty."""
+        base = random_genome(50, seed_or_rng=41)
+        q = DNA.encode(base)
+        s = DNA.encode(mutate_dna(base, 0.05, seed_or_rng=42))
+        for q_seed, s_seed in [(0, 0), (q.size, s.size), (0, s.size)]:
+            _assert_gapped_parity(q, s, q_seed, s_seed, NT, 5, 2, 30.0, 16)
+
+
+def _random_seed_batch(rng, n_seeds):
+    """Mixed-depth seed batch: homologous pairs, unrelated pairs, and
+    edge seeds, with wildly different half depths so the lockstep chunks
+    mix long and short halves."""
+    seeds = []
+    for t in range(n_seeds):
+        length = int(rng.integers(20, 220))
+        base = random_genome(length, seed_or_rng=int(rng.integers(2**31)))
+        q = DNA.encode(base)
+        if rng.random() < 0.25:
+            s = DNA.encode(random_genome(length, seed_or_rng=int(rng.integers(2**31))))
+        else:
+            s = DNA.encode(
+                mutate_dna(base, float(rng.uniform(0.02, 0.15)),
+                           seed_or_rng=int(rng.integers(2**31)))
+            )
+        if t % 7 == 0:  # edge seeds: one half empty
+            q_seed, s_seed = (0, 0) if t % 14 else (int(q.size), int(s.size))
+        else:
+            q_seed = int(rng.integers(0, q.size + 1))
+            s_seed = int(rng.integers(0, s.size + 1))
+        seeds.append((q, s, q_seed, s_seed))
+    return seeds
+
+
+class TestBatchedGappedParity:
+    """``extend_gapped_batch`` vs the per-seed kernels, seed for seed."""
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_batch_matches_per_seed_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        seeds = _random_seed_batch(rng, 25)
+        got = extend_gapped_batch(seeds, NT, 5, 2, 25.0, 24)
+        want = [
+            reference_extend_gapped(q, s, qp, sp, NT, 5, 2, 25.0, 24)
+            for q, s, qp, sp in seeds
+        ]
+        assert got == want
+
+    def test_chunked_batches_match_unchunked(self, monkeypatch):
+        """Force many tiny lockstep chunks: results must not depend on how
+        the batch is cut or reordered internally."""
+        rng = np.random.default_rng(99)
+        seeds = _random_seed_batch(rng, 30)
+        whole = extend_gapped_batch(seeds, NT, 5, 2, 30.0, 16)
+        monkeypatch.setattr(gapped_mod, "_CHUNK_HALVES", 3)
+        chunked = extend_gapped_batch(seeds, NT, 5, 2, 30.0, 16)
+        assert chunked == whole
+        assert whole == [
+            reference_extend_gapped(q, s, qp, sp, NT, 5, 2, 30.0, 16)
+            for q, s, qp, sp in seeds
+        ]
+
+    def test_protein_batch(self):
+        rng = np.random.default_rng(5)
+        aa = "ARNDCQEGHILKMFPSTWYV"
+        seeds = []
+        for t in range(12):
+            base = random_protein(int(rng.integers(40, 200)),
+                                  seed_or_rng=int(rng.integers(2**31)))
+            chars = list(base)
+            for i in range(len(chars)):
+                if rng.random() < 0.15:
+                    chars[i] = aa[rng.integers(0, 20)]
+            q = PROTEIN.encode(base)
+            s = PROTEIN.encode("".join(chars))
+            seeds.append((q, s, int(q.size // 2), int(s.size // 2)))
+        got = extend_gapped_batch(seeds, BLOSUM62, 11, 1, 38.0, 32)
+        want = [
+            reference_extend_gapped(q, s, qp, sp, BLOSUM62, 11, 1, 38.0, 32)
+            for q, s, qp, sp in seeds
+        ]
+        assert got == want
+
+    def test_empty_batch(self):
+        assert extend_gapped_batch([], NT, 5, 2, 20.0, 8) == []
