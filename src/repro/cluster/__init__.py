@@ -26,7 +26,13 @@ from repro.cluster.blast_model import BlastWorkloadModel, protein_workload, nucl
 from repro.cluster.dispatch import SimResult, simulate_blast_run
 from repro.cluster.som_model import SomScalingModel, simulate_som_run
 from repro.cluster.glidein import GlideinSpec, simulate_glidein_run
-from repro.cluster.faults import FaultModel, compare_fault_costs
+from repro.cluster.faults import (
+    FaultModel,
+    RestartObservation,
+    RestartValidation,
+    compare_fault_costs,
+    validate_restart_overhead,
+)
 from repro.cluster.trace import utilization_curve
 
 __all__ = [
@@ -43,6 +49,9 @@ __all__ = [
     "GlideinSpec",
     "simulate_glidein_run",
     "FaultModel",
+    "RestartObservation",
+    "RestartValidation",
     "compare_fault_costs",
+    "validate_restart_overhead",
     "utilization_curve",
 ]

@@ -24,7 +24,14 @@ from dataclasses import dataclass
 
 from repro.cluster.dispatch import SimResult
 
-__all__ = ["FaultModel", "compare_fault_costs"]
+__all__ = [
+    "FaultModel",
+    "FaultComparison",
+    "RestartObservation",
+    "RestartValidation",
+    "compare_fault_costs",
+    "validate_restart_overhead",
+]
 
 
 @dataclass(frozen=True)
@@ -65,6 +72,23 @@ class FaultModel:
             raise ValueError("mean_task_hours must be >= 0")
         return self.failures_per_core_hour * mean_task_hours
 
+    def expected_checkpoint_overhead_fraction(
+        self, cores: int, checkpoint_hours: float
+    ) -> float:
+        """Expected redone-work fraction for a checkpointed MPI job.
+
+        With a checkpoint every ``checkpoint_hours`` of wall time, a failure
+        throws away on average half an interval; failures arrive at rate
+        λ·cores per wall-hour, so the redone fraction is
+        λ · cores · checkpoint_hours / 2.  This is what turns the
+        unbounded geometric restart cost of :meth:`expected_mpi_attempts`
+        into a bounded overhead — the analytic counterpart of the
+        checkpoint/resume path in :mod:`repro.core.checkpoint`.
+        """
+        if cores < 1 or checkpoint_hours < 0:
+            raise ValueError("cores must be >= 1 and checkpoint_hours >= 0")
+        return self.failures_per_core_hour * cores * checkpoint_hours / 2.0
+
 
 @dataclass(frozen=True)
 class FaultComparison:
@@ -80,6 +104,84 @@ class FaultComparison:
     @property
     def htc_overhead_fraction(self) -> float:
         return self.htc_expected_core_hours / self.base_core_hours - 1.0
+
+
+@dataclass(frozen=True)
+class RestartObservation:
+    """What a supervised run with injected faults actually did.
+
+    ``units_useful`` is the work a fault-free run executes once;
+    ``units_executed`` counts every execution across all attempts (resumed
+    attempts redo the part of a checkpoint interval lost to the crash);
+    ``units_per_checkpoint`` is the checkpoint cadence in work units.
+    """
+
+    units_useful: int
+    units_executed: int
+    n_failures: int
+    units_per_checkpoint: float
+
+    def __post_init__(self) -> None:
+        if self.units_useful < 1:
+            raise ValueError("units_useful must be >= 1")
+        if self.units_executed < self.units_useful:
+            raise ValueError("units_executed cannot be below units_useful")
+        if self.n_failures < 0 or self.units_per_checkpoint <= 0:
+            raise ValueError("n_failures >= 0 and units_per_checkpoint > 0 required")
+
+    @property
+    def observed_overhead_fraction(self) -> float:
+        """Redone work as a fraction of useful work."""
+        return (self.units_executed - self.units_useful) / self.units_useful
+
+    @property
+    def predicted_overhead_fraction(self) -> float:
+        """Half-interval-per-failure prediction (same form as the λ model).
+
+        Each failure loses, on average, half a checkpoint interval of
+        already-executed work; here the failure count is known (injected)
+        rather than drawn from the exponential model, so the prediction is
+        ``n_failures · units_per_checkpoint / 2`` redone units.
+        """
+        return (self.n_failures * self.units_per_checkpoint / 2.0) / self.units_useful
+
+
+@dataclass(frozen=True)
+class RestartValidation:
+    observation: RestartObservation
+    observed: float
+    predicted: float
+
+    @property
+    def absolute_error(self) -> float:
+        return abs(self.observed - self.predicted)
+
+    def within(self, intervals: float = 1.0) -> bool:
+        """True when observed and predicted agree to ``intervals`` checkpoint
+        intervals of redone work — the half-interval mean has worst-case
+        error of half an interval per failure, so the default tolerance is
+        one interval (per observation, scaled by failures)."""
+        budget = (
+            max(self.observation.n_failures, 1)
+            * self.observation.units_per_checkpoint
+            * intervals
+        ) / self.observation.units_useful
+        return self.absolute_error <= budget
+
+
+def validate_restart_overhead(observation: RestartObservation) -> RestartValidation:
+    """Check a simulated (fault-injected) run against the analytic model.
+
+    The acceptance loop for the fault-tolerance subsystem: inject a known
+    number of crashes into a supervised run, count redone work units, and
+    confirm the restart overhead lands where the half-interval model says
+    it should.
+    """
+    return RestartValidation(
+        observation=observation,
+        observed=observation.observed_overhead_fraction,
+        predicted=observation.predicted_overhead_fraction,
+    )
 
 
 def compare_fault_costs(

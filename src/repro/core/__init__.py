@@ -14,22 +14,37 @@
   paper's comparisons.
 """
 
-from repro.core.mrblast.driver import MrBlastConfig, run_mrblast, mrblast_spmd
+from repro.core.checkpoint import (
+    CodebookCheckpoint,
+    IterationCheckpoint,
+    PoisonList,
+)
+from repro.core.mrblast.driver import (
+    MrBlastConfig,
+    mrblast_spmd,
+    mrblast_supervised,
+    run_mrblast,
+)
 from repro.core.mrblast.dynamic import (
     DynamicChunkConfig,
     mrblast_dynamic_spmd,
     run_mrblast_dynamic,
 )
-from repro.core.mrsom.driver import MrSomConfig, run_mrsom, mrsom_spmd
+from repro.core.mrsom.driver import MrSomConfig, mrsom_spmd, mrsom_supervised, run_mrsom
 
 __all__ = [
     "MrBlastConfig",
     "run_mrblast",
     "mrblast_spmd",
+    "mrblast_supervised",
     "DynamicChunkConfig",
     "run_mrblast_dynamic",
     "mrblast_dynamic_spmd",
     "MrSomConfig",
     "run_mrsom",
     "mrsom_spmd",
+    "mrsom_supervised",
+    "IterationCheckpoint",
+    "CodebookCheckpoint",
+    "PoisonList",
 ]

@@ -1,0 +1,188 @@
+"""Checkpoint/resume primitives for the MR drivers.
+
+The paper's execution model offers no recovery: "the price for this extra
+flexibility ... is a lack of fault-tolerance inherent in the underlying MPI
+execution model" (§II.A).  This module supplies the durable state that turns
+the supervisor's relaunch (:func:`repro.mpi.runtime.run_supervised`) into a
+*resume*:
+
+- :class:`IterationCheckpoint` — mrblast's per-rank progress manifest: the
+  output-file byte offset (and emitted counts) after each committed outer
+  iteration.  A relaunch truncates the rank's file back to the last
+  *globally* committed iteration and continues from there.
+- :class:`CodebookCheckpoint` — mrsom's per-epoch codebook snapshot.  Batch
+  SOM epochs are deterministic, so resuming from epoch ``k``'s codebook
+  reproduces the fault-free run bit for bit.
+- :class:`PoisonList` — the quarantine ledger for repeatedly-fatal work
+  units: a unit whose ``map()`` keeps raising is retried at most
+  ``quarantine_after`` times across relaunches, then skipped and reported
+  instead of wedging the job.
+
+Every commit is an atomic write-to-temp + :func:`os.replace`, so a crash
+mid-commit leaves the previous checkpoint intact — there is never a moment
+where readers can observe a torn file.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import tempfile
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "read_json",
+    "IterationCheckpoint",
+    "CodebookCheckpoint",
+    "PoisonList",
+]
+
+
+def atomic_write_bytes(path: str, payload: bytes) -> None:
+    """Commit ``payload`` to ``path`` via temp file + rename (crash-safe)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(prefix=".ckpt.", dir=directory)
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_json(path: str, obj: Any) -> None:
+    """Commit ``obj`` as JSON to ``path`` atomically (see atomic_write_bytes)."""
+    atomic_write_bytes(path, json.dumps(obj, indent=1, sort_keys=True).encode("utf-8"))
+
+
+def read_json(path: str, default: Any = None) -> Any:
+    """Load a JSON checkpoint; ``default`` when absent or unreadable garbage."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except FileNotFoundError:
+        return default
+    except (OSError, json.JSONDecodeError):
+        return default
+
+
+class IterationCheckpoint:
+    """Per-rank mrblast progress manifest, committed once per outer iteration.
+
+    The manifest records, for every *committed* iteration, the rank's output
+    file size plus cumulative queries/hits written — enough to truncate away
+    any partially-written iteration on resume and to report resume points.
+    """
+
+    def __init__(self, output_dir: str, rank: int) -> None:
+        self.path = os.path.join(output_dir, f"progress.rank{rank:04d}.json")
+
+    def load(self) -> dict:
+        """The manifest: ``{"offsets": [...], "queries": [...], "hits": [...]}``."""
+        state = read_json(self.path, default={}) or {}
+        offsets = [int(x) for x in state.get("offsets", [])]
+        queries = [int(x) for x in state.get("queries", [])]
+        hits = [int(x) for x in state.get("hits", [])]
+        # Older manifests carried offsets only; pad the counts defensively.
+        while len(queries) < len(offsets):
+            queries.append(0)
+        while len(hits) < len(offsets):
+            hits.append(0)
+        return {"offsets": offsets, "queries": queries, "hits": hits}
+
+    def commit(self, offsets: list[int], queries: list[int], hits: list[int]) -> None:
+        atomic_write_json(
+            self.path, {"offsets": offsets, "queries": queries, "hits": hits}
+        )
+
+    def clear(self) -> None:
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+
+class CodebookCheckpoint:
+    """Per-epoch SOM codebook snapshot with single-file atomic commit."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        self.path = os.path.join(directory, "codebook.ckpt.npz")
+
+    def save(self, epochs_done: int, codebook: np.ndarray) -> None:
+        """Commit the codebook state after ``epochs_done`` completed epochs."""
+        buf = io.BytesIO()
+        np.savez(buf, epochs_done=np.int64(epochs_done), codebook=codebook)
+        atomic_write_bytes(self.path, buf.getvalue())
+
+    def load(self) -> tuple[int, np.ndarray] | None:
+        """``(epochs_done, codebook)`` from the last commit, or ``None``."""
+        try:
+            with np.load(self.path) as data:
+                return int(data["epochs_done"]), np.array(data["codebook"])
+        except (OSError, KeyError, ValueError):
+            return None
+
+    def clear(self) -> None:
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+
+class PoisonList:
+    """Failure ledger for work units; quarantines after ``quarantine_after``.
+
+    Keys are caller-defined unit identifiers (mrblast uses
+    ``"b<block>:p<partition>"``).  The ledger is shared state across
+    supervised relaunches of the same job directory: the failing rank
+    records the failure *before* the job dies, so the relaunch sees it.
+    Only one unit is ever failing at a time (the first map() exception kills
+    the whole MPI job), so last-writer-wins commits are race-free in
+    practice and atomic either way.
+    """
+
+    def __init__(self, path: str, quarantine_after: int = 3) -> None:
+        if quarantine_after < 1:
+            raise ValueError(f"quarantine_after must be >= 1, got {quarantine_after}")
+        self.path = path
+        self.quarantine_after = quarantine_after
+
+    def load(self) -> dict[str, dict]:
+        state = read_json(self.path, default={}) or {}
+        return {str(k): dict(v) for k, v in state.items()}
+
+    def record_failure(self, key: str, error: str) -> int:
+        """Persist one failure of ``key``; returns its total failure count."""
+        state = self.load()
+        entry = state.setdefault(key, {"failures": 0, "error": ""})
+        entry["failures"] = int(entry.get("failures", 0)) + 1
+        entry["error"] = error
+        atomic_write_json(self.path, state)
+        return entry["failures"]
+
+    def quarantined(self) -> set[str]:
+        """Unit keys that have exhausted their attempt budget."""
+        return {
+            key
+            for key, entry in self.load().items()
+            if int(entry.get("failures", 0)) >= self.quarantine_after
+        }
+
+    def clear(self) -> None:
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass

@@ -13,8 +13,10 @@ from __future__ import annotations
 import argparse
 
 from repro.blast.options import BlastOptions
-from repro.core.mrblast.driver import MrBlastConfig, mrblast_spmd
+from repro.core.mrblast.driver import MrBlastConfig, mrblast_spmd, mrblast_supervised
 from repro.core.mrblast.workitems import load_query_blocks
+from repro.mpi.faultplan import FaultPlan
+from repro.mpi.runtime import RetryPolicy
 
 __all__ = ["main"]
 
@@ -39,6 +41,14 @@ def build_parser() -> argparse.ArgumentParser:
                     help="query blocks per MapReduce iteration (0 = all at once)")
     ap.add_argument("--locality", action="store_true",
                     help="location-aware dispatch (prefer a worker's current DB partition)")
+    ap.add_argument("--resume", action="store_true",
+                    help="continue from the per-rank progress manifests in --out")
+    ap.add_argument("--faults", default=None, metavar="SPEC",
+                    help="fault-injection plan, e.g. 'crash=1@20' or "
+                         "'seed=7,crashes=1,drops=2' (see FaultPlan.parse)")
+    ap.add_argument("--retries", type=int, default=0, metavar="N",
+                    help="run under the supervisor with up to N relaunches "
+                         "(resume from the last committed iteration)")
     return ap
 
 
@@ -84,15 +94,35 @@ def main(argv: list[str] | None = None) -> int:
         output_dir=args.out,
         blocks_per_iteration=args.blocks_per_iteration,
         locality_aware=args.locality,
+        resume=args.resume,
     )
-    results = mrblast_spmd(args.np, config)
+    fault_plan = FaultPlan.parse(args.faults, args.np) if args.faults else None
+    if args.retries > 0 or fault_plan is not None:
+        outcome = mrblast_supervised(
+            args.np,
+            config,
+            fault_plan=fault_plan,
+            retry=RetryPolicy(max_attempts=max(1, args.retries + 1)),
+        )
+        results = outcome.results
+        print(
+            f"supervisor: {outcome.retries} retries, "
+            f"{outcome.faults_injected} faults injected"
+        )
+    else:
+        results = mrblast_spmd(args.np, config)
     total_hits = sum(r.hits_written for r in results)
     total_queries = sum(r.queries_written for r in results)
+    quarantined = sum(r.quarantined_units for r in results)
     for r in results:
         print(
             f"rank {r.rank}: units={r.units_processed} switches={r.partition_switches} "
             f"wrote {r.hits_written} hits for {r.queries_written} queries -> {r.output_path}"
         )
+    if results and results[0].resumed_from_iteration:
+        print(f"resumed from iteration {results[0].resumed_from_iteration}")
+    if quarantined:
+        print(f"quarantined work units skipped: {quarantined} (see poison.json)")
     print(f"total: {total_hits} hits for {total_queries} queries across {args.np} ranks")
     return 0
 

@@ -12,10 +12,17 @@ employ multiple iterations of the above MapReduce protocol within the same
 MPI process by looping over the consecutive subsets of the entire query
 set.  This is done to control the size of the intermediate key-value
 dataset" (§III.A) — ``blocks_per_iteration`` is that knob.
+
+The iteration loop doubles as the checkpoint cadence: after each iteration
+every rank commits a progress manifest (``repro.core.checkpoint``), so a
+supervised relaunch (:func:`mrblast_supervised`) resumes from the last
+globally committed iteration instead of restarting the whole job — the
+recovery story §II.A concedes plain MPI lacks.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import os
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
@@ -24,15 +31,23 @@ from repro.blast.dbreader import DatabaseAlias
 from repro.blast.hsp import HSP
 from repro.blast.options import BlastOptions
 from repro.bio.seq import SeqRecord
+from repro.core.checkpoint import IterationCheckpoint, PoisonList
 from repro.core.mrblast.mapper import MrBlastMapper
 from repro.core.mrblast.reducer import MrBlastReducer
-from repro.core.mrblast.workitems import build_work_items
+from repro.core.mrblast.workitems import WorkItem, build_work_items
 from repro.mpi.comm import Comm
-from repro.mpi.runtime import run_spmd
+from repro.mpi.faultplan import FaultPlan
+from repro.mpi.runtime import RetryPolicy, SupervisedOutcome, run_spmd, run_supervised
 from repro.mrmpi.mapreduce import MapReduce, MapStyle
 from repro.util.log import rank_logger
 
-__all__ = ["MrBlastConfig", "MrBlastResult", "run_mrblast", "mrblast_spmd"]
+__all__ = [
+    "MrBlastConfig",
+    "MrBlastResult",
+    "run_mrblast",
+    "mrblast_spmd",
+    "mrblast_supervised",
+]
 
 
 @dataclass
@@ -68,15 +83,24 @@ class MrBlastConfig:
     #: same argument the paper makes for per-partition hit lists.
     combiner: bool = False
     #: per-iteration checkpointing: the practical answer to §II.A's missing
-    #: MPI fault tolerance.  Progress files record, per rank, the output-file
-    #: byte offset after each completed outer iteration; ``resume=True``
-    #: truncates every rank's file to the last *globally* completed
-    #: iteration and continues from there, so a killed job repeats at most
-    #: one iteration's work.
+    #: MPI fault tolerance.  Progress manifests record, per rank, the
+    #: output-file byte offset after each completed outer iteration;
+    #: ``resume=True`` truncates every rank's file to the last *globally*
+    #: completed iteration and continues from there, so a killed job repeats
+    #: at most one iteration's work.
     resume: bool = False
     #: stop after this many (additional) outer iterations — incremental
     #: processing and the unit test hook for resume
     stop_after_iterations: int | None = None
+    #: directory for KV/KMV spill files (None = system temp dir)
+    spool_dir: str | None = None
+    #: a work unit whose map() raises is retried on this many supervised
+    #: relaunches before being quarantined (skipped and reported) instead of
+    #: killing the job forever.  0 disables the poison ledger entirely.
+    poison_attempts: int = 3
+    #: test/chaos hook: called with each WorkItem before it executes; raise
+    #: to simulate an application failure inside map()
+    unit_fault_injector: Callable[[WorkItem], None] | None = None
 
     def __post_init__(self) -> None:
         if not self.query_blocks:
@@ -87,6 +111,52 @@ class MrBlastConfig:
             raise ValueError("lookup_cache_blocks must be >= 0")
         if self.stop_after_iterations is not None and self.stop_after_iterations < 1:
             raise ValueError("stop_after_iterations must be >= 1 when set")
+
+    def validate(self) -> None:
+        """Fail-fast checks before any rank spawns.
+
+        One clear error in the launcher beats N ranks aborting mid-map: the
+        alias file must exist and parse, every query block must be non-empty,
+        sizes must be sane, and the output/spool directories must be
+        writable.  Raises :class:`ValueError` naming the offending field.
+        """
+        if not os.path.isfile(self.alias_path):
+            raise ValueError(f"mrblast config: alias_path {self.alias_path!r} does not exist")
+        try:
+            DatabaseAlias.load(self.alias_path)
+        except Exception as exc:
+            raise ValueError(
+                f"mrblast config: alias_path {self.alias_path!r} is not a readable "
+                f"database alias ({exc})"
+            ) from exc
+        for i, block in enumerate(self.query_blocks):
+            if not block:
+                raise ValueError(f"mrblast config: query block {i} is empty")
+        if self.memsize < 1:
+            raise ValueError(f"mrblast config: memsize must be >= 1, got {self.memsize}")
+        if self.poison_attempts < 0:
+            raise ValueError(
+                f"mrblast config: poison_attempts must be >= 0, got {self.poison_attempts}"
+            )
+        if self.work_order not in ("partition_major", "query_major"):
+            raise ValueError(f"mrblast config: unknown work_order {self.work_order!r}")
+        _check_writable_dir(self.output_dir, "output_dir")
+        if self.spool_dir is not None:
+            _check_writable_dir(self.spool_dir, "spool_dir")
+
+
+def _check_writable_dir(path: str, name: str) -> None:
+    try:
+        os.makedirs(path, exist_ok=True)
+    except OSError as exc:
+        raise ValueError(f"mrblast config: {name} {path!r} cannot be created ({exc})") from exc
+    probe = os.path.join(path, ".write-probe")
+    try:
+        with open(probe, "w") as fh:
+            fh.write("")
+        os.unlink(probe)
+    except OSError as exc:
+        raise ValueError(f"mrblast config: {name} {path!r} is not writable ({exc})") from exc
 
 
 @dataclass
@@ -108,28 +178,42 @@ class MrBlastResult:
     ungapped_seconds: float = 0.0
     gapped_seconds: float = 0.0
     lookup_cache_hits: int = 0
+    #: robustness counters (PR 3): where this attempt picked up, how many
+    #: units were skipped as poisoned, and — filled in by the supervised
+    #: wrapper — how hard the supervisor had to work to get here.
+    resumed_from_iteration: int = 0
+    quarantined_units: int = 0
+    map_failures: int = 0
+    faults_injected: int = 0
+    retries: int = 0
 
 
 def run_mrblast(comm: Comm, config: MrBlastConfig) -> MrBlastResult:
     """SPMD entry point: call on every rank of ``comm``."""
-    import json
-
     from repro.mpi.ops import MIN
 
     log = rank_logger("core.mrblast", comm.rank)
     alias = DatabaseAlias.load(config.alias_path)
     os.makedirs(config.output_dir, exist_ok=True)
     output_path = os.path.join(config.output_dir, f"hits.rank{comm.rank:04d}.tsv")
-    progress_path = os.path.join(config.output_dir, f"progress.rank{comm.rank:04d}.json")
+    checkpoint = IterationCheckpoint(config.output_dir, comm.rank)
+    poison = (
+        PoisonList(
+            os.path.join(config.output_dir, "poison.json"),
+            quarantine_after=config.poison_attempts,
+        )
+        if config.poison_attempts > 0
+        else None
+    )
 
     # Checkpoint recovery: agree on the last iteration *every* rank finished,
     # then truncate this rank's output back to that point.
-    offsets: list[int] = []
-    if config.resume and os.path.exists(progress_path):
-        with open(progress_path, "r", encoding="utf-8") as fh:
-            offsets = [int(x) for x in json.load(fh)["offsets"]]
+    manifest = checkpoint.load() if config.resume else {"offsets": [], "queries": [], "hits": []}
+    offsets = manifest["offsets"]
     start_iteration = int(comm.allreduce(len(offsets), op=MIN))
     offsets = offsets[:start_iteration]
+    queries_log = manifest["queries"][:start_iteration]
+    hits_log = manifest["hits"][:start_iteration]
     if start_iteration > 0 and os.path.exists(output_path):
         keep = offsets[-1] if offsets else 0
         with open(output_path, "r+b") as fh:
@@ -137,9 +221,13 @@ def run_mrblast(comm: Comm, config: MrBlastConfig) -> MrBlastResult:
         log.info("resuming from iteration %d (output at %d bytes)", start_iteration, keep)
     else:
         start_iteration = 0
-        offsets = []
+        offsets, queries_log, hits_log = [], [], []
         # Fresh output file for this run; reducers append afterwards.
         open(output_path, "w").close()
+        if poison is not None and not config.resume and comm.rank == 0:
+            poison.clear()  # stale quarantine must not leak into a fresh run
+    if poison is not None:
+        comm.barrier()  # poison ledger settled before any rank reads it
 
     mapper = MrBlastMapper(
         alias,
@@ -147,9 +235,18 @@ def run_mrblast(comm: Comm, config: MrBlastConfig) -> MrBlastResult:
         config.options,
         hit_filter=config.hit_filter,
         lookup_cache_blocks=config.lookup_cache_blocks,
+        poison=poison,
+        fault_injector=config.unit_fault_injector,
     )
-    reducer = MrBlastReducer(mapper.options, output_path)
-    mr = MapReduce(comm, memsize=config.memsize, mapstyle=config.mapstyle)
+    reducer = MrBlastReducer(
+        mapper.options,
+        output_path,
+        queries_written=queries_log[-1] if queries_log else 0,
+        hits_written=hits_log[-1] if hits_log else 0,
+    )
+    mr = MapReduce(
+        comm, memsize=config.memsize, mapstyle=config.mapstyle, spool_dir=config.spool_dir
+    )
 
     # Original input position of each query id, so per-rank files preserve
     # the input order of the queries they own (paper §III.A).
@@ -164,45 +261,51 @@ def run_mrblast(comm: Comm, config: MrBlastConfig) -> MrBlastResult:
     step = config.blocks_per_iteration or n_blocks
     iteration_starts = list(range(0, n_blocks, step))
     done_this_run = 0
-    for iteration, first_block in enumerate(iteration_starts):
-        if iteration < start_iteration:
-            continue
-        if (
-            config.stop_after_iterations is not None
-            and done_this_run >= config.stop_after_iterations
-        ):
-            break
-        block_ids = range(first_block, min(first_block + step, n_blocks))
-        items = build_work_items(
-            n_blocks, alias.num_partitions, config.work_order, block_range=block_ids
-        )
-        log.debug("iteration from block %d: %d work units", first_block, len(items))
-        mr.map_items(
-            items,
-            mapper,
-            locality_key=(lambda it: it.partition_index) if config.locality_aware else None,
-        )
-        if config.combiner:
-            from repro.blast.hsp import top_hits
+    try:
+        for iteration, first_block in enumerate(iteration_starts):
+            if iteration < start_iteration:
+                continue
+            if (
+                config.stop_after_iterations is not None
+                and done_this_run >= config.stop_after_iterations
+            ):
+                break
+            block_ids = range(first_block, min(first_block + step, n_blocks))
+            items = build_work_items(
+                n_blocks, alias.num_partitions, config.work_order, block_range=block_ids
+            )
+            log.debug("iteration from block %d: %d work units", first_block, len(items))
+            mr.map_items(
+                items,
+                mapper,
+                locality_key=(lambda it: it.partition_index) if config.locality_aware else None,
+            )
+            if config.combiner:
+                from repro.blast.hsp import top_hits
 
-            opts = mapper.options
+                opts = mapper.options
 
-            def combine(qid, hsps, kv):
-                for hsp in top_hits(hsps, opts.max_hits, opts.evalue):
-                    kv.add(qid, hsp)
+                def combine(qid, hsps, kv):
+                    for hsp in top_hits(hsps, opts.max_hits, opts.evalue):
+                        kv.add(qid, hsp)
 
-            mr.compress(combine)
-        mr.collate()
-        mr.sort_kmv_keys(key=lambda qid: query_order.get(qid, len(query_order)))
-        mr.reduce(reducer)
-        done_this_run += 1
-        # Checkpoint: record the output size reached by this iteration.
-        offsets.append(os.path.getsize(output_path))
-        with open(progress_path, "w", encoding="utf-8") as fh:
-            json.dump({"offsets": offsets}, fh)
+                mr.compress(combine)
+            mr.collate()
+            mr.sort_kmv_keys(key=lambda qid: query_order.get(qid, len(query_order)))
+            mr.reduce(reducer)
+            done_this_run += 1
+            # Commit the iteration: output size + cumulative counts, atomically.
+            offsets.append(os.path.getsize(output_path))
+            queries_log.append(reducer.queries_written)
+            hits_log.append(reducer.hits_written)
+            checkpoint.commit(offsets, queries_log, hits_log)
+    finally:
+        # Runs on *every* rank even when this rank is unwinding an injected
+        # crash or AbortError — no KV/KMV spill files may outlive the job.
+        timers = mr.timers
+        mr.close()
+        mapper.release()
 
-    timers = mr.timers
-    mr.close()
     return MrBlastResult(
         rank=comm.rank,
         output_path=output_path,
@@ -219,9 +322,50 @@ def run_mrblast(comm: Comm, config: MrBlastConfig) -> MrBlastResult:
         ungapped_seconds=mapper.stats.ungapped_seconds,
         gapped_seconds=mapper.stats.gapped_seconds,
         lookup_cache_hits=mapper.stats.lookup_cache_hits,
+        resumed_from_iteration=start_iteration,
+        quarantined_units=mapper.stats.quarantined_units,
+        map_failures=mapper.stats.map_failures,
     )
 
 
 def mrblast_spmd(nprocs: int, config: MrBlastConfig) -> list[MrBlastResult]:
     """Launch a full in-process MPI job running :func:`run_mrblast`."""
+    config.validate()
     return run_spmd(nprocs, run_mrblast, config)
+
+
+def mrblast_supervised(
+    nprocs: int,
+    config: MrBlastConfig,
+    *,
+    fault_plan: FaultPlan | None = None,
+    retry: RetryPolicy | None = None,
+    op_timeout: float | None = None,
+) -> SupervisedOutcome:
+    """Run mrblast under the supervisor: crash → detect → back off → resume.
+
+    Attempt 1 honours ``config.resume`` as given; every relaunch forces
+    ``resume=True`` so it continues from the last committed iteration (and
+    sees the poison ledger of earlier attempts).  On success the per-rank
+    :class:`MrBlastResult` objects carry the supervision counters.  Raises
+    :class:`~repro.mpi.runtime.SupervisionExhausted` when the attempt budget
+    runs out.
+    """
+    config.validate()
+
+    def prepare(attempt: int) -> tuple[tuple, dict]:
+        cfg = config if attempt == 1 else dataclasses.replace(config, resume=True)
+        return (cfg,), {}
+
+    outcome = run_supervised(
+        nprocs,
+        run_mrblast,
+        retry=retry,
+        fault_plan=fault_plan,
+        op_timeout=op_timeout,
+        prepare=prepare,
+    )
+    for result in outcome.results:
+        result.faults_injected = outcome.faults_injected
+        result.retries = outcome.retries
+    return outcome

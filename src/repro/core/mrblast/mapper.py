@@ -22,10 +22,25 @@ from repro.blast.engine import make_engine
 from repro.blast.hsp import HSP
 from repro.blast.lookup import LookupCache
 from repro.blast.options import BlastOptions
+from repro.core.checkpoint import PoisonList
 from repro.core.mrblast.workitems import WorkItem
+from repro.mpi.exceptions import MPIError
 from repro.mrmpi.keyvalue import KeyValue
 
-__all__ = ["MrBlastMapper", "MapperStats", "exclude_self_hits"]
+__all__ = ["MrBlastMapper", "MapperStats", "MapUnitError", "exclude_self_hits", "unit_key"]
+
+
+def unit_key(item: WorkItem) -> str:
+    """Stable poison-ledger key for one (block, partition) work unit."""
+    return f"b{item.block_index}:p{item.partition_index}"
+
+
+class MapUnitError(RuntimeError):
+    """A work unit's map() raised; carries the unit key for the poison ledger."""
+
+    def __init__(self, key: str, cause: BaseException) -> None:
+        super().__init__(f"work unit {key} failed: {cause!r}")
+        self.unit_key = key
 
 
 def exclude_self_hits(query_id: str, hsp: HSP) -> bool:
@@ -52,6 +67,10 @@ class MapperStats:
     ungapped_seconds: float = 0.0
     gapped_seconds: float = 0.0
     lookup_cache_hits: int = 0
+    #: robustness counters: units skipped because their failure budget is
+    #: spent, and map() exceptions this rank recorded into the poison ledger
+    quarantined_units: int = 0
+    map_failures: int = 0
     #: (start, end, busy) wall-clock interval of each unit, for traces
     intervals: list[tuple[float, float, float]] = field(default_factory=list)
 
@@ -72,6 +91,8 @@ class MrBlastMapper:
         options: BlastOptions,
         hit_filter: Callable[[str, HSP], bool] | None = None,
         lookup_cache_blocks: int = 8,
+        poison: PoisonList | None = None,
+        fault_injector: Callable[[WorkItem], None] | None = None,
     ) -> None:
         # Always search with whole-database statistics (DB-split rule).
         self.options = options.with_db_size(alias.total_length, alias.num_seqs)
@@ -88,6 +109,18 @@ class MrBlastMapper:
             LookupCache(capacity=lookup_cache_blocks) if lookup_cache_blocks > 0 else None
         )
         self._engine.set_lookup_cache(self.lookup_cache)
+        self.poison = poison
+        self.quarantined: frozenset[str] = (
+            frozenset(poison.quarantined()) if poison is not None else frozenset()
+        )
+        self.fault_injector = fault_injector
+
+    def release(self) -> None:
+        """Drop the cached DB partition (called when the rank unwinds)."""
+        if self._partition is not None:
+            self._partition.release()
+            self._partition = None
+            self._partition_index = None
 
     def _get_partition(self, index: int) -> DbPartition:
         if self._partition_index != index:
@@ -100,7 +133,31 @@ class MrBlastMapper:
         return self._partition
 
     def __call__(self, itask: int, item: WorkItem, kv: KeyValue) -> None:
-        """Execute one work unit and emit its hits."""
+        """Execute one work unit and emit its hits.
+
+        A unit that has exhausted its failure budget (the poison ledger of
+        earlier supervised attempts) is skipped and counted instead of being
+        allowed to kill the job again.  A unit that raises here records the
+        failure *before* the exception propagates — the whole MPI job is
+        about to die, and the ledger is what the relaunch learns from.
+        """
+        key = unit_key(item)
+        if key in self.quarantined:
+            self.stats.quarantined_units += 1
+            return
+        try:
+            if self.fault_injector is not None:
+                self.fault_injector(item)
+            self._execute(item, kv)
+        except MPIError:
+            raise  # runtime-level failure, not this unit's fault
+        except Exception as exc:
+            self.stats.map_failures += 1
+            if self.poison is not None:
+                self.poison.record_failure(key, repr(exc))
+            raise MapUnitError(key, exc) from exc
+
+    def _execute(self, item: WorkItem, kv: KeyValue) -> None:
         t0 = time.perf_counter()
         partition = self._get_partition(item.partition_index)
         queries = self.query_blocks[item.block_index]

@@ -13,7 +13,9 @@ import argparse
 
 import numpy as np
 
-from repro.core.mrsom.driver import MrSomConfig, mrsom_spmd
+from repro.core.mrsom.driver import MrSomConfig, mrsom_spmd, mrsom_supervised
+from repro.mpi.faultplan import FaultPlan
+from repro.mpi.runtime import RetryPolicy
 from repro.som.codebook import SOMGrid
 
 __all__ = ["main"]
@@ -31,6 +33,16 @@ def build_parser() -> argparse.ArgumentParser:
     ap.add_argument("--init", choices=["linear", "random"], default="linear")
     ap.add_argument("--seed", type=int, default=0)
     ap.add_argument("--out", default="codebook.npy", help="trained codebook output (.npy)")
+    ap.add_argument("--checkpoint-dir", default=None,
+                    help="commit the codebook here after every epoch")
+    ap.add_argument("--resume", action="store_true",
+                    help="continue from the last committed epoch in --checkpoint-dir")
+    ap.add_argument("--faults", default=None, metavar="SPEC",
+                    help="fault-injection plan, e.g. 'crash=1@20' or 'seed=7' "
+                         "(see FaultPlan.parse)")
+    ap.add_argument("--retries", type=int, default=0, metavar="N",
+                    help="run under the supervisor with up to N relaunches "
+                         "(resume from the last committed epoch)")
     return ap
 
 
@@ -44,11 +56,29 @@ def main(argv: list[str] | None = None) -> int:
         block_rows=args.block_rows,
         init=args.init,
         seed=args.seed,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
     )
-    results = mrsom_spmd(args.np, config)
+    fault_plan = FaultPlan.parse(args.faults, args.np) if args.faults else None
+    if args.retries > 0 or fault_plan is not None:
+        outcome = mrsom_supervised(
+            args.np,
+            config,
+            fault_plan=fault_plan,
+            retry=RetryPolicy(max_attempts=max(1, args.retries + 1)),
+        )
+        results = outcome.results
+        print(
+            f"supervisor: {outcome.retries} retries, "
+            f"{outcome.faults_injected} faults injected"
+        )
+    else:
+        results = mrsom_spmd(args.np, config)
     np.save(args.out, results[0].codebook)
     busy = sum(r.busy_seconds for r in results)
     units = sum(r.units_processed for r in results)
+    if results[0].resumed_from_epoch:
+        print(f"resumed from epoch {results[0].resumed_from_epoch}")
     print(
         f"trained {args.rows}x{args.cols} SOM for {args.epochs} epochs on {args.np} ranks: "
         f"{units} work units, {busy:.2f} core-seconds -> {args.out}"

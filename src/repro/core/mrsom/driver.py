@@ -12,25 +12,35 @@ Per epoch:
    which applies Eq. 5.  "No reduce() stage is used in this program."
 
 This is the paper's "mix of MapReduce-MPI and direct MPI calls".
+
+Epoch boundaries are the natural checkpoint cadence: with
+``checkpoint_dir`` set, the master commits the codebook after every epoch
+(atomic rename), and ``resume=True`` continues from the last committed
+epoch.  Batch-SOM epochs are deterministic, so a resumed run reproduces
+the fault-free codebook bit for bit — see :func:`mrsom_supervised`.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import os
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.checkpoint import CodebookCheckpoint
 from repro.core.mrsom.mmap_input import MatrixFile
 from repro.mpi.comm import Comm
+from repro.mpi.faultplan import FaultPlan
 from repro.mpi.ops import SUM
-from repro.mpi.runtime import run_spmd
+from repro.mpi.runtime import RetryPolicy, SupervisedOutcome, run_spmd, run_supervised
 from repro.mrmpi.mapreduce import MapReduce, MapStyle
 from repro.som.batch import accumulate_batch, batch_update
 from repro.som.codebook import SOMGrid, init_codebook
 from repro.som.neighborhood import gaussian_kernel, radius_schedule
 
-__all__ = ["MrSomConfig", "MrSomResult", "run_mrsom", "mrsom_spmd"]
+__all__ = ["MrSomConfig", "MrSomResult", "run_mrsom", "mrsom_spmd", "mrsom_supervised"]
 
 
 @dataclass
@@ -56,12 +66,57 @@ class MrSomConfig:
     #: record per-epoch quantisation error on the master (over the init
     #: sample) — convergence monitoring at bounded cost
     track_error: bool = False
+    #: directory for per-epoch codebook checkpoints (None = no checkpoints)
+    checkpoint_dir: str | None = None
+    #: continue from the last committed epoch in ``checkpoint_dir``
+    resume: bool = False
+    #: stop after this many (additional) epochs — incremental training and
+    #: the test hook for resume
+    stop_after_epochs: int | None = None
 
     def __post_init__(self) -> None:
         if self.epochs < 1:
             raise ValueError(f"epochs must be >= 1, got {self.epochs}")
         if self.block_rows < 1:
             raise ValueError(f"block_rows must be >= 1, got {self.block_rows}")
+        if self.stop_after_epochs is not None and self.stop_after_epochs < 1:
+            raise ValueError("stop_after_epochs must be >= 1 when set")
+
+    def validate(self) -> None:
+        """Fail-fast checks before any rank spawns (one clear error, not N)."""
+        if not os.path.isfile(self.matrix_path):
+            raise ValueError(f"mrsom config: matrix_path {self.matrix_path!r} does not exist")
+        try:
+            matrix = MatrixFile(self.matrix_path)
+        except Exception as exc:
+            raise ValueError(
+                f"mrsom config: matrix_path {self.matrix_path!r} is not a readable "
+                f"matrix file ({exc})"
+            ) from exc
+        if matrix.n < 1:
+            raise ValueError(f"mrsom config: matrix {self.matrix_path!r} has no rows")
+        if self.grid.n_units < 1:
+            raise ValueError("mrsom config: SOM grid has no units")
+        if self.init not in ("linear", "random"):
+            raise ValueError(f"mrsom config: unknown init {self.init!r}")
+        if self.final_radius <= 0:
+            raise ValueError(
+                f"mrsom config: final_radius must be > 0, got {self.final_radius}"
+            )
+        if self.resume and self.checkpoint_dir is None:
+            raise ValueError("mrsom config: resume=True requires checkpoint_dir")
+        if self.checkpoint_dir is not None:
+            try:
+                os.makedirs(self.checkpoint_dir, exist_ok=True)
+                probe = os.path.join(self.checkpoint_dir, ".write-probe")
+                with open(probe, "w") as fh:
+                    fh.write("")
+                os.unlink(probe)
+            except OSError as exc:
+                raise ValueError(
+                    f"mrsom config: checkpoint_dir {self.checkpoint_dir!r} is not "
+                    f"writable ({exc})"
+                ) from exc
 
 
 @dataclass
@@ -77,6 +132,11 @@ class MrSomResult:
     reduce_seconds: float
     #: per-epoch quantisation error (rank 0 only, when track_error is set)
     error_history: list[float] = None
+    #: robustness counters (PR 3): epoch this attempt resumed at, plus the
+    #: supervision counters filled in by :func:`mrsom_supervised`
+    resumed_from_epoch: int = 0
+    faults_injected: int = 0
+    retries: int = 0
 
 
 @dataclass
@@ -113,11 +173,24 @@ def run_mrsom(comm: Comm, config: MrSomConfig) -> MrSomResult:
     grid = config.grid
     k, dim = grid.n_units, matrix.dim
 
-    # Master initialises the codebook; everyone allocates the buffer.
+    # Master initialises the codebook (or reloads the last committed epoch);
+    # everyone allocates the buffer.
+    checkpoint = (
+        CodebookCheckpoint(config.checkpoint_dir) if config.checkpoint_dir else None
+    )
     codebook = np.zeros((k, dim))
+    start_epoch = 0
     if comm.rank == 0:
-        sample = matrix.rows(0, min(config.init_sample_rows, matrix.n))
-        codebook = init_codebook(grid, sample, method=config.init, seed_or_rng=config.seed)
+        loaded = checkpoint.load() if (checkpoint is not None and config.resume) else None
+        if loaded is not None:
+            start_epoch, codebook = loaded
+            start_epoch = min(start_epoch, config.epochs)
+        else:
+            sample = matrix.rows(0, min(config.init_sample_rows, matrix.n))
+            codebook = init_codebook(grid, sample, method=config.init, seed_or_rng=config.seed)
+            if checkpoint is not None and not config.resume:
+                checkpoint.clear()  # a fresh run must not resume stale state
+    start_epoch = int(comm.bcast(start_epoch, root=0))
 
     initial = config.initial_radius
     if initial is None:
@@ -135,32 +208,44 @@ def run_mrsom(comm: Comm, config: MrSomConfig) -> MrSomResult:
     if config.track_error and comm.rank == 0:
         sample = matrix.rows(0, min(config.init_sample_rows, matrix.n))
 
-    for sigma in sigmas:
-        t0 = time.perf_counter()
-        comm.Bcast(codebook, root=0)  # direct MPI call #1 (Fig. 2)
-        bcast_seconds += time.perf_counter() - t0
+    epochs_done_this_run = 0
+    try:
+        for epoch in range(start_epoch, config.epochs):
+            if (
+                config.stop_after_epochs is not None
+                and epochs_done_this_run >= config.stop_after_epochs
+            ):
+                break
+            sigma = sigmas[epoch]
+            t0 = time.perf_counter()
+            comm.Bcast(codebook, root=0)  # direct MPI call #1 (Fig. 2)
+            bcast_seconds += time.perf_counter() - t0
 
-        kernel = gaussian_kernel(sq, float(sigma))
-        acc.start_epoch(codebook, kernel)
-        mr.map_items(work, acc)
+            kernel = gaussian_kernel(sq, float(sigma))
+            acc.start_epoch(codebook, kernel)
+            mr.map_items(work, acc)
 
-        t0 = time.perf_counter()
-        num_total = np.zeros_like(acc.num)
-        denom_total = np.zeros_like(acc.denom)
-        comm.Reduce(acc.num, num_total, op=SUM, root=0)  # direct MPI call #2
-        comm.Reduce(acc.denom, denom_total, op=SUM, root=0)
-        reduce_seconds += time.perf_counter() - t0
+            t0 = time.perf_counter()
+            num_total = np.zeros_like(acc.num)
+            denom_total = np.zeros_like(acc.denom)
+            comm.Reduce(acc.num, num_total, op=SUM, root=0)  # direct MPI call #2
+            comm.Reduce(acc.denom, denom_total, op=SUM, root=0)
+            reduce_seconds += time.perf_counter() - t0
 
-        if comm.rank == 0:
-            codebook = batch_update(codebook, num_total, denom_total)
-            if sample is not None:
-                from repro.som.quality import quantization_error
+            if comm.rank == 0:
+                codebook = batch_update(codebook, num_total, denom_total)
+                if sample is not None:
+                    from repro.som.quality import quantization_error
 
-                error_history.append(quantization_error(sample, codebook))
+                    error_history.append(quantization_error(sample, codebook))
+                if checkpoint is not None:
+                    checkpoint.save(epoch + 1, codebook)
+            epochs_done_this_run += 1
 
-    # Final broadcast so every rank returns the trained codebook.
-    comm.Bcast(codebook, root=0)
-    mr.close()
+        # Final broadcast so every rank returns the trained codebook.
+        comm.Bcast(codebook, root=0)
+    finally:
+        mr.close()  # even when unwinding a crash: no leaked spill files
     return MrSomResult(
         rank=comm.rank,
         codebook=codebook,
@@ -170,9 +255,49 @@ def run_mrsom(comm: Comm, config: MrSomConfig) -> MrSomResult:
         bcast_seconds=bcast_seconds,
         reduce_seconds=reduce_seconds,
         error_history=error_history if comm.rank == 0 and config.track_error else None,
+        resumed_from_epoch=start_epoch,
     )
 
 
 def mrsom_spmd(nprocs: int, config: MrSomConfig) -> list[MrSomResult]:
     """Launch a full in-process MPI job running :func:`run_mrsom`."""
+    config.validate()
     return run_spmd(nprocs, run_mrsom, config)
+
+
+def mrsom_supervised(
+    nprocs: int,
+    config: MrSomConfig,
+    *,
+    fault_plan: FaultPlan | None = None,
+    retry: RetryPolicy | None = None,
+    op_timeout: float | None = None,
+) -> SupervisedOutcome:
+    """Run mrsom under the supervisor: crash → detect → back off → resume.
+
+    Requires ``checkpoint_dir`` for relaunches to resume mid-training
+    (without it a relaunch simply retrains from epoch 0 — still correct,
+    just wasteful).  Attempt 1 honours ``config.resume``; every relaunch
+    forces ``resume=True`` when checkpoints are enabled.
+    """
+    config.validate()
+
+    def prepare(attempt: int) -> tuple[tuple, dict]:
+        if attempt == 1 or config.checkpoint_dir is None:
+            cfg = config
+        else:
+            cfg = dataclasses.replace(config, resume=True)
+        return (cfg,), {}
+
+    outcome = run_supervised(
+        nprocs,
+        run_mrsom,
+        retry=retry,
+        fault_plan=fault_plan,
+        op_timeout=op_timeout,
+        prepare=prepare,
+    )
+    for result in outcome.results:
+        result.faults_injected = outcome.faults_injected
+        result.retries = outcome.retries
+    return outcome

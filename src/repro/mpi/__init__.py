@@ -28,7 +28,15 @@ dissemination barrier), mirroring how a real MPI implements them and giving
 the point-to-point layer heavy indirect test coverage.
 """
 
-from repro.mpi.exceptions import MPIError, DeadlockError, AbortError
+from repro.mpi.exceptions import MPIError, DeadlockError, AbortError, RankFailure
+from repro.mpi.faultplan import (
+    CrashRank,
+    DelayMessage,
+    DropMessage,
+    DuplicateMessage,
+    FaultPlan,
+    StallRank,
+)
 from repro.mpi.ops import (
     ANY_SOURCE,
     ANY_TAG,
@@ -45,7 +53,14 @@ from repro.mpi.ops import (
 )
 from repro.mpi.network import Network
 from repro.mpi.comm import Comm, Request
-from repro.mpi.runtime import run_spmd
+from repro.mpi.runtime import (
+    RetryPolicy,
+    SupervisedOutcome,
+    SupervisionExhausted,
+    classify_failure,
+    run_spmd,
+    run_supervised,
+)
 from repro.mpi.pool import MPIPool
 
 __all__ = [
@@ -65,8 +80,20 @@ __all__ = [
     "Comm",
     "Request",
     "run_spmd",
+    "run_supervised",
+    "RetryPolicy",
+    "SupervisedOutcome",
+    "SupervisionExhausted",
+    "classify_failure",
     "MPIPool",
     "MPIError",
     "DeadlockError",
     "AbortError",
+    "RankFailure",
+    "FaultPlan",
+    "CrashRank",
+    "StallRank",
+    "DropMessage",
+    "DuplicateMessage",
+    "DelayMessage",
 ]

@@ -151,6 +151,9 @@ class Comm:
         return self._group[peer]
 
     def _post(self, obj: Any, dest: int, tag: int) -> None:
+        # ``src`` is the communicator-local rank (receivers index gathers by
+        # it); the *global* rank travels separately so fault injection and
+        # heartbeats account to the right physical rank on sub-communicators.
         self._network.post(
             Message(
                 src=self._rank,
@@ -158,7 +161,8 @@ class Comm:
                 tag=tag,
                 context=self._context,
                 payload=_isolate(obj),
-            )
+            ),
+            acting=self._global_rank,
         )
 
     def _match(

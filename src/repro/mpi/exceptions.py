@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-__all__ = ["MPIError", "DeadlockError", "AbortError"]
+__all__ = ["MPIError", "DeadlockError", "AbortError", "RankFailure"]
 
 
 class MPIError(RuntimeError):
@@ -20,3 +20,18 @@ class DeadlockError(MPIError):
 
 class AbortError(MPIError):
     """Raised inside blocked ranks when another rank failed (MPI_Abort)."""
+
+
+class RankFailure(MPIError):
+    """A rank crashed (fault injection): raised at the rank's next MPI call.
+
+    Mirrors the paper's §II.A failure semantics — MPI has no recovery story,
+    so one dead rank takes the whole job down.  The failing rank raises this
+    from inside :class:`~repro.mpi.network.Network`; the runtime then aborts
+    the job and every blocked peer observes :class:`AbortError`.
+    """
+
+    def __init__(self, rank: int, op_index: int) -> None:
+        super().__init__(f"rank {rank} crashed at MPI operation {op_index} (fault injection)")
+        self.rank = rank
+        self.op_index = op_index

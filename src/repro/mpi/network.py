@@ -9,16 +9,33 @@ arrival-ordered lists and matching scans from the front).
 Contexts isolate communicators: collectives run in the same context as the
 communicator they belong to, and split communicators get fresh contexts, so
 traffic can never leak across communicators even with wildcard receives.
+
+The network is also where faults happen.  With a
+:class:`~repro.mpi.faultplan.FaultPlan` attached, every MPI call consults the
+plan: a scheduled crash turns the acting rank's call into
+:class:`~repro.mpi.exceptions.RankFailure` (and every later call by that rank
+too), scheduled message faults drop/duplicate/delay individual posts, and
+stalls sleep the acting rank.  Each call also stamps a per-rank heartbeat the
+supervisor reads to name stalled ranks.
 """
 
 from __future__ import annotations
 
 import itertools
 import threading
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass
 from typing import Any, Optional
 
-from repro.mpi.exceptions import AbortError, DeadlockError, MPIError
+from repro.mpi.exceptions import AbortError, DeadlockError, MPIError, RankFailure
+from repro.mpi.faultplan import (
+    CrashRank,
+    DelayMessage,
+    DropMessage,
+    DuplicateMessage,
+    FaultPlan,
+    StallRank,
+)
 from repro.mpi.ops import ANY_SOURCE, ANY_TAG
 
 __all__ = ["Network", "Message"]
@@ -34,21 +51,30 @@ class Message:
     context: int
     payload: Any
     seq: int = 0
+    #: monotonic time before which the message is invisible to receivers
+    #: (0 = deliverable immediately; used by injected delivery delays)
+    not_before: float = 0.0
 
 
 class Network:
-    """Shared state of one SPMD job: mailboxes, contexts, abort flag."""
+    """Shared state of one SPMD job: mailboxes, contexts, abort flag, faults."""
 
     #: Default timeout (seconds) for any single blocking operation. Generous
     #: enough for slow CI machines, small enough that a deadlocked test fails
     #: rather than hangs.
     DEFAULT_OP_TIMEOUT = 120.0
 
-    def __init__(self, nprocs: int, op_timeout: float | None = None) -> None:
+    def __init__(
+        self,
+        nprocs: int,
+        op_timeout: float | None = None,
+        fault_plan: FaultPlan | None = None,
+    ) -> None:
         if nprocs < 1:
             raise MPIError(f"nprocs must be >= 1, got {nprocs}")
         self.nprocs = nprocs
         self.op_timeout = op_timeout if op_timeout is not None else self.DEFAULT_OP_TIMEOUT
+        self.fault_plan = fault_plan
         self._lock = threading.Lock()
         self._conds = [threading.Condition(self._lock) for _ in range(nprocs)]
         self._mailboxes: list[list[Message]] = [[] for _ in range(nprocs)]
@@ -56,6 +82,10 @@ class Network:
         self._contexts: dict[tuple, int] = {}
         self._next_context = itertools.count(1)
         self._aborted: Optional[BaseException] = None
+        self._op_counts = [0] * nprocs
+        self._send_counts = [0] * nprocs
+        self._heartbeats = [time.monotonic()] * nprocs
+        self._crashed = [False] * nprocs
 
     # ------------------------------------------------------------------ abort
 
@@ -75,16 +105,84 @@ class Network:
         if self._aborted is not None:
             raise AbortError(f"another rank failed: {self._aborted!r}")
 
+    # ------------------------------------------------------------------ faults
+
+    def _pre_op(self, rank: int) -> None:
+        """Heartbeat + fault hook at the start of every MPI call by ``rank``.
+
+        Must be called *outside* the network lock (it takes the lock itself,
+        and an injected stall sleeps after releasing it).
+        """
+        if not (0 <= rank < self.nprocs):
+            return
+        stall = 0.0
+        failure: RankFailure | None = None
+        with self._lock:
+            self._heartbeats[rank] = time.monotonic()
+            self._op_counts[rank] += 1
+            op_index = self._op_counts[rank]
+            if self._crashed[rank]:
+                failure = RankFailure(rank, op_index)
+            elif self.fault_plan is not None:
+                for ev in self.fault_plan.op_event(rank, op_index):
+                    if isinstance(ev, CrashRank):
+                        self._crashed[rank] = True
+                        failure = RankFailure(rank, op_index)
+                    elif isinstance(ev, StallRank):
+                        stall += ev.seconds
+        if stall > 0.0 and failure is None:
+            time.sleep(stall)
+        if failure is not None:
+            raise failure
+
+    def heartbeat_ages(self) -> list[float]:
+        """Seconds since each rank's last MPI call (supervisor telemetry)."""
+        now = time.monotonic()
+        with self._lock:
+            return [now - hb for hb in self._heartbeats]
+
+    def op_count(self, rank: int) -> int:
+        """MPI calls made by ``rank`` so far (deterministic per program)."""
+        with self._lock:
+            return self._op_counts[rank]
+
     # ----------------------------------------------------------------- routing
 
-    def post(self, msg: Message) -> None:
-        """Deliver ``msg`` to the destination mailbox (eager buffered send)."""
+    def post(self, msg: Message, acting: int | None = None) -> None:
+        """Deliver ``msg`` to the destination mailbox (eager buffered send).
+
+        ``acting`` is the sender's *global* rank for fault accounting;
+        ``msg.src`` can be a communicator-local rank and defaults in.
+        """
         if not (0 <= msg.dst < self.nprocs):
             raise MPIError(f"invalid destination rank {msg.dst} (nprocs={self.nprocs})")
+        sender = msg.src if acting is None else acting
+        self._pre_op(sender)
+        duplicate = False
         with self._lock:
             self._check_abort()
+            if self.fault_plan is not None and 0 <= sender < self.nprocs:
+                self._send_counts[sender] += 1
+                ev = self.fault_plan.send_event(sender, self._send_counts[sender])
+                if isinstance(ev, DropMessage):
+                    return  # silently lost on the wire
+                if isinstance(ev, DuplicateMessage):
+                    duplicate = True
+                elif isinstance(ev, DelayMessage):
+                    msg.not_before = time.monotonic() + ev.seconds
             msg.seq = next(self._seq)
             self._mailboxes[msg.dst].append(msg)
+            if duplicate:
+                copy = Message(
+                    src=msg.src,
+                    dst=msg.dst,
+                    tag=msg.tag,
+                    context=msg.context,
+                    payload=msg.payload,
+                    seq=next(self._seq),
+                    not_before=msg.not_before,
+                )
+                self._mailboxes[msg.dst].append(copy)
             self._conds[msg.dst].notify_all()
 
     @staticmethod
@@ -98,11 +196,12 @@ class Network:
         return True
 
     def probe(self, dst: int, context: int, source: int, tag: int) -> Optional[Message]:
-        """Non-destructively return the first matching message, or ``None``."""
+        """Non-destructively return the first deliverable match, or ``None``."""
         with self._lock:
             self._check_abort()
+            now = time.monotonic()
             for msg in self._mailboxes[dst]:
-                if self._matches(msg, context, source, tag):
+                if self._matches(msg, context, source, tag) and msg.not_before <= now:
                     return msg
         return None
 
@@ -117,28 +216,41 @@ class Network:
     ) -> Optional[Message]:
         """Remove and return the first matching message for rank ``dst``.
 
-        Blocks until a match arrives.  Raises :class:`DeadlockError` on
-        timeout and :class:`AbortError` if the job was aborted while waiting.
-        With ``block=False`` returns ``None`` immediately when nothing
-        matches.
+        Blocks until a match arrives.  Raises :class:`DeadlockError` when the
+        total wait exceeds the budget and :class:`AbortError` if the job was
+        aborted while waiting.  With ``block=False`` returns ``None``
+        immediately when nothing matches.  Messages whose ``not_before`` lies
+        in the future (injected delivery delays) are held back until due.
         """
-        deadline_budget = self.op_timeout if timeout is None else timeout
+        budget = self.op_timeout if timeout is None else timeout
+        self._pre_op(dst)
+        deadline = time.monotonic() + budget
         cond = self._conds[dst]
         with self._lock:
             while True:
                 self._check_abort()
+                now = time.monotonic()
                 box = self._mailboxes[dst]
+                next_ready: float | None = None
                 for i, msg in enumerate(box):
                     if self._matches(msg, context, source, tag):
-                        del box[i]
-                        return msg
+                        if msg.not_before <= now:
+                            del box[i]
+                            return msg
+                        if next_ready is None or msg.not_before < next_ready:
+                            next_ready = msg.not_before
                 if not block:
                     return None
-                if not cond.wait(timeout=deadline_budget):
+                remaining = deadline - now
+                if remaining <= 0:
                     raise DeadlockError(
-                        f"rank {dst} timed out after {deadline_budget:.0f}s waiting for "
+                        f"rank {dst} timed out after {budget:.0f}s waiting for "
                         f"(source={source}, tag={tag}, context={context})"
                     )
+                wait_for = remaining
+                if next_ready is not None:
+                    wait_for = min(wait_for, max(next_ready - now, 0.001))
+                cond.wait(timeout=wait_for)
 
     # ---------------------------------------------------------------- contexts
 

@@ -1,21 +1,41 @@
-"""SPMD launcher: run one Python callable on N in-process ranks.
+"""SPMD launcher and supervisor: run one Python callable on N in-process ranks.
 
 Each rank is a daemon thread executing ``fn(comm, *args, **kwargs)``.  The
 first rank to raise aborts the whole job (MPI_Abort semantics): blocked peers
 are woken with :class:`~repro.mpi.exceptions.AbortError` and the original
 exception is re-raised in the caller.
+
+On top of that whole-job-dies model sits :func:`run_supervised`: a
+supervisor that watches per-rank heartbeats, classifies failures
+(rank crash / timeout / abort fallout / application error) and relaunches
+the job with exponential backoff under a bounded attempt budget — the
+recovery loop the paper's §II.A says plain MPI lacks.  Combined with the
+drivers' checkpoints (``repro.core.checkpoint``) a relaunch resumes instead
+of restarting from scratch.
 """
 
 from __future__ import annotations
 
 import threading
+import time
+from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence
 
 from repro.mpi.comm import Comm
-from repro.mpi.exceptions import AbortError, MPIError
+from repro.mpi.exceptions import AbortError, DeadlockError, MPIError, RankFailure
+from repro.mpi.faultplan import FaultPlan
 from repro.mpi.network import Network
 
-__all__ = ["run_spmd", "SpmdJob"]
+__all__ = [
+    "run_spmd",
+    "SpmdJob",
+    "RetryPolicy",
+    "AttemptRecord",
+    "SupervisedOutcome",
+    "SupervisionExhausted",
+    "classify_failure",
+    "run_supervised",
+]
 
 
 class SpmdJob:
@@ -28,11 +48,12 @@ class SpmdJob:
         args: Sequence[Any] = (),
         kwargs: Optional[dict] = None,
         op_timeout: float | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         if nprocs < 1:
             raise MPIError(f"nprocs must be >= 1, got {nprocs}")
         self.nprocs = nprocs
-        self.network = Network(nprocs, op_timeout=op_timeout)
+        self.network = Network(nprocs, op_timeout=op_timeout, fault_plan=fault_plan)
         self._results: list[Any] = [None] * nprocs
         self._errors: list[Optional[BaseException]] = [None] * nprocs
         self._threads = [
@@ -61,17 +82,26 @@ class SpmdJob:
         """Start all ranks, join them, and return per-rank results.
 
         Raises the first *primary* rank failure (AbortError fallout from other
-        ranks is suppressed in its favour).
+        ranks is suppressed in its favour).  A job that blows the join budget
+        is aborted with a report naming the ranks whose heartbeats went
+        stale — the supervisor's stall detection.
         """
         for t in self._threads:
             t.start()
         budget = join_timeout if join_timeout is not None else self.network.op_timeout * 4
+        deadline = time.monotonic() + budget
         for t in self._threads:
-            t.join(timeout=budget)
-            if t.is_alive():
-                err = MPIError(f"SPMD job did not finish within {budget:.0f}s ({t.name} alive)")
-                self.network.abort(err)
-                raise err
+            while t.is_alive():
+                t.join(timeout=min(0.25, max(deadline - time.monotonic(), 0.01)))
+                if t.is_alive() and time.monotonic() >= deadline:
+                    ages = self.network.heartbeat_ages()
+                    stalled = [r for r, age in enumerate(ages) if age > min(ages) + 1.0]
+                    err = MPIError(
+                        f"SPMD job did not finish within {budget:.0f}s ({t.name} alive; "
+                        f"stalled ranks by heartbeat: {stalled or 'indeterminate'})"
+                    )
+                    self.network.abort(err)
+                    raise err
         primary = next(
             (e for e in self._errors if e is not None and not isinstance(e, AbortError)),
             None,
@@ -83,12 +113,18 @@ class SpmdJob:
             raise collateral
         return self._results
 
+    @property
+    def errors(self) -> list[Optional[BaseException]]:
+        """Per-rank terminal exceptions (None for clean ranks)."""
+        return list(self._errors)
+
 
 def run_spmd(
     nprocs: int,
     fn: Callable[..., Any],
     *args: Any,
     op_timeout: float | None = None,
+    fault_plan: FaultPlan | None = None,
     **kwargs: Any,
 ) -> list[Any]:
     """Run ``fn(comm, *args, **kwargs)`` on ``nprocs`` ranks; return results.
@@ -96,4 +132,139 @@ def run_spmd(
     The returned list is indexed by rank.  This is the moral equivalent of
     ``mpirun -np N python prog.py`` for this repository.
     """
-    return SpmdJob(nprocs, fn, args, kwargs, op_timeout=op_timeout).run()
+    return SpmdJob(nprocs, fn, args, kwargs, op_timeout=op_timeout, fault_plan=fault_plan).run()
+
+
+# --------------------------------------------------------------- supervision
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff for supervised relaunches."""
+
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_base < 0 or self.backoff_max < 0 or self.backoff_factor < 1:
+            raise ValueError("backoff parameters must be non-negative (factor >= 1)")
+
+    def backoff(self, attempt: int) -> float:
+        """Sleep before relaunching after failed attempt number ``attempt``."""
+        return min(self.backoff_base * self.backoff_factor ** (attempt - 1), self.backoff_max)
+
+
+@dataclass(frozen=True)
+class AttemptRecord:
+    """One supervised launch: how it ended and what the supervisor did next."""
+
+    attempt: int
+    outcome: str  # "ok" | "rank_failure" | "timeout" | "abort" | "mpi_error" | "error"
+    error: str = ""
+    backoff_seconds: float = 0.0
+
+
+@dataclass
+class SupervisedOutcome:
+    """The supervisor's full report for one logical job."""
+
+    results: Optional[list]
+    attempts: list[AttemptRecord] = field(default_factory=list)
+    fault_trace: tuple = ()
+
+    @property
+    def succeeded(self) -> bool:
+        return self.results is not None
+
+    @property
+    def retries(self) -> int:
+        return max(len(self.attempts) - 1, 0)
+
+    @property
+    def faults_injected(self) -> int:
+        return len(self.fault_trace)
+
+
+class SupervisionExhausted(MPIError):
+    """All supervised attempts failed; ``outcome`` holds the attempt log."""
+
+    def __init__(self, message: str, outcome: SupervisedOutcome) -> None:
+        super().__init__(message)
+        self.outcome = outcome
+
+
+def classify_failure(exc: BaseException) -> str:
+    """Bucket a job failure the way the supervisor reasons about it."""
+    if isinstance(exc, RankFailure):
+        return "rank_failure"
+    if isinstance(exc, DeadlockError):
+        return "timeout"
+    if isinstance(exc, AbortError):
+        return "abort"
+    if isinstance(exc, MPIError):
+        return "mpi_error"
+    return "error"
+
+
+def run_supervised(
+    nprocs: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    retry: RetryPolicy | None = None,
+    fault_plan: FaultPlan | None = None,
+    op_timeout: float | None = None,
+    prepare: Callable[[int], tuple[tuple, dict]] | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+    **kwargs: Any,
+) -> SupervisedOutcome:
+    """Launch ``fn`` under supervision: detect, back off, relaunch.
+
+    Each attempt is a fresh :class:`SpmdJob` (fresh network, mailboxes and
+    heartbeats) sharing ``fault_plan`` — plan events fire once, so injected
+    faults are transient across attempts, exactly the failure class retry
+    can beat.  ``prepare(attempt)`` (1-based) may supply per-attempt
+    ``(args, kwargs)``; drivers use it to flip their config to resume-mode
+    after the first crash so relaunches continue from the last checkpoint.
+
+    Returns a :class:`SupervisedOutcome` on success; raises
+    :class:`SupervisionExhausted` once the attempt budget is spent.
+    ``sleep`` is injectable for tests.
+    """
+    policy = retry or RetryPolicy()
+    attempts: list[AttemptRecord] = []
+    last_exc: BaseException | None = None
+    for attempt in range(1, policy.max_attempts + 1):
+        use_args, use_kwargs = (args, kwargs) if prepare is None else prepare(attempt)
+        job = SpmdJob(
+            nprocs, fn, use_args, use_kwargs, op_timeout=op_timeout, fault_plan=fault_plan
+        )
+        try:
+            results = job.run()
+        except BaseException as exc:  # noqa: BLE001 - classify everything
+            last_exc = exc
+            backoff = policy.backoff(attempt) if attempt < policy.max_attempts else 0.0
+            attempts.append(
+                AttemptRecord(attempt, classify_failure(exc), repr(exc), backoff)
+            )
+            if backoff > 0:
+                sleep(backoff)
+            continue
+        attempts.append(AttemptRecord(attempt, "ok"))
+        return SupervisedOutcome(
+            results=results,
+            attempts=attempts,
+            fault_trace=fault_plan.trace() if fault_plan is not None else (),
+        )
+    outcome = SupervisedOutcome(
+        results=None,
+        attempts=attempts,
+        fault_trace=fault_plan.trace() if fault_plan is not None else (),
+    )
+    raise SupervisionExhausted(
+        f"job failed after {policy.max_attempts} attempts; last error: {last_exc!r}",
+        outcome,
+    ) from last_exc

@@ -79,6 +79,12 @@ class KeyMultiValue:
     def close(self) -> None:
         self.clear()
 
+    def __enter__(self) -> "KeyMultiValue":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"KeyMultiValue(nkmv={self._nkmv}, nvalues={self._nvalues})"
 

@@ -86,6 +86,12 @@ class KeyValue:
     def close(self) -> None:
         self.clear()
 
+    def __enter__(self) -> "KeyValue":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"KeyValue(nkv={self._nkv}, pages_spilled={self.spilled_pages}, "

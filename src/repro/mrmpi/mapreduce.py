@@ -256,8 +256,15 @@ class MapReduce:
         t0 = time.perf_counter()
         kv = self._require_kv()
         new_kv = self._fresh_kv()
-        for key, value in kv:
-            mapper(key, value, new_kv)
+        try:
+            for key, value in kv:
+                mapper(key, value, new_kv)
+        except BaseException:
+            # The job is unwinding (abort, crash, mapper bug): the orphaned
+            # intermediate must not leak its spill file.  Exceptions keep
+            # this frame alive via their traceback, so GC won't save us.
+            new_kv.close()
+            raise
         kv.close()
         self.kv = new_kv
         self._time("map", t0)
@@ -288,22 +295,28 @@ class MapReduce:
         new_kv = self._fresh_kv()
         source = iter(kv)
         local_done = False
-        while True:
-            outgoing: list[list] = [[] for _ in range(self.size)]
-            staged = 0
-            while not local_done and staged < budget:
-                try:
-                    key, value = next(source)
-                except StopIteration:
-                    local_done = True
+        try:
+            while True:
+                outgoing: list[list] = [[] for _ in range(self.size)]
+                staged = 0
+                while not local_done and staged < budget:
+                    try:
+                        key, value = next(source)
+                    except StopIteration:
+                        local_done = True
+                        break
+                    outgoing[h(key) % self.size].append((key, value))
+                    staged += approx_size(key) + approx_size(value)
+                incoming = self.comm.alltoall(outgoing)
+                for batch in incoming:
+                    new_kv.add_multi(batch)
+                if self.comm.allreduce(local_done, op=LAND):
                     break
-                outgoing[h(key) % self.size].append((key, value))
-                staged += approx_size(key) + approx_size(value)
-            incoming = self.comm.alltoall(outgoing)
-            for batch in incoming:
-                new_kv.add_multi(batch)
-            if self.comm.allreduce(local_done, op=LAND):
-                break
+        except BaseException:
+            # Interrupted mid-exchange (peer abort, injected crash): close
+            # the half-built destination so its spill file is reclaimed.
+            new_kv.close()
+            raise
         kv.close()
         self.kv = new_kv
         self._time("aggregate", t0)
@@ -349,8 +362,13 @@ class MapReduce:
         )
         kv.close()
         new_kv = self._fresh_kv()
-        for key, values in local_kmv:
-            reducer(key, values, new_kv)
+        try:
+            for key, values in local_kmv:
+                reducer(key, values, new_kv)
+        except BaseException:
+            new_kv.close()
+            local_kmv.close()
+            raise
         local_kmv.close()
         self.kv = new_kv
         self._time("compress", t0)
@@ -364,8 +382,12 @@ class MapReduce:
         t0 = time.perf_counter()
         kmv = self._require_kmv()
         new_kv = self._fresh_kv()
-        for key, values in kmv:
-            reducer(key, values, new_kv)
+        try:
+            for key, values in kmv:
+                reducer(key, values, new_kv)
+        except BaseException:
+            new_kv.close()
+            raise
         kmv.close()
         self.kmv = None
         self.kv = new_kv

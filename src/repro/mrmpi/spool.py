@@ -116,6 +116,12 @@ class PageSpool:
                 except OSError:
                     pass
 
+    def __enter__(self) -> "PageSpool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def __del__(self) -> None:  # pragma: no cover - GC safety net
         try:
             self.close()
