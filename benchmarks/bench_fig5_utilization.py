@@ -110,4 +110,8 @@ def test_stage_breakdown_measured(tmp_path, print_table):
         "quarantined_units": sum(r.quarantined_units for r in results),
         "map_failures": sum(r.map_failures for r in results),
         "resumed_from_iteration": max(r.resumed_from_iteration for r in results),
+        # Columnar data-plane traffic: pairs and exact bytes this run staged
+        # for other ranks during the aggregate exchange.
+        "shuffle_pairs_moved": sum(r.shuffle_pairs_moved for r in results),
+        "shuffle_bytes_moved": sum(r.shuffle_bytes_moved for r in results),
     })

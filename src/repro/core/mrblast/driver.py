@@ -82,6 +82,16 @@ class MrBlastConfig:
     #: the global top-K is a subset of the union of per-rank top-Ks — the
     #: same argument the paper makes for per-partition hit lists.
     combiner: bool = False
+    #: use the columnar KV data plane: each work unit's HSPs travel as one
+    #: (query-id column, structured HSP row array) batch, the shuffle hashes
+    #: whole key columns at once, grouping is the sort-based convert, and
+    #: spill pages are raw binary buffers.  Output is bit-identical to the
+    #: object plane (same rank placement, same within-query hit order);
+    #: ``False`` restores the legacy pickled-object path.
+    columnar: bool = True
+    #: byte width of the query/subject id columns on the columnar plane;
+    #: encoding fails loudly (never truncates) if an id is wider.
+    id_width: int = 64
     #: per-iteration checkpointing: the practical answer to §II.A's missing
     #: MPI fault tolerance.  Progress manifests record, per rank, the
     #: output-file byte offset after each completed outer iteration;
@@ -109,6 +119,8 @@ class MrBlastConfig:
             raise ValueError("blocks_per_iteration must be >= 0")
         if self.lookup_cache_blocks < 0:
             raise ValueError("lookup_cache_blocks must be >= 0")
+        if self.id_width < 1:
+            raise ValueError("id_width must be >= 1")
         if self.stop_after_iterations is not None and self.stop_after_iterations < 1:
             raise ValueError("stop_after_iterations must be >= 1 when set")
 
@@ -186,6 +198,11 @@ class MrBlastResult:
     map_failures: int = 0
     faults_injected: int = 0
     retries: int = 0
+    #: shuffle traffic this rank staged for other ranks (PR 4): exact array
+    #: bytes on the columnar plane, ``approx_size`` estimates on the object
+    #: plane.
+    shuffle_pairs_moved: int = 0
+    shuffle_bytes_moved: int = 0
 
 
 def run_mrblast(comm: Comm, config: MrBlastConfig) -> MrBlastResult:
@@ -244,8 +261,17 @@ def run_mrblast(comm: Comm, config: MrBlastConfig) -> MrBlastResult:
         queries_written=queries_log[-1] if queries_log else 0,
         hits_written=hits_log[-1] if hits_log else 0,
     )
+    schema = None
+    if config.columnar:
+        from repro.core.mrblast.hspcodec import hsp_schema
+
+        schema = hsp_schema(config.id_width)
     mr = MapReduce(
-        comm, memsize=config.memsize, mapstyle=config.mapstyle, spool_dir=config.spool_dir
+        comm,
+        memsize=config.memsize,
+        mapstyle=config.mapstyle,
+        spool_dir=config.spool_dir,
+        schema=schema,
     )
 
     # Original input position of each query id, so per-rank files preserve
@@ -292,7 +318,9 @@ def run_mrblast(comm: Comm, config: MrBlastConfig) -> MrBlastResult:
                 mr.compress(combine)
             mr.collate()
             mr.sort_kmv_keys(key=lambda qid: query_order.get(qid, len(query_order)))
-            mr.reduce(reducer)
+            # The reducer emits plain (query id, hit count) summaries, not
+            # HSP rows — its output lives on the object plane.
+            mr.reduce(reducer, out_schema=None)
             done_this_run += 1
             # Commit the iteration: output size + cumulative counts, atomically.
             offsets.append(os.path.getsize(output_path))
@@ -303,6 +331,7 @@ def run_mrblast(comm: Comm, config: MrBlastConfig) -> MrBlastResult:
         # Runs on *every* rank even when this rank is unwinding an injected
         # crash or AbortError — no KV/KMV spill files may outlive the job.
         timers = mr.timers
+        shuffle = mr.stats.get("aggregate", {"pairs_moved": 0, "bytes_moved": 0})
         mr.close()
         mapper.release()
 
@@ -325,6 +354,8 @@ def run_mrblast(comm: Comm, config: MrBlastConfig) -> MrBlastResult:
         resumed_from_iteration=start_iteration,
         quarantined_units=mapper.stats.quarantined_units,
         map_failures=mapper.stats.map_failures,
+        shuffle_pairs_moved=shuffle["pairs_moved"],
+        shuffle_bytes_moved=shuffle["bytes_moved"],
     )
 
 

@@ -162,11 +162,16 @@ class MrBlastMapper:
         partition = self._get_partition(item.partition_index)
         queries = self.query_blocks[item.block_index]
         hits = self._engine.search_block(queries, partition)
-        for hsp in hits:
-            if self.hit_filter is not None and self.hit_filter(hsp.query_id, hsp):
-                continue
-            kv.add(hsp.query_id, hsp)
-            self.stats.hits_emitted += 1
+        if self.hit_filter is not None:
+            hits = [h for h in hits if not self.hit_filter(h.query_id, h)]
+        if hasattr(kv, "add_batch"):
+            # Columnar plane: the whole unit's hits become one batch — one
+            # key column plus one structured HSP row array.
+            kv.add_batch([h.query_id for h in hits], hits)
+        else:
+            for hsp in hits:
+                kv.add(hsp.query_id, hsp)
+        self.stats.hits_emitted += len(hits)
         t1 = time.perf_counter()
         self.stats.units_processed += 1
         self.stats.busy_seconds += t1 - t0

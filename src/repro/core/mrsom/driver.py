@@ -36,6 +36,7 @@ from repro.mpi.faultplan import FaultPlan
 from repro.mpi.ops import SUM
 from repro.mpi.runtime import RetryPolicy, SupervisedOutcome, run_spmd, run_supervised
 from repro.mrmpi.mapreduce import MapReduce, MapStyle
+from repro.mrmpi.schema import RecordSchema
 from repro.som.batch import accumulate_batch, batch_update
 from repro.som.codebook import SOMGrid, init_codebook
 from repro.som.neighborhood import gaussian_kernel, radius_schedule
@@ -73,6 +74,20 @@ class MrSomConfig:
     #: stop after this many (additional) epochs — incremental training and
     #: the test hook for resume
     stop_after_epochs: int | None = None
+    #: how the per-rank Eq. 5 accumulators are combined each epoch.
+    #: ``"mpi"`` is the paper's direct ``MPI_Reduce`` ("No reduce() stage is
+    #: used in this program").  ``"mrmpi"`` routes the accumulators through
+    #: the columnar MR-MPI data plane instead — each rank emits its (unit,
+    #: {num row, denom}) blocks as one structured-array batch, collate
+    #: spreads the units across ranks, and a reduce() sums the per-rank
+    #: contributions in the same pairwise order as the direct reduction,
+    #: so the trained codebook is bit-identical between the two modes.
+    reduce_mode: str = "mpi"
+    #: memory budget and spill directory for the ``"mrmpi"`` reduction
+    #: plane (None = MapReduce defaults); a tiny memsize forces the
+    #: accumulator exchange out of core
+    memsize: int | None = None
+    spool_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.epochs < 1:
@@ -81,6 +96,10 @@ class MrSomConfig:
             raise ValueError(f"block_rows must be >= 1, got {self.block_rows}")
         if self.stop_after_epochs is not None and self.stop_after_epochs < 1:
             raise ValueError("stop_after_epochs must be >= 1 when set")
+        if self.reduce_mode not in ("mpi", "mrmpi"):
+            raise ValueError(
+                f"reduce_mode must be 'mpi' or 'mrmpi', got {self.reduce_mode!r}"
+            )
 
     def validate(self) -> None:
         """Fail-fast checks before any rank spawns (one clear error, not N)."""
@@ -137,6 +156,9 @@ class MrSomResult:
     resumed_from_epoch: int = 0
     faults_injected: int = 0
     retries: int = 0
+    #: shuffle traffic of the ``"mrmpi"`` reduction plane (0 in "mpi" mode)
+    shuffle_pairs_moved: int = 0
+    shuffle_bytes_moved: int = 0
 
 
 @dataclass
@@ -165,6 +187,76 @@ class _BlockAccumulator:
         accumulate_batch(block, self.codebook, self.kernel, self.num, self.denom)
         self.units += 1
         self.busy += time.perf_counter() - t0
+
+
+def _accumulator_schema(dim: int) -> RecordSchema:
+    """Record schema of one (unit index → rank contribution) pair.
+
+    The value row carries the contributing rank so the reducer can restore
+    rank order no matter how the exchange rounds interleaved arrivals.
+    """
+    value_dtype = np.dtype([("rank", "<i8"), ("num", "<f8", (dim,)), ("denom", "<f8")])
+    return RecordSchema(key_dtype=np.dtype("<i8"), value_dtype=value_dtype, key_kind="int")
+
+
+def _binomial_sum(parts: list):
+    """Sum in the same pairwise order as ``Comm.reduce``'s binomial tree.
+
+    Summing rank contributions in this order (not left-to-right) is what
+    makes the ``"mrmpi"`` reduction bit-identical to the direct
+    ``MPI_Reduce`` path: IEEE-754 addition is not associative, but the
+    same additions in the same order give the same bits.
+    """
+    vals = list(parts)
+    mask = 1
+    while mask < len(vals):
+        for i in range(0, len(vals), mask << 1):
+            if i + mask < len(vals):
+                vals[i] = vals[i] + vals[i + mask]
+        mask <<= 1
+    return vals[0]
+
+
+def _mrmpi_reduce(
+    red_mr: MapReduce, num: np.ndarray, denom: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Combine per-rank accumulators through the columnar MR-MPI plane.
+
+    Each rank emits its whole accumulator as one columnar batch (one int64
+    unit-index key column plus one structured {rank, num, denom} row array),
+    collate spreads the units across ranks, reduce sums each unit's rank
+    contributions in binomial order, and gather(1) concentrates the summed
+    rows on rank 0 — the rank that applies Eq. 5.
+    """
+    k, dim = num.shape
+    rows = np.empty(k, dtype=red_mr.schema.value_dtype)
+    rows["rank"] = red_mr.rank
+    rows["num"] = num
+    rows["denom"] = denom
+    keys = np.arange(k, dtype=np.int64)
+    # One task per rank under CHUNK: every rank emits exactly its own rows.
+    red_mr.map(
+        red_mr.comm.size,
+        lambda i, kv: kv.add_batch(keys, rows),
+        mapstyle=MapStyle.CHUNK,
+    )
+    red_mr.collate()
+
+    def reducer(key, values, kv):
+        ordered = sorted(values, key=lambda r: int(r["rank"]))
+        num_sum = _binomial_sum([r["num"] for r in ordered])
+        denom_sum = _binomial_sum([r["denom"] for r in ordered])
+        kv.add(int(key), (np.asarray(num_sum), float(denom_sum)))
+
+    red_mr.reduce(reducer, out_schema=None)
+    red_mr.gather(1)
+    num_total = np.zeros_like(num)
+    denom_total = np.zeros_like(denom)
+    if red_mr.rank == 0:
+        for unit, (num_sum, denom_sum) in red_mr.kv:
+            num_total[unit] = num_sum
+            denom_total[unit] = denom_sum
+    return num_total, denom_total
 
 
 def run_mrsom(comm: Comm, config: MrSomConfig) -> MrSomResult:
@@ -200,6 +292,19 @@ def run_mrsom(comm: Comm, config: MrSomConfig) -> MrSomResult:
     work = matrix.work_units(config.block_rows)
 
     mr = MapReduce(comm, mapstyle=config.mapstyle)
+    red_mr = None
+    if config.reduce_mode == "mrmpi":
+        red_kwargs = {}
+        if config.memsize is not None:
+            red_kwargs["memsize"] = config.memsize
+        if config.spool_dir is not None:
+            red_kwargs["spool_dir"] = config.spool_dir
+        red_mr = MapReduce(
+            comm,
+            mapstyle=MapStyle.CHUNK,
+            schema=_accumulator_schema(dim),
+            **red_kwargs,
+        )
     acc = _BlockAccumulator(matrix)
     bcast_seconds = 0.0
     reduce_seconds = 0.0
@@ -226,10 +331,13 @@ def run_mrsom(comm: Comm, config: MrSomConfig) -> MrSomResult:
             mr.map_items(work, acc)
 
             t0 = time.perf_counter()
-            num_total = np.zeros_like(acc.num)
-            denom_total = np.zeros_like(acc.denom)
-            comm.Reduce(acc.num, num_total, op=SUM, root=0)  # direct MPI call #2
-            comm.Reduce(acc.denom, denom_total, op=SUM, root=0)
+            if red_mr is not None:
+                num_total, denom_total = _mrmpi_reduce(red_mr, acc.num, acc.denom)
+            else:
+                num_total = np.zeros_like(acc.num)
+                denom_total = np.zeros_like(acc.denom)
+                comm.Reduce(acc.num, num_total, op=SUM, root=0)  # direct MPI call #2
+                comm.Reduce(acc.denom, denom_total, op=SUM, root=0)
             reduce_seconds += time.perf_counter() - t0
 
             if comm.rank == 0:
@@ -245,6 +353,10 @@ def run_mrsom(comm: Comm, config: MrSomConfig) -> MrSomResult:
         # Final broadcast so every rank returns the trained codebook.
         comm.Bcast(codebook, root=0)
     finally:
+        shuffle = {"pairs_moved": 0, "bytes_moved": 0}
+        if red_mr is not None:
+            shuffle = red_mr.stats.get("aggregate", shuffle)
+            red_mr.close()
         mr.close()  # even when unwinding a crash: no leaked spill files
     return MrSomResult(
         rank=comm.rank,
@@ -256,6 +368,8 @@ def run_mrsom(comm: Comm, config: MrSomConfig) -> MrSomResult:
         reduce_seconds=reduce_seconds,
         error_history=error_history if comm.rank == 0 and config.track_error else None,
         resumed_from_epoch=start_epoch,
+        shuffle_pairs_moved=shuffle["pairs_moved"],
+        shuffle_bytes_moved=shuffle["bytes_moved"],
     )
 
 

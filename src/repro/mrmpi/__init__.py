@@ -22,9 +22,32 @@ The paper's two applications use exactly this surface: BLAST uses
 direct MPI calls (``Bcast``/``Reduce``) and no reduce stage.
 """
 
-from repro.mrmpi.keyvalue import KeyValue
-from repro.mrmpi.keymultivalue import KeyMultiValue
-from repro.mrmpi.mapreduce import MapReduce, MapStyle
-from repro.mrmpi.hashing import stable_hash
+from repro.mrmpi.keyvalue import KeyValue, ObjectKeyValue
+from repro.mrmpi.keymultivalue import KeyMultiValue, ObjectKeyMultiValue
+from repro.mrmpi.columnar import (
+    ColumnarKeyMultiValue,
+    ColumnarKeyValue,
+    convert_columnar,
+    sort_kmv_columnar,
+)
+from repro.mrmpi.mapreduce import KEEP_SCHEMA, MapReduce, MapStyle
+from repro.mrmpi.hashing import hash_key_column, stable_hash
+from repro.mrmpi.schema import RAGGED_BYTES, RecordSchema
 
-__all__ = ["MapReduce", "MapStyle", "KeyValue", "KeyMultiValue", "stable_hash"]
+__all__ = [
+    "MapReduce",
+    "MapStyle",
+    "KeyValue",
+    "KeyMultiValue",
+    "ObjectKeyValue",
+    "ObjectKeyMultiValue",
+    "ColumnarKeyValue",
+    "ColumnarKeyMultiValue",
+    "RecordSchema",
+    "RAGGED_BYTES",
+    "KEEP_SCHEMA",
+    "convert_columnar",
+    "sort_kmv_columnar",
+    "stable_hash",
+    "hash_key_column",
+]

@@ -1,0 +1,726 @@
+"""Columnar KV/KMV stores: typed pages, batch emission, sort-based grouping.
+
+The object stores (:class:`~repro.mrmpi.keyvalue.ObjectKeyValue`) pay
+record-at-a-time Python costs on every pair: a ``key_bytes`` validation, a
+recursive ``approx_size`` estimate, a tuple append, and pickle on every
+spilled page.  The columnar stores replace all of that with a few
+contiguous arrays per page, described once by a
+:class:`~repro.mrmpi.schema.RecordSchema`:
+
+- a **KV page** is a key column plus a value column (structured rows, or a
+  ragged uint8 buffer + offsets);
+- a **KMV page** is a unique-key column, a group-offsets column and the
+  grouped value rows;
+- spill pages are raw array buffers (``PageSpool.write_arrays``, no
+  pickle) with *exact* byte accounting;
+- grouping is a bounded-memory **sort**: pages are argsorted individually
+  into runs and k-way merged by key, replacing the dict/bucket path.
+
+Ordering contract (what the parity suites pin): iteration replays spilled
+pages first, then live batches, exactly like the object stores; sorts are
+stable, so equal keys keep emission order end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Sequence
+
+import numpy as np
+
+from repro.mrmpi.schema import RecordSchema
+from repro.mrmpi.spool import PageSpool
+
+__all__ = [
+    "ColumnarKeyValue",
+    "ColumnarKeyMultiValue",
+    "convert_columnar",
+    "sort_kmv_columnar",
+]
+
+#: scalar adds are staged in Python lists and sealed into arrays this often
+_PENDING_SEAL = 4096
+
+
+# --------------------------------------------------------------------------
+# Value-column helpers: a column is an ndarray (fixed rows) or a
+# (uint8 buffer, int64 offsets) pair (ragged bytes rows).
+# --------------------------------------------------------------------------
+
+
+def _v_len(col) -> int:
+    if isinstance(col, tuple):
+        return len(col[1]) - 1
+    return len(col)
+
+
+def _v_nbytes(col) -> int:
+    if isinstance(col, tuple):
+        return int(col[0].nbytes + col[1].nbytes)
+    return int(col.nbytes)
+
+
+def _v_take(col, idx: np.ndarray):
+    if not isinstance(col, tuple):
+        return col[idx]
+    buf, offsets = col
+    lengths = (offsets[1:] - offsets[:-1])[idx]
+    new_off = np.zeros(len(idx) + 1, dtype=np.int64)
+    np.cumsum(lengths, out=new_off[1:])
+    starts = offsets[:-1][idx]
+    pos = np.repeat(starts - new_off[:-1], lengths) + np.arange(new_off[-1])
+    return buf[pos], new_off
+
+
+def _v_slice(col, lo: int, hi: int):
+    if not isinstance(col, tuple):
+        return col[lo:hi]
+    buf, offsets = col
+    return buf[offsets[lo] : offsets[hi]], offsets[lo : hi + 1] - offsets[lo]
+
+
+def _v_concat(cols: Sequence) -> Any:
+    if len(cols) == 1:
+        return cols[0]
+    if not isinstance(cols[0], tuple):
+        return np.concatenate(cols)
+    bufs = [c[0] for c in cols]
+    offs = []
+    base = 0
+    for _, off in cols:
+        offs.append(off[:-1] + base)
+        base += int(off[-1])
+    offs.append(np.array([base], dtype=np.int64))
+    return np.concatenate(bufs), np.concatenate(offs)
+
+
+def _v_to_arrays(col) -> tuple[np.ndarray, ...]:
+    return col if isinstance(col, tuple) else (col,)
+
+
+def _v_from_arrays(arrays: Sequence[np.ndarray], ragged: bool):
+    return (arrays[0], arrays[1]) if ragged else arrays[0]
+
+
+def _v_decode(col, schema: RecordSchema, i: int):
+    if isinstance(col, tuple):
+        buf, offsets = col
+        return buf[offsets[i] : offsets[i + 1]].tobytes()
+    return schema.decode_one(col[i])
+
+
+# --------------------------------------------------------------------------
+# ColumnarKeyValue
+# --------------------------------------------------------------------------
+
+
+class ColumnarKeyValue:
+    """A pageable multiset of typed (key, value) pairs owned by one rank.
+
+    Emission is batch-first — :meth:`add_batch` appends whole columns — and
+    scalar :meth:`add` stages into Python lists sealed into a batch
+    periodically, so object-style emitters keep working.  Page occupancy is
+    the *exact* sum of array ``nbytes`` (no estimates), and spilled pages
+    are raw buffers.
+    """
+
+    def __init__(
+        self,
+        schema: RecordSchema,
+        pagesize: int = 64 * 1024 * 1024,
+        spool_dir: str | None = None,
+    ):
+        if pagesize <= 0:
+            raise ValueError(f"pagesize must be positive, got {pagesize}")
+        self.schema = schema
+        self.pagesize = pagesize
+        self._spool_dir = spool_dir
+        self._batches: list[tuple[np.ndarray, Any]] = []
+        self._live_bytes = 0
+        self._pending_k: list = []
+        self._pending_v: list = []
+        self._pending_bytes = 0
+        self._spool: PageSpool | None = None
+        self._nkv = 0
+
+    # ------------------------------------------------------------------ write
+
+    def add(self, key: Any, value: Any) -> None:
+        """Emit one pair (staged; sealed into a columnar batch lazily)."""
+        self._pending_k.append(key)
+        self._pending_v.append(value)
+        self._nkv += 1
+        # Row-size accounting keeps scalar emitters inside the page budget:
+        # without it, a slow trickle of adds would stage thousands of rows
+        # past ``pagesize`` before the count-based seal fires.
+        self._pending_bytes += self.schema.key_dtype.itemsize + (
+            len(value) if self.schema.ragged_values else self.schema.value_dtype.itemsize
+        )
+        if len(self._pending_k) >= _PENDING_SEAL or self._pending_bytes >= self.pagesize:
+            self._seal_pending()
+
+    def add_multi(self, pairs) -> None:
+        for k, v in pairs:
+            self.add(k, v)
+
+    def add_batch(self, keys, values) -> int:
+        """Emit a whole batch of pairs as columns; returns the batch size.
+
+        ``keys``/``values`` may be Python sequences (encoded through the
+        schema) or ready-made arrays of the schema's dtypes.
+        """
+        self._seal_pending()
+        karr = self.schema.encode_keys(keys)
+        vcol = self.schema.build_values(values)
+        n = len(karr)
+        if _v_len(vcol) != n:
+            raise ValueError(f"batch of {n} keys with {_v_len(vcol)} values")
+        if n == 0:
+            return 0
+        self._append(karr, vcol)
+        self._nkv += n
+        return n
+
+    def add_wire(self, arrays: Sequence[np.ndarray]) -> int:
+        """Append a batch that arrived as raw wire arrays (no re-encoding)."""
+        self._seal_pending()
+        karr = arrays[0]
+        if len(karr) == 0:
+            return 0
+        self._append(karr, _v_from_arrays(arrays[1:], self.schema.ragged_values))
+        self._nkv += len(karr)
+        return len(karr)
+
+    def _append(self, karr: np.ndarray, vcol) -> None:
+        self._batches.append((karr, vcol))
+        self._live_bytes += int(karr.nbytes) + _v_nbytes(vcol)
+        if self._live_bytes >= self.pagesize:
+            self._spill()
+
+    def _seal_pending(self) -> None:
+        if not self._pending_k:
+            return
+        keys, values = self._pending_k, self._pending_v
+        self._pending_k, self._pending_v = [], []
+        self._pending_bytes = 0
+        self._nkv -= len(keys)  # add_batch re-counts them
+        self.add_batch(keys, values)
+
+    def _spill(self) -> None:
+        if not self._batches:
+            return
+        if self._spool is None:
+            self._spool = PageSpool(dir=self._spool_dir, prefix="ckv")
+        keys = np.concatenate([k for k, _ in self._batches])
+        vcol = _v_concat([v for _, v in self._batches])
+        self._spool.write_arrays((keys,) + _v_to_arrays(vcol), len(keys))
+        self._batches = []
+        self._live_bytes = 0
+
+    # ------------------------------------------------------------------- read
+
+    def __len__(self) -> int:
+        return self._nkv
+
+    @property
+    def nbytes(self) -> int:
+        """Exact bytes held (live arrays + spilled page frames)."""
+        self._seal_pending()
+        return self._live_bytes + (0 if self._spool is None else self._spool.nbytes)
+
+    @property
+    def out_of_core(self) -> bool:
+        return self._spool is not None and self._spool.npages > 0
+
+    @property
+    def spilled_pages(self) -> int:
+        return 0 if self._spool is None else self._spool.npages
+
+    def iter_batches(self) -> Iterator[tuple[np.ndarray, Any]]:
+        """Stream (key column, value column) batches in emission order."""
+        self._seal_pending()
+        if self._spool is not None:
+            for arrays in self._spool.iter_pages():
+                yield arrays[0], _v_from_arrays(arrays[1:], self.schema.ragged_values)
+        yield from self._batches
+
+    def __iter__(self) -> Iterator[tuple[Any, Any]]:
+        for karr, vcol in self.iter_batches():
+            for i in range(len(karr)):
+                yield self.schema.decode_key(karr[i]), _v_decode(vcol, self.schema, i)
+
+    # ------------------------------------------------------------------ admin
+
+    def clear(self) -> None:
+        self._batches = []
+        self._live_bytes = 0
+        self._pending_k, self._pending_v = [], []
+        self._pending_bytes = 0
+        self._nkv = 0
+        if self._spool is not None:
+            self._spool.close()
+            self._spool = None
+
+    def close(self) -> None:
+        self.clear()
+
+    def __enter__(self) -> "ColumnarKeyValue":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ColumnarKeyValue(nkv={self._nkv}, pages_spilled={self.spilled_pages}, "
+            f"pagesize={self.pagesize})"
+        )
+
+
+# --------------------------------------------------------------------------
+# External (spool-aware) merge sort over KV batches
+# --------------------------------------------------------------------------
+
+
+class _RunCursor:
+    """One sorted run: consecutive chunk pages in a runs spool."""
+
+    def __init__(self, spool: PageSpool, pages: range, ragged: bool):
+        self._spool = spool
+        self._pages = list(pages)
+        self._next = 0
+        self._ragged = ragged
+        self.keys: np.ndarray = np.empty(0)
+        self.vcol: Any = None
+        self._loaded = False
+
+    def refill(self) -> bool:
+        """Ensure a non-empty buffer; False when the run is exhausted."""
+        while (not self._loaded or len(self.keys) == 0) and self._next < len(self._pages):
+            arrays = self._spool.read_page(self._pages[self._next])
+            self._next += 1
+            self.keys = arrays[0]
+            self.vcol = _v_from_arrays(arrays[1:], self._ragged)
+            self._loaded = True
+        return self._loaded and len(self.keys) > 0
+
+    def take_upto(self, boundary) -> tuple[np.ndarray, Any] | None:
+        """Pop the prefix of keys ``<= boundary`` off the buffer."""
+        cnt = int(np.searchsorted(self.keys, boundary, side="right"))
+        if cnt == 0:
+            return None
+        n = len(self.keys)
+        part = (self.keys[:cnt], _v_slice(self.vcol, 0, cnt))
+        self.keys = self.keys[cnt:]
+        self.vcol = _v_slice(self.vcol, cnt, n)
+        return part
+
+
+def _sorted_run_chunks(
+    karr: np.ndarray, vcol, chunk_rows: int
+) -> Iterator[tuple[np.ndarray, Any]]:
+    order = np.argsort(karr, kind="stable")
+    skeys = karr[order]
+    svals = _v_take(vcol, order)
+    for lo in range(0, len(skeys), chunk_rows):
+        hi = min(lo + chunk_rows, len(skeys))
+        yield skeys[lo:hi], _v_slice(svals, lo, hi)
+
+
+def iter_sorted_batches(kv: ColumnarKeyValue) -> Iterator[tuple[np.ndarray, Any]]:
+    """Yield the whole KV dataset as key-sorted batches, bounded memory.
+
+    In-core: one stable argsort over the live columns.  Out-of-core: each
+    spilled page (already ≤ ``pagesize``) is argsorted into a run of chunk
+    pages in a scratch spool — pages are streamed one at a time, never all
+    resident — then the runs are k-way merged.  During the merge only one
+    chunk per run is buffered (chunks are sized so all run buffers together
+    hold about one page), and batches are emitted up to the smallest
+    per-run high-water key, so every emitted key is globally final.
+    Stable throughout: equal keys keep original emission order.
+    """
+    kv._seal_pending()
+    ragged = kv.schema.ragged_values
+    if not kv.out_of_core:
+        if not kv._batches:
+            return
+        keys = np.concatenate([k for k, _ in kv._batches])
+        vcol = _v_concat([v for _, v in kv._batches])
+        order = np.argsort(keys, kind="stable")
+        yield keys[order], _v_take(vcol, order)
+        return
+
+    nruns = kv.spilled_pages + (1 if kv._batches else 0)
+    bytes_per_row = max(1, kv.nbytes // max(len(kv), 1))
+    chunk_rows = max(64, kv.pagesize // nruns // bytes_per_row)
+
+    runs = PageSpool(dir=kv._spool_dir, prefix="sortrun")
+    try:
+        cursors: list[_RunCursor] = []
+
+        def write_run(karr: np.ndarray, vcol) -> None:
+            start = runs.npages
+            for ck, cv in _sorted_run_chunks(karr, vcol, chunk_rows):
+                runs.write_arrays((ck,) + _v_to_arrays(cv), len(ck))
+            cursors.append(_RunCursor(runs, range(start, runs.npages), ragged))
+
+        for i in range(kv._spool.npages):
+            arrays = kv._spool.read_page(i)
+            write_run(arrays[0], _v_from_arrays(arrays[1:], ragged))
+        if kv._batches:
+            write_run(
+                np.concatenate([k for k, _ in kv._batches]),
+                _v_concat([v for _, v in kv._batches]),
+            )
+
+        while True:
+            alive = [c for c in cursors if c.refill()]
+            if not alive:
+                return
+            boundary = min(c.keys[-1] for c in alive)
+            parts = [p for c in alive if (p := c.take_upto(boundary)) is not None]
+            keys = np.concatenate([k for k, _ in parts])
+            vcol = _v_concat([v for _, v in parts])
+            order = np.argsort(keys, kind="stable")
+            yield keys[order], _v_take(vcol, order)
+    finally:
+        runs.close()
+
+
+# --------------------------------------------------------------------------
+# ColumnarKeyMultiValue
+# --------------------------------------------------------------------------
+
+
+class ColumnarKeyMultiValue:
+    """Grouped (key, [values...]) pairs as columns.
+
+    A live/spilled **group batch** is ``(unique keys, group offsets, value
+    rows)``: values of key ``i`` are rows ``offsets[i]:offsets[i+1]`` of the
+    value column, with ``offsets[0] == 0``.  Produced by
+    :func:`convert_columnar` in key-sorted order.
+    """
+
+    def __init__(
+        self,
+        schema: RecordSchema,
+        pagesize: int = 64 * 1024 * 1024,
+        spool_dir: str | None = None,
+    ):
+        if pagesize <= 0:
+            raise ValueError(f"pagesize must be positive, got {pagesize}")
+        self.schema = schema
+        self.pagesize = pagesize
+        self._spool_dir = spool_dir
+        self._batches: list[tuple[np.ndarray, np.ndarray, Any]] = []
+        self._live_bytes = 0
+        self._spool: PageSpool | None = None
+        self._nkmv = 0
+        self._nvalues = 0
+
+    # ------------------------------------------------------------------ write
+
+    def add_group_batch(self, keys: np.ndarray, offsets: np.ndarray, vcol) -> None:
+        """Append a batch of groups (columns already in schema dtypes)."""
+        if len(keys) == 0:
+            return
+        if int(offsets[0]) != 0:
+            raise ValueError("group offsets must start at 0")
+        self._batches.append((keys, offsets, vcol))
+        self._live_bytes += int(keys.nbytes + offsets.nbytes) + _v_nbytes(vcol)
+        self._nkmv += len(keys)
+        self._nvalues += int(offsets[-1])
+        if self._live_bytes >= self.pagesize:
+            self._spill()
+
+    def add(self, key: Any, values: list) -> None:
+        """Append one group (object-style compatibility shim)."""
+        karr = self.schema.encode_keys([key])
+        vcol = self.schema.build_values(values)
+        offsets = np.array([0, _v_len(vcol)], dtype=np.int64)
+        self.add_group_batch(karr, offsets, vcol)
+
+    def _spill(self) -> None:
+        if not self._batches:
+            return
+        if self._spool is None:
+            self._spool = PageSpool(dir=self._spool_dir, prefix="ckmv")
+        keys = np.concatenate([k for k, _, _ in self._batches])
+        offsets = _concat_offsets([o for _, o, _ in self._batches])
+        vcol = _v_concat([v for _, _, v in self._batches])
+        self._spool.write_arrays((keys, offsets) + _v_to_arrays(vcol), len(keys))
+        self._batches = []
+        self._live_bytes = 0
+
+    # ------------------------------------------------------------------- read
+
+    def __len__(self) -> int:
+        return self._nkmv
+
+    @property
+    def nvalues(self) -> int:
+        return self._nvalues
+
+    @property
+    def nbytes(self) -> int:
+        """Exact bytes held (live arrays + spilled page frames)."""
+        return self._live_bytes + (0 if self._spool is None else self._spool.nbytes)
+
+    @property
+    def out_of_core(self) -> bool:
+        return self._spool is not None and self._spool.npages > 0
+
+    @property
+    def spilled_pages(self) -> int:
+        return 0 if self._spool is None else self._spool.npages
+
+    def iter_group_batches(self) -> Iterator[tuple[np.ndarray, np.ndarray, Any]]:
+        if self._spool is not None:
+            for arrays in self._spool.iter_pages():
+                yield (
+                    arrays[0],
+                    arrays[1],
+                    _v_from_arrays(arrays[2:], self.schema.ragged_values),
+                )
+        yield from self._batches
+
+    def __iter__(self) -> Iterator[tuple[Any, list]]:
+        for keys, offsets, vcol in self.iter_group_batches():
+            for i in range(len(keys)):
+                lo, hi = int(offsets[i]), int(offsets[i + 1])
+                values = [_v_decode(vcol, self.schema, j) for j in range(lo, hi)]
+                yield self.schema.decode_key(keys[i]), values
+
+    # ------------------------------------------------------------------ admin
+
+    def clear(self) -> None:
+        self._batches = []
+        self._live_bytes = 0
+        self._nkmv = 0
+        self._nvalues = 0
+        if self._spool is not None:
+            self._spool.close()
+            self._spool = None
+
+    def close(self) -> None:
+        self.clear()
+
+    def __enter__(self) -> "ColumnarKeyMultiValue":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ColumnarKeyMultiValue(nkmv={self._nkmv}, nvalues={self._nvalues})"
+
+
+def _concat_offsets(offs: Sequence[np.ndarray]) -> np.ndarray:
+    out = [np.asarray(offs[0], dtype=np.int64)]
+    base = int(offs[0][-1])
+    for off in offs[1:]:
+        out.append(np.asarray(off[1:], dtype=np.int64) + base)
+        base += int(off[-1])
+    return np.concatenate(out)
+
+
+def _take_groups(
+    keys: np.ndarray, offsets: np.ndarray, vcol, idx: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, Any]:
+    """Select groups ``idx`` (reordering keys and their value runs)."""
+    lengths = (offsets[1:] - offsets[:-1])[idx]
+    new_off = np.zeros(len(idx) + 1, dtype=np.int64)
+    np.cumsum(lengths, out=new_off[1:])
+    starts = offsets[:-1][idx]
+    pos = np.repeat(starts - new_off[:-1], lengths) + np.arange(new_off[-1])
+    return keys[idx], new_off, _v_take(vcol, pos)
+
+
+# --------------------------------------------------------------------------
+# Sort-based convert
+# --------------------------------------------------------------------------
+
+
+def convert_columnar(
+    kv: ColumnarKeyValue,
+    pagesize: int,
+    spool_dir: str | None = None,
+) -> ColumnarKeyMultiValue:
+    """Group a columnar KV into a columnar KMV via the external sort.
+
+    Keys come out in sorted column order (the object convert emits
+    first-seen order instead — callers that need a specific order sort the
+    KMV afterwards, as mrblast does).  Within a key, value order is the KV
+    emission order (the sort is stable), matching the object path exactly.
+    """
+    kmv = ColumnarKeyMultiValue(kv.schema, pagesize=pagesize, spool_dir=spool_dir)
+    carry: tuple[Any, list] | None = None  # (key scalar, [value column parts])
+    try:
+        for skeys, svals in iter_sorted_batches(kv):
+            n = len(skeys)
+            change = np.flatnonzero(skeys[1:] != skeys[:-1]) + 1
+            starts = np.concatenate(([0], change))
+            ends = np.concatenate((change, [n]))
+            if carry is not None:
+                if skeys[0] == carry[0]:
+                    # The first run continues the carried key.
+                    carry[1].append(_v_slice(svals, 0, int(ends[0])))
+                    if len(starts) == 1:
+                        continue  # the whole batch was one key; keep carrying
+                    starts, ends = starts[1:], ends[1:]
+                _flush_carry(kmv, carry)
+                carry = None
+            # Hold back the final run: the next batch may continue it.
+            carry = (skeys[-1], [_v_slice(svals, int(starts[-1]), n)])
+            starts, ends = starts[:-1], ends[:-1]
+            if len(starts):
+                base = int(starts[0])
+                offsets = np.concatenate((starts, ends[-1:])).astype(np.int64) - base
+                vcol = _v_slice(svals, base, int(ends[-1]))
+                kmv.add_group_batch(skeys[starts], offsets, vcol)
+        if carry is not None:
+            _flush_carry(kmv, carry)
+    except BaseException:
+        kmv.close()
+        raise
+    return kmv
+
+
+def _flush_carry(kmv: ColumnarKeyMultiValue, carry: tuple[Any, list]) -> None:
+    key, parts = carry
+    vcol = _v_concat(parts)
+    keys = np.array([key], dtype=kmv.schema.key_dtype)
+    offsets = np.array([0, _v_len(vcol)], dtype=np.int64)
+    kmv.add_group_batch(keys, offsets, vcol)
+
+
+# --------------------------------------------------------------------------
+# KMV sorting (spool-aware)
+# --------------------------------------------------------------------------
+
+
+class _KmvRunCursor:
+    """One rank-sorted KMV run: consecutive chunk pages in a runs spool."""
+
+    def __init__(self, spool: PageSpool, pages: range, ragged: bool):
+        self._spool = spool
+        self._pages = list(pages)
+        self._next = 0
+        self._ragged = ragged
+        self.ranks: np.ndarray = np.empty(0)
+        self.keys: np.ndarray = np.empty(0)
+        self.offsets: np.ndarray = np.zeros(1, dtype=np.int64)
+        self.vcol: Any = None
+        self._loaded = False
+
+    def refill(self) -> bool:
+        while (not self._loaded or len(self.keys) == 0) and self._next < len(self._pages):
+            arrays = self._spool.read_page(self._pages[self._next])
+            self._next += 1
+            self.ranks = arrays[0]
+            self.keys = arrays[1]
+            self.offsets = arrays[2]
+            self.vcol = _v_from_arrays(arrays[3:], self._ragged)
+            self._loaded = True
+        return self._loaded and len(self.keys) > 0
+
+    def take_upto(self, boundary):
+        """Pop the prefix of groups with rank ``<= boundary``."""
+        cnt = int(np.searchsorted(self.ranks, boundary, side="right"))
+        if cnt == 0:
+            return None
+        ngroups = len(self.keys)
+        row_cut = int(self.offsets[cnt])
+        part = (
+            self.ranks[:cnt],
+            self.keys[:cnt],
+            self.offsets[: cnt + 1].copy(),
+            _v_slice(self.vcol, 0, row_cut),
+        )
+        self.ranks = self.ranks[cnt:]
+        self.keys = self.keys[cnt:]
+        nrows = int(self.offsets[ngroups])
+        self.vcol = _v_slice(self.vcol, row_cut, nrows)
+        self.offsets = self.offsets[cnt:] - row_cut
+        return part
+
+
+def sort_kmv_columnar(
+    kmv: ColumnarKeyMultiValue,
+    key: Callable[[Any], Any] | None = None,
+) -> ColumnarKeyMultiValue:
+    """Return a new KMV with groups ordered by ``key(decoded key)``.
+
+    Keys are unique after convert, so sorting never merges groups — it only
+    permutes them.  In-core this is one argsort; out-of-core each KMV page
+    becomes a rank-sorted run of chunk pages and runs are merged by rank
+    with one chunk resident per run (same machinery as the KV sort).
+    Stable: two keys mapping to the same rank keep their current relative
+    order, which is exactly what ``sorted(kmv, key=...)`` does on the
+    object path.
+    """
+    schema = kmv.schema
+
+    def ranks_of(keys: np.ndarray) -> np.ndarray:
+        if key is None:
+            return keys
+        arr = np.asarray([key(schema.decode_key(k)) for k in keys])
+        if arr.dtype == object:
+            raise TypeError(
+                "sort key function must map keys to numeric/str ranks for the "
+                "columnar KMV sort"
+            )
+        return arr
+
+    if not kmv.out_of_core:
+        out = ColumnarKeyMultiValue(schema, pagesize=kmv.pagesize, spool_dir=kmv._spool_dir)
+        batches = list(kmv.iter_group_batches())
+        if not batches:
+            return out
+        keys = np.concatenate([k for k, _, _ in batches])
+        offsets = _concat_offsets([o for _, o, _ in batches])
+        vcol = _v_concat([v for _, _, v in batches])
+        order = np.argsort(ranks_of(keys), kind="stable")
+        out.add_group_batch(*_take_groups(keys, offsets, vcol, order))
+        return out
+
+    ragged = schema.ragged_values
+    nruns = kmv.spilled_pages + len(kmv._batches)
+    bytes_per_group = max(1, kmv.nbytes // max(len(kmv), 1))
+    chunk_groups = max(16, kmv.pagesize // max(nruns, 1) // bytes_per_group)
+
+    runs = PageSpool(dir=kmv._spool_dir, prefix="kmvsort")
+    out = ColumnarKeyMultiValue(schema, pagesize=kmv.pagesize, spool_dir=kmv._spool_dir)
+    try:
+        cursors: list[_KmvRunCursor] = []
+        for keys, offsets, vcol in kmv.iter_group_batches():
+            order = np.argsort(ranks_of(keys), kind="stable")
+            skeys, soff, svals = _take_groups(keys, offsets, vcol, order)
+            sranks = ranks_of(skeys)
+            start = runs.npages
+            for lo in range(0, len(skeys), chunk_groups):
+                hi = min(lo + chunk_groups, len(skeys))
+                off = soff[lo : hi + 1] - soff[lo]
+                vc = _v_slice(svals, int(soff[lo]), int(soff[hi]))
+                runs.write_arrays(
+                    (sranks[lo:hi], skeys[lo:hi], off) + _v_to_arrays(vc), hi - lo
+                )
+            cursors.append(_KmvRunCursor(runs, range(start, runs.npages), ragged))
+
+        while True:
+            alive = [c for c in cursors if c.refill()]
+            if not alive:
+                break
+            boundary = min(c.ranks[-1] for c in alive)
+            parts = [p for c in alive if (p := c.take_upto(boundary)) is not None]
+            ranks = np.concatenate([p[0] for p in parts])
+            keys = np.concatenate([p[1] for p in parts])
+            offsets = _concat_offsets([p[2] for p in parts])
+            vcol = _v_concat([p[3] for p in parts])
+            order = np.argsort(ranks, kind="stable")
+            out.add_group_batch(*_take_groups(keys, offsets, vcol, order))
+    except BaseException:
+        out.close()
+        raise
+    finally:
+        runs.close()
+    return out

@@ -11,7 +11,9 @@ from __future__ import annotations
 import struct
 from typing import Any
 
-__all__ = ["stable_hash", "key_bytes"]
+import numpy as np
+
+__all__ = ["stable_hash", "key_bytes", "hash_key_column"]
 
 _FNV_OFFSET = 0xCBF29CE484222325
 _FNV_PRIME = 0x100000001B3
@@ -55,3 +57,59 @@ def stable_hash(key: Any) -> int:
         h ^= byte
         h = (h * _FNV_PRIME) & _MASK
     return h
+
+
+def _fnv1a_matrix(mat: np.ndarray, lengths: np.ndarray, prefix: bytes) -> np.ndarray:
+    """FNV-1a over each row of a (n, width) uint8 matrix, rows of varying
+    ``lengths``, every hash seeded with the scalar ``prefix`` bytes.
+
+    Column ``j`` only updates rows with ``lengths > j``, so the result equals
+    hashing ``prefix + row[:length]`` per row — the exact byte stream
+    :func:`key_bytes` feeds :func:`stable_hash` — at one vectorised sweep per
+    byte *position* instead of one Python loop iteration per byte.
+    """
+    prime = np.uint64(_FNV_PRIME)
+    h = np.full(mat.shape[0], _FNV_OFFSET, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        for byte in prefix:
+            h = (h ^ np.uint64(byte)) * prime
+        for j in range(mat.shape[1]):
+            live = lengths > j
+            h = np.where(live, (h ^ mat[:, j].astype(np.uint64)) * prime, h)
+    return h
+
+
+def _byte_matrix(column: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """(n, width) uint8 view of an ``S``-dtype column plus per-row lengths
+    (trailing NULs are padding, exactly what numpy strips on conversion)."""
+    width = column.dtype.itemsize
+    mat = column.view(np.uint8).reshape(len(column), width)
+    nonzero = mat != 0
+    lengths = width - np.argmax(nonzero[:, ::-1], axis=1)
+    lengths[~nonzero.any(axis=1)] = 0
+    return mat, lengths
+
+
+def hash_key_column(column: np.ndarray, kind: str) -> np.ndarray:
+    """Vectorised :func:`stable_hash` over a whole key column.
+
+    ``kind`` is the *logical* key type of the schema ('bytes', 'str', 'int'
+    or 'float'); the result is element-wise identical to
+    ``stable_hash(decoded_key)``, which is what keeps columnar and object
+    aggregates placing every key on the same rank.
+    """
+    column = np.ascontiguousarray(column)
+    if kind in ("bytes", "str"):
+        mat, lengths = _byte_matrix(column)
+        return _fnv1a_matrix(mat, lengths, b"b" if kind == "bytes" else b"s")
+    if kind == "int":
+        # key_bytes uses the decimal ASCII form; astype('S') produces it.
+        as_text = column.astype("S21")
+        mat, lengths = _byte_matrix(as_text)
+        return _fnv1a_matrix(mat, lengths, b"i")
+    if kind == "float":
+        # key_bytes packs the raw little-endian IEEE-754 doubles.
+        mat = column.astype("<f8").view(np.uint8).reshape(len(column), 8)
+        lengths = np.full(len(column), 8)
+        return _fnv1a_matrix(mat, lengths, b"f")
+    raise ValueError(f"unsupported key kind {kind!r}")

@@ -15,10 +15,10 @@ from repro.mrmpi.hashing import key_bytes, stable_hash
 from repro.mrmpi.keyvalue import KeyValue
 from repro.mrmpi.spool import PageSpool, approx_size
 
-__all__ = ["KeyMultiValue", "convert_kv_to_kmv"]
+__all__ = ["ObjectKeyMultiValue", "KeyMultiValue", "convert_kv_to_kmv"]
 
 
-class KeyMultiValue:
+class ObjectKeyMultiValue:
     """A pageable sequence of (key, list-of-values) pairs owned by one rank."""
 
     def __init__(self, pagesize: int = 64 * 1024 * 1024, spool_dir: str | None = None):
@@ -79,14 +79,14 @@ class KeyMultiValue:
     def close(self) -> None:
         self.clear()
 
-    def __enter__(self) -> "KeyMultiValue":
+    def __enter__(self) -> "ObjectKeyMultiValue":
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"KeyMultiValue(nkmv={self._nkmv}, nvalues={self._nvalues})"
+        return f"ObjectKeyMultiValue(nkmv={self._nkmv}, nvalues={self._nvalues})"
 
 
 def convert_kv_to_kmv(
@@ -94,7 +94,7 @@ def convert_kv_to_kmv(
     pagesize: int,
     spool_dir: str | None = None,
     nbuckets: int = 16,
-) -> KeyMultiValue:
+) -> ObjectKeyMultiValue:
     """Group a KeyValue store into a KeyMultiValue store (external grouping).
 
     Within each key, value order follows KV iteration order (stable).  Keys
@@ -103,7 +103,7 @@ def convert_kv_to_kmv(
     """
     if nbuckets < 1:
         raise ValueError(f"nbuckets must be >= 1, got {nbuckets}")
-    kmv = KeyMultiValue(pagesize=pagesize, spool_dir=spool_dir)
+    kmv = ObjectKeyMultiValue(pagesize=pagesize, spool_dir=spool_dir)
 
     if not kv.out_of_core and len(kv) > 0:
         # Fast path: whole KV fits in one page; group in memory directly.
@@ -148,3 +148,7 @@ def convert_kv_to_kmv(
         for spool in buckets:
             spool.close()
     return kmv
+
+
+#: Historical name, kept so existing reducers/tests keep working unchanged.
+KeyMultiValue = ObjectKeyMultiValue

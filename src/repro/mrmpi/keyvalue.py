@@ -14,11 +14,18 @@ from typing import Any, Iterator
 from repro.mrmpi.hashing import key_bytes
 from repro.mrmpi.spool import PageSpool, approx_size
 
-__all__ = ["KeyValue"]
+__all__ = ["ObjectKeyValue", "KeyValue"]
 
 
-class KeyValue:
-    """A pageable multiset of (key, value) pairs owned by one rank."""
+class ObjectKeyValue:
+    """A pageable multiset of (key, value) pairs owned by one rank.
+
+    This is the legacy *object* store — arbitrary Python keys/values, pickle
+    spill pages, estimated byte accounting.  The columnar plane
+    (:class:`~repro.mrmpi.columnar.ColumnarKeyValue`) supersedes it for
+    schema-typed datasets; the object store remains both the fallback for
+    untyped data and the parity oracle the columnar tests compare against.
+    """
 
     def __init__(self, pagesize: int = 64 * 1024 * 1024, spool_dir: str | None = None):
         if pagesize <= 0:
@@ -86,7 +93,7 @@ class KeyValue:
     def close(self) -> None:
         self.clear()
 
-    def __enter__(self) -> "KeyValue":
+    def __enter__(self) -> "ObjectKeyValue":
         return self
 
     def __exit__(self, *exc_info) -> None:
@@ -94,6 +101,10 @@ class KeyValue:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
-            f"KeyValue(nkv={self._nkv}, pages_spilled={self.spilled_pages}, "
+            f"ObjectKeyValue(nkv={self._nkv}, pages_spilled={self.spilled_pages}, "
             f"pagesize={self.pagesize})"
         )
+
+
+#: Historical name, kept so existing mappers/tests keep working unchanged.
+KeyValue = ObjectKeyValue

@@ -13,23 +13,49 @@ Map styles (the ``mapstyle`` setting of the original library):
   remaining ranks one at a time, first-come first-served.  This is the mode
   the paper uses for BLAST, where per-task runtimes are wildly non-uniform
   and dynamic load balancing is essential.
+
+Data planes: with a :class:`~repro.mrmpi.schema.RecordSchema` the KV/KMV
+datasets are **columnar** (typed array pages, vectorised shuffle hashing,
+sort-based grouping, binary spill); without one they are **object** stores
+(arbitrary Python keys/values, pickle spill) — the legacy path and the
+parity oracle for the columnar one.  Both planes share the same collective
+API, and per-phase traffic is recorded in :attr:`MapReduce.stats`.
 """
 
 from __future__ import annotations
 
+import heapq
 import time
 from collections import deque
 from enum import IntEnum
-from typing import Any, Callable, Optional, Sequence
+from typing import Any, Callable, Optional, Sequence, Union
+
+import numpy as np
 
 from repro.mpi.comm import Comm
 from repro.mpi.ops import ANY_SOURCE, LAND, MAX, SUM, Status
-from repro.mrmpi.hashing import key_bytes, stable_hash
-from repro.mrmpi.keymultivalue import KeyMultiValue, convert_kv_to_kmv
-from repro.mrmpi.keyvalue import KeyValue
-from repro.mrmpi.spool import approx_size
+from repro.mrmpi.columnar import (
+    ColumnarKeyMultiValue,
+    ColumnarKeyValue,
+    _v_slice,
+    _v_take,
+    _v_to_arrays,
+    _v_concat,
+    _v_nbytes,
+    convert_columnar,
+    iter_sorted_batches,
+    sort_kmv_columnar,
+)
+from repro.mrmpi.hashing import hash_key_column, key_bytes, stable_hash
+from repro.mrmpi.keymultivalue import (
+    ObjectKeyMultiValue,
+    convert_kv_to_kmv,
+)
+from repro.mrmpi.keyvalue import ObjectKeyValue
+from repro.mrmpi.schema import RecordSchema
+from repro.mrmpi.spool import PageSpool, approx_size
 
-__all__ = ["MapReduce", "MapStyle"]
+__all__ = ["MapReduce", "MapStyle", "KEEP_SCHEMA"]
 
 _TAG_REQUEST = 101
 _TAG_ASSIGN = 102
@@ -37,6 +63,12 @@ _TAG_GATHER = 103
 
 #: Sentinel task id telling a worker to retire.
 _NO_MORE_WORK = -1
+
+#: Sentinel for reduce()/map_kv() meaning "output uses the current schema".
+KEEP_SCHEMA = object()
+
+KVStore = Union[ObjectKeyValue, ColumnarKeyValue]
+KMVStore = Union[ObjectKeyMultiValue, ColumnarKeyMultiValue]
 
 
 class MapStyle(IntEnum):
@@ -59,8 +91,12 @@ class MapReduce:
         Default task-distribution style for :meth:`map` / :meth:`map_items`.
     spool_dir:
         Directory for page files (defaults to the system temp dir).  On the
-    paper's cluster this would be Lustre, since Ranger nodes have no
-    local scratch — one reason mrblast bounds its working set instead.
+        paper's cluster this would be Lustre, since Ranger nodes have no
+        local scratch — one reason mrblast bounds its working set instead.
+    schema:
+        When given, KV datasets are columnar (typed array pages described
+        by the :class:`~repro.mrmpi.schema.RecordSchema`); when ``None``
+        (default) the object stores are used.
     """
 
     def __init__(
@@ -70,16 +106,23 @@ class MapReduce:
         mapstyle: MapStyle = MapStyle.MASTER_WORKER,
         spool_dir: str | None = None,
         nbuckets: int = 16,
+        schema: RecordSchema | None = None,
     ) -> None:
         self.comm = comm.dup()
         self.memsize = int(memsize)
         self.mapstyle = MapStyle(mapstyle)
         self.spool_dir = spool_dir
         self.nbuckets = nbuckets
-        self.kv: Optional[KeyValue] = None
-        self.kmv: Optional[KeyMultiValue] = None
+        self.schema = schema
+        self.kv: Optional[KVStore] = None
+        self.kmv: Optional[KMVStore] = None
         #: accumulated seconds per phase: map/aggregate/convert/reduce/gather
         self.timers: dict[str, float] = {}
+        #: accumulated traffic per phase: {"pairs_moved", "bytes_moved"}.
+        #: Only pairs staged for *other* ranks count as moved; bytes are
+        #: exact array bytes on the columnar plane and ``approx_size``
+        #: estimates on the object plane.
+        self.stats: dict[str, dict[str, int]] = {}
 
     # --------------------------------------------------------------- plumbing
 
@@ -91,18 +134,34 @@ class MapReduce:
     def size(self) -> int:
         return self.comm.size
 
-    def _fresh_kv(self) -> KeyValue:
-        return KeyValue(pagesize=self.memsize, spool_dir=self.spool_dir)
+    def _fresh_kv(self, schema: RecordSchema | None = None) -> KVStore:
+        schema = self.schema if schema is KEEP_SCHEMA or schema is None else schema
+        if schema is not None:
+            return ColumnarKeyValue(schema, pagesize=self.memsize, spool_dir=self.spool_dir)
+        return ObjectKeyValue(pagesize=self.memsize, spool_dir=self.spool_dir)
+
+    def _out_kv(self, out_schema) -> KVStore:
+        """Destination store for reduce()/map_kv() output."""
+        if out_schema is KEEP_SCHEMA:
+            return self._fresh_kv()
+        if out_schema is None:
+            return ObjectKeyValue(pagesize=self.memsize, spool_dir=self.spool_dir)
+        return ColumnarKeyValue(out_schema, pagesize=self.memsize, spool_dir=self.spool_dir)
 
     def _time(self, phase: str, t0: float) -> None:
         self.timers[phase] = self.timers.get(phase, 0.0) + (time.perf_counter() - t0)
 
-    def _require_kv(self) -> KeyValue:
+    def _bump(self, phase: str, pairs: int, nbytes: int) -> None:
+        st = self.stats.setdefault(phase, {"pairs_moved": 0, "bytes_moved": 0})
+        st["pairs_moved"] += int(pairs)
+        st["bytes_moved"] += int(nbytes)
+
+    def _require_kv(self) -> KVStore:
         if self.kv is None:
             raise RuntimeError("no KeyValue dataset; call map() first")
         return self.kv
 
-    def _require_kmv(self) -> KeyMultiValue:
+    def _require_kmv(self) -> KMVStore:
         if self.kmv is None:
             raise RuntimeError("no KeyMultiValue dataset; call convert()/collate() first")
         return self.kmv
@@ -112,32 +171,38 @@ class MapReduce:
     def map(
         self,
         nmap: int,
-        mapper: Callable[[int, KeyValue], None],
+        mapper: Callable[[int, KVStore], None],
         addflag: bool = False,
         mapstyle: MapStyle | None = None,
+        count: bool = False,
     ) -> int:
         """Run ``mapper(itask, kv)`` for each task id in ``[0, nmap)``.
 
-        Returns the global number of KV pairs after the map.  With
-        ``addflag`` the new pairs are appended to the existing KV dataset
-        (used by mrblast's multi-iteration loop); otherwise a fresh dataset
-        is started.
+        Returns the local number of KV pairs after the map, or the global
+        number with ``count=True`` (a collective allreduce — opt-in, since
+        most callers ignore the return value).  With ``addflag`` the new
+        pairs are appended to the existing KV dataset (used by mrblast's
+        multi-iteration loop); otherwise a fresh dataset is started.
         """
-        return self.map_items(range(nmap), lambda i, item, kv: mapper(i, kv), addflag, mapstyle)
+        return self.map_items(
+            range(nmap), lambda i, item, kv: mapper(i, kv), addflag, mapstyle, count=count
+        )
 
     def map_items(
         self,
         items: Sequence[Any],
-        mapper: Callable[[int, Any, KeyValue], None],
+        mapper: Callable[[int, Any, KVStore], None],
         addflag: bool = False,
         mapstyle: MapStyle | None = None,
         locality_key: Callable[[Any], Any] | None = None,
+        count: bool = False,
     ) -> int:
         """Run ``mapper(itask, items[itask], kv)`` over a list of work items.
 
         ``items`` must be identical on every rank (SPMD); only task *indices*
         travel over the wire, matching how the original library hands out
-        file/task ids rather than payloads.
+        file/task ids rather than payloads.  Returns the local pair count
+        (global with ``count=True``, which adds a collective allreduce).
 
         With ``locality_key`` (master/worker mode only) the master becomes
         *location-aware*: a worker requesting more work is preferentially
@@ -169,8 +234,17 @@ class MapReduce:
                 key_of=None if locality_key is None else (lambda i: locality_key(items[i])),
             )
 
+        if self.size > 1 and style is MapStyle.MASTER_WORKER:
+            # Epoch fence: a fast rank's next map_items() request must not
+            # reach this call's master (they share tags).  The collective
+            # count used to provide this synchronisation implicitly.
+            self.comm.barrier()
+
         self._time("map", t0)
-        return self.kv_stats()[0]
+        self._bump("map", len(kv), kv.nbytes if isinstance(kv, ColumnarKeyValue) else 0)
+        if count:
+            return self.kv_stats()[0]
+        return len(kv)
 
     def _static_tasks(self, nmap: int, style: MapStyle):
         if style is MapStyle.STRIDED:
@@ -246,16 +320,24 @@ class MapReduce:
             if key_of is not None:
                 last_key = key_of(itask)
 
-    def map_kv(self, mapper: Callable[[Any, Any, KeyValue], None]) -> int:
+    def map_kv(
+        self,
+        mapper: Callable[[Any, Any, KVStore], None],
+        count: bool = False,
+        out_schema: Any = KEEP_SCHEMA,
+    ) -> int:
         """Map over the *existing* KV pairs, producing a new KV dataset.
 
         The original library's ``map(mr, ...)`` variant: every local pair is
         passed to ``mapper(key, value, kv_out)``; no communication happens
-        (pairs are transformed where they live).  Returns the global count.
+        (pairs are transformed where they live).  Returns the local count
+        (global with ``count=True``).  ``out_schema`` selects the output
+        plane: the current schema by default, ``None`` for the object store,
+        or a different :class:`RecordSchema`.
         """
         t0 = time.perf_counter()
         kv = self._require_kv()
-        new_kv = self._fresh_kv()
+        new_kv = self._out_kv(out_schema)
         try:
             for key, value in kv:
                 mapper(key, value, new_kv)
@@ -268,7 +350,9 @@ class MapReduce:
         kv.close()
         self.kv = new_kv
         self._time("map", t0)
-        return self.kv_stats()[0]
+        if count:
+            return self.kv_stats()[0]
+        return len(new_kv)
 
     # -------------------------------------------------------- shuffle & group
 
@@ -285,28 +369,59 @@ class MapReduce:
         ``memsize``) of outgoing pairs per rank, so aggregation of an
         out-of-core dataset never materialises it in memory — the original
         library pages its exchange the same way.
+
+        On the columnar plane each round is vectorised: one
+        :func:`~repro.mrmpi.hashing.hash_key_column` over the staged key
+        column, one stable argsort by destination, and per-destination
+        array slices on the wire — no per-pair Python work.  A custom
+        ``hash_fn`` forces the record-at-a-time path (the vectorised hash
+        only reproduces the stable FNV).
         """
         t0 = time.perf_counter()
         kv = self._require_kv()
-        h = hash_fn or stable_hash
         budget = self.memsize if exchange_bytes is None else int(exchange_bytes)
         if budget < 1:
             raise ValueError(f"exchange_bytes must be >= 1, got {budget}")
-        new_kv = self._fresh_kv()
+        if isinstance(kv, ColumnarKeyValue) and hash_fn is None:
+            new_kv = self._aggregate_columnar(kv, budget)
+        else:
+            new_kv = self._aggregate_object(kv, hash_fn or stable_hash, budget)
+        kv.close()
+        self.kv = new_kv
+        self._time("aggregate", t0)
+        return len(new_kv)
+
+    def _aggregate_object(
+        self, kv: KVStore, h: Callable[[Any], int], budget: int
+    ) -> KVStore:
+        if isinstance(kv, ColumnarKeyValue):
+            new_kv: KVStore = ColumnarKeyValue(
+                kv.schema, pagesize=self.memsize, spool_dir=self.spool_dir
+            )
+        else:
+            new_kv = ObjectKeyValue(pagesize=self.memsize, spool_dir=self.spool_dir)
         source = iter(kv)
         local_done = False
         try:
             while True:
                 outgoing: list[list] = [[] for _ in range(self.size)]
                 staged = 0
+                moved_pairs = 0
+                moved_bytes = 0
                 while not local_done and staged < budget:
                     try:
                         key, value = next(source)
                     except StopIteration:
                         local_done = True
                         break
-                    outgoing[h(key) % self.size].append((key, value))
-                    staged += approx_size(key) + approx_size(value)
+                    dest = h(key) % self.size
+                    outgoing[dest].append((key, value))
+                    sz = approx_size(key) + approx_size(value)
+                    staged += sz
+                    if dest != self.rank:
+                        moved_pairs += 1
+                        moved_bytes += sz
+                self._bump("aggregate", moved_pairs, moved_bytes)
                 incoming = self.comm.alltoall(outgoing)
                 for batch in incoming:
                     new_kv.add_multi(batch)
@@ -317,21 +432,98 @@ class MapReduce:
             # the half-built destination so its spill file is reclaimed.
             new_kv.close()
             raise
-        kv.close()
-        self.kv = new_kv
-        self._time("aggregate", t0)
-        return len(new_kv)
+        return new_kv
 
-    def convert(self) -> int:
-        """Group the local KV pairs into KMV pairs (no communication)."""
-        t0 = time.perf_counter()
-        kv = self._require_kv()
-        self.kmv = convert_kv_to_kmv(
+    def _aggregate_columnar(self, kv: ColumnarKeyValue, budget: int) -> ColumnarKeyValue:
+        schema = kv.schema
+        new_kv = ColumnarKeyValue(schema, pagesize=self.memsize, spool_dir=self.spool_dir)
+        batches = kv.iter_batches()
+        leftover: tuple[np.ndarray, Any] | None = None
+        local_done = False
+        size = self.size
+        try:
+            while True:
+                staged: list[tuple[np.ndarray, Any]] = []
+                staged_bytes = 0
+                while not local_done and staged_bytes < budget:
+                    if leftover is not None:
+                        karr, vcol = leftover
+                        leftover = None
+                    else:
+                        try:
+                            karr, vcol = next(batches)
+                        except StopIteration:
+                            local_done = True
+                            break
+                    nb = int(karr.nbytes) + _v_nbytes(vcol)
+                    if staged_bytes + nb > budget and len(karr) > 1:
+                        # Split oversized batches so one round never stages
+                        # far past the budget (rows are sized uniformly
+                        # enough that a proportional cut is fine).
+                        keep = max(1, (budget - staged_bytes) * len(karr) // nb)
+                        if keep < len(karr):
+                            staged.append((karr[:keep], _v_slice(vcol, 0, keep)))
+                            leftover = (karr[keep:], _v_slice(vcol, keep, len(karr)))
+                            break
+                    staged.append((karr, vcol))
+                    staged_bytes += nb
+                if staged:
+                    keys = np.concatenate([k for k, _ in staged])
+                    vcol = _v_concat([v for _, v in staged])
+                    dest = (
+                        hash_key_column(keys, schema.key_kind) % np.uint64(size)
+                    ).astype(np.int64)
+                    order = np.argsort(dest, kind="stable")
+                    skeys = keys[order]
+                    svals = _v_take(vcol, order)
+                    bounds = np.searchsorted(dest[order], np.arange(size + 1))
+                    outgoing: list = []
+                    for p in range(size):
+                        lo, hi = int(bounds[p]), int(bounds[p + 1])
+                        if lo == hi:
+                            outgoing.append(None)
+                            continue
+                        arrs = (skeys[lo:hi],) + _v_to_arrays(_v_slice(svals, lo, hi))
+                        outgoing.append(arrs)
+                        if p != self.rank:
+                            self._bump(
+                                "aggregate", hi - lo, sum(int(a.nbytes) for a in arrs)
+                            )
+                else:
+                    outgoing = [None] * size
+                incoming = self.comm.alltoall(outgoing)
+                for batch in incoming:
+                    if batch is not None:
+                        new_kv.add_wire(batch)
+                if self.comm.allreduce(local_done, op=LAND):
+                    break
+        except BaseException:
+            new_kv.close()
+            raise
+        return new_kv
+
+    def _convert_local(self, kv: KVStore) -> KMVStore:
+        if isinstance(kv, ColumnarKeyValue):
+            return convert_columnar(kv, pagesize=self.memsize, spool_dir=self.spool_dir)
+        return convert_kv_to_kmv(
             kv, pagesize=self.memsize, spool_dir=self.spool_dir, nbuckets=self.nbuckets
         )
+
+    def convert(self) -> int:
+        """Group the local KV pairs into KMV pairs (no communication).
+
+        Columnar datasets group with a bounded-memory external merge sort
+        (keys come out sorted); object datasets keep the hash-bucket path
+        (keys come out in first-seen order per bucket).
+        """
+        t0 = time.perf_counter()
+        kv = self._require_kv()
+        npairs = len(kv)
+        self.kmv = self._convert_local(kv)
         kv.close()
         self.kv = None
         self._time("convert", t0)
+        self._bump("convert", npairs, 0)
         return len(self.kmv)
 
     def collate(self, hash_fn: Callable[[Any], int] | None = None) -> int:
@@ -346,7 +538,7 @@ class MapReduce:
 
     # ------------------------------------------------------------------ reduce
 
-    def compress(self, reducer: Callable[[Any, list, KeyValue], None]) -> int:
+    def compress(self, reducer: Callable[[Any, list, KVStore], None]) -> int:
         """Local combiner: convert + reduce *without* any communication.
 
         The original library's ``compress()``: each rank groups its own KV
@@ -357,11 +549,14 @@ class MapReduce:
         """
         t0 = time.perf_counter()
         kv = self._require_kv()
-        local_kmv = convert_kv_to_kmv(
-            kv, pagesize=self.memsize, spool_dir=self.spool_dir, nbuckets=self.nbuckets
-        )
+        local_kmv = self._convert_local(kv)
+        if isinstance(kv, ColumnarKeyValue):
+            new_kv: KVStore = ColumnarKeyValue(
+                kv.schema, pagesize=self.memsize, spool_dir=self.spool_dir
+            )
+        else:
+            new_kv = ObjectKeyValue(pagesize=self.memsize, spool_dir=self.spool_dir)
         kv.close()
-        new_kv = self._fresh_kv()
         try:
             for key, values in local_kmv:
                 reducer(key, values, new_kv)
@@ -374,14 +569,22 @@ class MapReduce:
         self._time("compress", t0)
         return len(new_kv)
 
-    def reduce(self, reducer: Callable[[Any, list, KeyValue], None]) -> int:
+    def reduce(
+        self,
+        reducer: Callable[[Any, list, KVStore], None],
+        count: bool = False,
+        out_schema: Any = KEEP_SCHEMA,
+    ) -> int:
         """Call ``reducer(key, values, kv_out)`` once per local KMV pair.
 
-        Returns the global number of KV pairs emitted.
+        Returns the local number of KV pairs emitted (global with
+        ``count=True``).  ``out_schema`` selects the output plane exactly
+        like :meth:`map_kv` — mrblast's reducer, for instance, emits plain
+        per-query summaries and passes ``out_schema=None``.
         """
         t0 = time.perf_counter()
         kmv = self._require_kmv()
-        new_kv = self._fresh_kv()
+        new_kv = self._out_kv(out_schema)
         try:
             for key, values in kmv:
                 reducer(key, values, new_kv)
@@ -392,68 +595,216 @@ class MapReduce:
         self.kmv = None
         self.kv = new_kv
         self._time("reduce", t0)
-        return self.kv_stats()[0]
+        self._bump("reduce", len(new_kv), 0)
+        if count:
+            return self.kv_stats()[0]
+        return len(new_kv)
 
     # ----------------------------------------------------------- repartitioning
 
-    def gather(self, nranks: int = 1) -> int:
-        """Move all KV pairs onto the first ``nranks`` ranks (rank r → r % nranks)."""
+    def gather(self, nranks: int = 1, exchange_bytes: int | None = None) -> int:
+        """Move all KV pairs onto the first ``nranks`` ranks (rank r → r % nranks).
+
+        Transfers are paged: each message stages at most ``exchange_bytes``
+        (default ``memsize``) so gathering an out-of-core dataset never
+        materialises it in one message; a ``None`` sentinel ends each
+        sender's stream.  Receivers drain senders in rank order, so arrival
+        order is deterministic.
+        """
         t0 = time.perf_counter()
         if not (1 <= nranks <= self.size):
             raise ValueError(f"nranks must be in [1, {self.size}], got {nranks}")
+        budget = self.memsize if exchange_bytes is None else int(exchange_bytes)
+        if budget < 1:
+            raise ValueError(f"exchange_bytes must be >= 1, got {budget}")
         kv = self._require_kv()
         dest = self.rank % nranks
         if self.rank >= nranks:
-            self.comm.send(list(kv), dest=dest, tag=_TAG_GATHER)
+            if isinstance(kv, ColumnarKeyValue):
+                self._gather_send_columnar(kv, dest, budget)
+            else:
+                self._gather_send_object(kv, dest, budget)
+            self.comm.send(None, dest=dest, tag=_TAG_GATHER)
             kv.close()
             self.kv = self._fresh_kv()
         else:
             senders = [r for r in range(nranks, self.size) if r % nranks == self.rank]
-            for _ in senders:
-                batch = self.comm.recv(tag=_TAG_GATHER)
-                kv.add_multi(batch)
+            for r in senders:
+                while True:
+                    msg = self.comm.recv(source=r, tag=_TAG_GATHER)
+                    if msg is None:
+                        break
+                    if isinstance(msg, list):
+                        kv.add_multi(msg)
+                    else:
+                        kv.add_wire(msg)
         self.comm.barrier()
         self._time("gather", t0)
         return len(self._require_kv())
 
+    def _gather_send_object(self, kv: ObjectKeyValue, dest: int, budget: int) -> None:
+        batch: list = []
+        batch_bytes = 0
+        for key, value in kv:
+            batch.append((key, value))
+            batch_bytes += approx_size(key) + approx_size(value)
+            if batch_bytes >= budget:
+                self.comm.send(batch, dest=dest, tag=_TAG_GATHER)
+                self._bump("gather", len(batch), batch_bytes)
+                batch = []
+                batch_bytes = 0
+        if batch:
+            self.comm.send(batch, dest=dest, tag=_TAG_GATHER)
+            self._bump("gather", len(batch), batch_bytes)
+
+    def _gather_send_columnar(self, kv: ColumnarKeyValue, dest: int, budget: int) -> None:
+        for karr, vcol in kv.iter_batches():
+            nb = int(karr.nbytes) + _v_nbytes(vcol)
+            nchunks = max(1, -(-nb // budget))  # ceil
+            step = max(1, -(-len(karr) // nchunks))
+            for lo in range(0, len(karr), step):
+                hi = min(lo + step, len(karr))
+                arrs = (karr[lo:hi],) + _v_to_arrays(_v_slice(vcol, lo, hi))
+                self.comm.send(arrs, dest=dest, tag=_TAG_GATHER)
+                self._bump("gather", hi - lo, sum(int(a.nbytes) for a in arrs))
+
     # ----------------------------------------------------------------- sorting
 
     def sort_keys(self, key: Callable[[Any], Any] | None = None) -> None:
-        """Sort local KV pairs by key (stable; materialises the local set)."""
+        """Sort local KV pairs by key (stable, spool-aware).
+
+        Columnar datasets sort by native column order (bytes for 'S' keys,
+        numeric for int/float) via the external merge sort; a custom ``key``
+        function is record-at-a-time and only supported on the object
+        plane.  Object datasets sort in memory when in-core and through
+        sorted runs + a k-way merge when spilled.
+        """
         kv = self._require_kv()
-        pairs = sorted(kv, key=(lambda p: key(p[0])) if key else (lambda p: key_bytes(p[0])))
-        kv.clear()
-        kv.add_multi(pairs)
+        if isinstance(kv, ColumnarKeyValue):
+            if key is not None:
+                raise TypeError(
+                    "sort_keys(key=...) is record-at-a-time and not supported "
+                    "on the columnar plane; use an object-plane MapReduce"
+                )
+            new_kv = ColumnarKeyValue(
+                kv.schema, pagesize=kv.pagesize, spool_dir=kv._spool_dir
+            )
+            try:
+                for karr, vcol in iter_sorted_batches(kv):
+                    new_kv.add_wire((karr,) + _v_to_arrays(vcol))
+            except BaseException:
+                new_kv.close()
+                raise
+            kv.close()
+            self.kv = new_kv
+            return
+        rank_of = (lambda p: key(p[0])) if key else (lambda p: key_bytes(p[0]))
+        self.kv = self._rebuild_sorted_object(
+            kv, rank_of, ObjectKeyValue(pagesize=kv.pagesize, spool_dir=kv._spool_dir)
+        )
 
     def sort_values(self, key: Callable[[Any], Any] | None = None) -> None:
-        """Sort local KV pairs by value."""
+        """Sort local KV pairs by value (object plane only)."""
         kv = self._require_kv()
-        pairs = sorted(kv, key=(lambda p: key(p[1])) if key else (lambda p: p[1]))
-        kv.clear()
-        kv.add_multi(pairs)
+        if isinstance(kv, ColumnarKeyValue):
+            raise TypeError(
+                "sort_values() compares decoded value objects and is only "
+                "supported on the object plane"
+            )
+        rank_of = (lambda p: key(p[1])) if key else (lambda p: p[1])
+        self.kv = self._rebuild_sorted_object(
+            kv, rank_of, ObjectKeyValue(pagesize=kv.pagesize, spool_dir=kv._spool_dir)
+        )
 
     def sort_multivalues(self, key: Callable[[Any], Any] | None = None) -> None:
-        """Sort the value list inside every local KMV pair."""
+        """Sort the value list inside every local KMV pair.
+
+        Streams group by group (spool-aware on both planes); memory is
+        bounded by the largest single group, as in the original library.
+        """
         kmv = self._require_kmv()
-        groups = [(k, sorted(vs, key=key)) for k, vs in kmv]
-        kmv.clear()
-        for k, vs in groups:
-            kmv.add(k, vs)
+        if isinstance(kmv, ColumnarKeyMultiValue):
+            new_kmv: KMVStore = ColumnarKeyMultiValue(
+                kmv.schema, pagesize=kmv.pagesize, spool_dir=kmv._spool_dir
+            )
+        else:
+            new_kmv = ObjectKeyMultiValue(pagesize=kmv.pagesize, spool_dir=kmv._spool_dir)
+        try:
+            for k, vs in kmv:
+                new_kmv.add(k, sorted(vs, key=key))
+        except BaseException:
+            new_kmv.close()
+            raise
+        kmv.close()
+        self.kmv = new_kmv
 
     def sort_kmv_keys(self, key: Callable[[Any], Any] | None = None) -> None:
-        """Sort the local KMV pairs by key.
+        """Sort the local KMV pairs by key (stable, spool-aware).
 
         mrblast uses this so each rank's output file lists queries in the
         *original input order* (the paper: results "maintain the original
         order of the queries" within each per-rank file).
         """
         kmv = self._require_kmv()
-        pairs = sorted(
-            kmv, key=(lambda p: key(p[0])) if key else (lambda p: key_bytes(p[0]))
+        if isinstance(kmv, ColumnarKeyMultiValue):
+            new_kmv = sort_kmv_columnar(kmv, key)
+            kmv.close()
+            self.kmv = new_kmv
+            return
+        rank_of = (lambda p: key(p[0])) if key else (lambda p: key_bytes(p[0]))
+        self.kmv = self._rebuild_sorted_object(
+            kmv, rank_of, ObjectKeyMultiValue(pagesize=kmv.pagesize, spool_dir=kmv._spool_dir)
         )
-        kmv.clear()
-        for k, vs in pairs:
-            kmv.add(k, vs)
+
+    def _rebuild_sorted_object(self, store, rank_of, fresh):
+        """Rebuild an object KV/KMV store in ``rank_of`` order, spool-aware."""
+        try:
+            for record in self._sorted_object_records(store, rank_of):
+                fresh.add(*record)
+        except BaseException:
+            fresh.close()
+            raise
+        store.close()
+        return fresh
+
+    def _sorted_object_records(self, store, rank_of):
+        """Yield an object store's records in rank order with bounded memory.
+
+        In-core: one ``sorted``.  Spilled: every page becomes a sorted run
+        of chunk pages in a scratch spool, merged with ``heapq.merge``
+        (stable across and within runs), so only one chunk per run is
+        resident at a time.
+        """
+        live = store._page
+        spool = store._spool
+        if spool is None or spool.npages == 0:
+            yield from sorted(live, key=rank_of)
+            return
+        nruns = spool.npages + (1 if live else 0)
+        runs = PageSpool(dir=store._spool_dir, prefix="osort")
+        try:
+            run_pages: list[range] = []
+
+            def write_run(records: list) -> None:
+                records = sorted(records, key=rank_of)
+                chunk = max(64, len(records) // max(nruns, 1))
+                start = runs.npages
+                for lo in range(0, len(records), chunk):
+                    runs.write_page(records[lo : lo + chunk])
+                run_pages.append(range(start, runs.npages))
+
+            for i in range(spool.npages):
+                write_run(spool.read_page(i))
+            if live:
+                write_run(list(live))
+
+            def stream(pages: range):
+                for idx in pages:
+                    yield from runs.read_page(idx)
+
+            yield from heapq.merge(*(stream(pr) for pr in run_pages), key=rank_of)
+        finally:
+            runs.close()
 
     # -------------------------------------------------------------- inspection
 
@@ -483,6 +834,18 @@ class MapReduce:
             int(self.comm.allreduce(nk, op=SUM)),
             int(self.comm.allreduce(nv, op=SUM)),
         )
+
+    def shuffle_stats(self) -> dict[str, dict[str, int]]:
+        """Collective: per-phase traffic counters summed over all ranks."""
+        phases = sorted(set(self.comm.allreduce(list(self.stats), op=SUM)))
+        out: dict[str, dict[str, int]] = {}
+        for phase in phases:
+            local = self.stats.get(phase, {"pairs_moved": 0, "bytes_moved": 0})
+            out[phase] = {
+                "pairs_moved": int(self.comm.allreduce(local["pairs_moved"], op=SUM)),
+                "bytes_moved": int(self.comm.allreduce(local["bytes_moved"], op=SUM)),
+            }
+        return out
 
     # ------------------------------------------------------------------- admin
 

@@ -5,7 +5,18 @@ when the working set exceeds the configured memory budget.  The paper leans
 on this ("out-of-core processing") and explains that mrblast loops over query
 subsets precisely to keep the working set in memory because Ranger has no
 node-local scratch.  This module provides the paging primitive: an
-append-only sequence of pickled pages on disk with streaming read-back.
+append-only sequence of pages on disk with streaming read-back *and* random
+page access (the external merge sort reads runs by page index).
+
+Two page formats share one spool file, distinguished by a tag byte:
+
+- **object pages** (tag ``0``): pickled lists of records — the legacy path
+  for arbitrary Python keys/values;
+- **array pages** (tag ``1``): a tuple of raw numpy buffers written with
+  ``np.save`` (``allow_pickle=False``) — the columnar path.  No pickle
+  touches these pages, and :meth:`PageSpool.write_arrays` returns the
+  *exact* number of bytes written, which is what the columnar stores use
+  for byte accounting instead of :func:`approx_size` estimates.
 """
 
 from __future__ import annotations
@@ -20,13 +31,17 @@ import numpy as np
 
 __all__ = ["PageSpool", "approx_size"]
 
+_TAG_OBJECT = 0
+_TAG_ARRAYS = 1
+
 
 def approx_size(obj: Any) -> int:
     """Cheap size estimate (bytes) used for the paging threshold.
 
-    Exact accounting is not required — the real library also tracks page
-    occupancy approximately — but the estimate must grow with payload size
-    so big values trigger spills.
+    Exact accounting is not required on the object path — the real library
+    also tracks page occupancy approximately — but the estimate must grow
+    with payload size so big values trigger spills.  Columnar pages do not
+    use this at all: their occupancy is the exact sum of array ``nbytes``.
     """
     if isinstance(obj, (bytes, bytearray)):
         return len(obj) + 33
@@ -48,16 +63,20 @@ def approx_size(obj: Any) -> int:
 
 
 class PageSpool:
-    """Append-only spill storage: write pages of records, stream them back.
+    """Append-only spill storage: write pages of records, read them back.
 
-    One spool owns one file; pages are length-prefixed pickles so reading
-    streams page by page without loading the whole spool.
+    One spool owns one file.  Every page is framed as ``tag byte + u64
+    payload length + payload``; page start offsets are kept in memory so
+    :meth:`read_page` can fetch any page directly — sequential iteration
+    (:meth:`iter_pages`) and the merge sort's random run access share the
+    same frames.
     """
 
     def __init__(self, dir: str | None = None, prefix: str = "mrmpi") -> None:
         fd, self._path = tempfile.mkstemp(prefix=f"{prefix}.", suffix=".page", dir=dir)
         self._file = os.fdopen(fd, "w+b")
-        self._npages = 0
+        self._offsets: list[int] = []
+        self._end = 0
         self._nrecords = 0
         self._closed = False
 
@@ -67,39 +86,75 @@ class PageSpool:
 
     @property
     def npages(self) -> int:
-        return self._npages
+        return len(self._offsets)
 
     @property
     def nrecords(self) -> int:
         return self._nrecords
 
-    def write_page(self, records: Iterable[Any]) -> int:
-        """Append one page; returns the number of records written."""
+    @property
+    def nbytes(self) -> int:
+        """Exact bytes written to the spool file so far (frames included)."""
+        return self._end
+
+    def _begin_page(self, tag: int) -> None:
         if self._closed:
             raise ValueError("spool is closed")
+        self._offsets.append(self._end)
+        self._file.seek(self._end)
+        self._file.write(bytes([tag]))
+
+    def _finish_page(self, nrecords: int) -> int:
+        start = self._offsets[-1]
+        self._end = self._file.tell()
+        self._nrecords += nrecords
+        return self._end - start
+
+    def write_page(self, records: Iterable[Any]) -> int:
+        """Append one object (pickled) page; returns the record count."""
         records = list(records)
         blob = pickle.dumps(records, protocol=pickle.HIGHEST_PROTOCOL)
-        self._file.seek(0, os.SEEK_END)
+        self._begin_page(_TAG_OBJECT)
         self._file.write(len(blob).to_bytes(8, "little"))
         self._file.write(blob)
-        self._npages += 1
-        self._nrecords += len(records)
+        self._finish_page(len(records))
         return len(records)
 
-    def iter_pages(self) -> Iterator[list]:
-        """Stream pages back in write order."""
+    def write_arrays(self, arrays: tuple[np.ndarray, ...], nrecords: int) -> int:
+        """Append one binary array page; returns the *exact* bytes written.
+
+        The payload is the concatenation of ``np.save`` frames — raw buffers
+        plus numpy's tiny self-describing header, no pickle — so dtype and
+        shape round-trip exactly, including structured dtypes with subarray
+        fields.
+        """
+        self._begin_page(_TAG_ARRAYS)
+        self._file.write(len(arrays).to_bytes(8, "little"))
+        for arr in arrays:
+            np.save(self._file, np.ascontiguousarray(arr))
+        return self._finish_page(nrecords)
+
+    def read_page(self, index: int) -> Any:
+        """Read page ``index``: a list (object page) or tuple of arrays."""
         if self._closed:
             raise ValueError("spool is closed")
+        if not (0 <= index < len(self._offsets)):
+            raise IndexError(f"page {index} out of range [0, {len(self._offsets)})")
         self._file.flush()
-        pos = 0
-        self._file.seek(0)
-        for _ in range(self._npages):
-            self._file.seek(pos)
-            header = self._file.read(8)
-            size = int.from_bytes(header, "little")
-            blob = self._file.read(size)
-            pos = self._file.tell()
-            yield pickle.loads(blob)
+        self._file.seek(self._offsets[index])
+        tag = self._file.read(1)[0]
+        count = int.from_bytes(self._file.read(8), "little")
+        if tag == _TAG_OBJECT:
+            return pickle.loads(self._file.read(count))
+        arrays = tuple(
+            np.load(self._file, allow_pickle=False) for _ in range(count)
+        )
+        return arrays
+
+    def iter_pages(self) -> Iterator[Any]:
+        """Stream pages back in write order."""
+        for index in range(len(self._offsets)):
+            yield self.read_page(index)
 
     def iter_records(self) -> Iterator[Any]:
         for page in self.iter_pages():

@@ -261,6 +261,22 @@ class TestSpoolHygiene:
     def test_no_spill_files_leak_after_injected_crash(self, workload, tmp_path):
         spool_dir = tmp_path / "spool"
         os.makedirs(spool_dir)
+        # Probe a clean run first: the crash index must land mid-run, and
+        # the op count depends on how many exchange rounds the data plane
+        # needs, so it is measured rather than hardcoded.
+        probe_spool = tmp_path / "probe-spool"
+        os.makedirs(probe_spool)
+        probe_cfg = _config(
+            workload,
+            tmp_path / "probe",
+            memsize=2048,
+            spool_dir=str(probe_spool),
+        )
+        probe = SpmdJob(NPROCS, run_mrblast, (probe_cfg,))
+        probe.run()
+        crash_at = (2 * probe.network.op_count(1)) // 3
+        assert crash_at > 0
+
         config = _config(
             workload,
             tmp_path / "crashy",
@@ -269,7 +285,7 @@ class TestSpoolHygiene:
         )
         with pytest.raises(RankFailure):
             SpmdJob(NPROCS, run_mrblast, (config,), fault_plan=FaultPlan(
-                [CrashRank(rank=1, at_op=40)]
+                [CrashRank(rank=1, at_op=crash_at)]
             )).run()
         assert glob.glob(str(spool_dir / "*")) == []
 

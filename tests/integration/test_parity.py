@@ -224,6 +224,38 @@ class TestMrSomParity:
         for r in results[1:]:
             np.testing.assert_array_equal(r.codebook, results[0].codebook)
 
+    @pytest.mark.parametrize("nprocs", [1, 3, 4])
+    def test_mrmpi_reduce_mode_is_bit_identical(self, som_workload, nprocs, tmp_path):
+        """Routing the Eq. 5 accumulators through the columnar MR-MPI plane
+        (instead of the paper's direct MPI_Reduce) must not change a single
+        bit: the reducer replays the same additions in the same binomial
+        order.  4 ranks exercises a two-level reduction tree."""
+        path, _ = som_workload
+        kwargs = dict(
+            matrix_path=path, grid=SOMGrid(6, 5), epochs=4, block_rows=40,
+            mapstyle=MapStyle.CHUNK,
+        )
+        direct = mrsom_spmd(nprocs, MrSomConfig(**kwargs))
+        mrmpi = mrsom_spmd(nprocs, MrSomConfig(**kwargs, reduce_mode="mrmpi"))
+        np.testing.assert_array_equal(mrmpi[0].codebook, direct[0].codebook)
+        if nprocs > 1:
+            assert mrmpi[0].shuffle_pairs_moved > 0
+
+    def test_mrmpi_reduce_mode_out_of_core_is_bit_identical(self, som_workload, tmp_path):
+        import glob
+
+        path, _ = som_workload
+        kwargs = dict(
+            matrix_path=path, grid=SOMGrid(6, 5), epochs=3, block_rows=40,
+            mapstyle=MapStyle.CHUNK,
+        )
+        direct = mrsom_spmd(3, MrSomConfig(**kwargs))
+        spooled = mrsom_spmd(3, MrSomConfig(
+            **kwargs, reduce_mode="mrmpi", memsize=512, spool_dir=str(tmp_path),
+        ))
+        np.testing.assert_array_equal(spooled[0].codebook, direct[0].codebook)
+        assert glob.glob(str(tmp_path / "*")) == []
+
     def test_block_size_does_not_change_result(self, som_workload):
         """Fig. 6 note: '80-vector work units produced identical timings' —
         and identical results, since Eq. 5 sums are associative."""

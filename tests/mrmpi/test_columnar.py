@@ -1,0 +1,270 @@
+"""The columnar KV data plane: schema, vectorized hashing, typed stores,
+external sorts and sort-based grouping.
+
+The contract under test throughout: every columnar operation must agree
+with the object plane (or with plain ``sorted``/dict grouping) — the
+columnar plane is a faster representation, never a different semantics.
+"""
+
+import glob
+
+import numpy as np
+import pytest
+
+from repro.mrmpi.columnar import (
+    ColumnarKeyMultiValue,
+    ColumnarKeyValue,
+    _v_to_arrays,
+    convert_columnar,
+    iter_sorted_batches,
+    sort_kmv_columnar,
+)
+from repro.mrmpi.hashing import hash_key_column, stable_hash
+from repro.mrmpi.schema import RAGGED_BYTES, RecordSchema
+
+INT_SCHEMA = RecordSchema(key_dtype="S12", value_dtype=np.dtype("<i8"), key_kind="str")
+
+
+def ragged_schema(key_dtype="S12", key_kind="str"):
+    return RecordSchema(key_dtype=key_dtype, value_dtype=RAGGED_BYTES, key_kind=key_kind)
+
+
+# --------------------------------------------------------------------------
+# Vectorized hashing: must agree with the scalar stable hash bit for bit,
+# or keys would land on different ranks in the two planes.
+# --------------------------------------------------------------------------
+
+
+class TestHashKeyColumn:
+    def test_str_keys_match_scalar_hash(self):
+        keys = ["", "a", "key7", "x" * 11, "Ünïcode", "the quick"]
+        col = np.array([k.encode("utf-8") for k in keys], dtype="S20")
+        hashed = hash_key_column(col, "str")
+        for k, h in zip(keys, hashed):
+            assert int(h) == stable_hash(k), k
+
+    def test_bytes_keys_match_scalar_hash(self):
+        keys = [b"", b"a", b"\x01\x02", b"deadbeef", b"\xff" * 9]
+        col = np.array(keys, dtype="S9")
+        hashed = hash_key_column(col, "bytes")
+        for k, h in zip(keys, hashed):
+            assert int(h) == stable_hash(k), k
+
+    def test_int_keys_match_scalar_hash(self):
+        keys = [0, 1, -1, 7, -7, 2**40, -(2**40), 2**62]
+        col = np.array(keys, dtype=np.int64)
+        hashed = hash_key_column(col, "int")
+        for k, h in zip(keys, hashed):
+            assert int(h) == stable_hash(k), k
+
+    def test_float_keys_match_scalar_hash(self):
+        keys = [0.0, -0.0, 1.5, -2.25, 1e300, 1e-300, 3.141592653589793]
+        col = np.array(keys, dtype="<f8")
+        hashed = hash_key_column(col, "float")
+        for k, h in zip(keys, hashed):
+            assert int(h) == stable_hash(k), k
+
+    def test_varied_widths_in_one_column(self):
+        # the masked per-byte sweep must stop at each key's own length
+        keys = ["a", "ab", "abc", "abcd", "abcde"]
+        col = np.array([k.encode() for k in keys], dtype="S5")
+        hashed = hash_key_column(col, "str")
+        assert len(set(int(h) for h in hashed)) == len(keys)
+        for k, h in zip(keys, hashed):
+            assert int(h) == stable_hash(k)
+
+
+# --------------------------------------------------------------------------
+# Schema validation
+# --------------------------------------------------------------------------
+
+
+class TestRecordSchema:
+    def test_rejects_object_key_dtype(self):
+        with pytest.raises((ValueError, TypeError)):
+            RecordSchema(key_dtype=np.dtype(object), value_dtype=np.dtype("<i8"))
+
+    def test_str_kind_requires_bytes_column(self):
+        with pytest.raises(ValueError):
+            RecordSchema(key_dtype="<i8", value_dtype=np.dtype("<i8"), key_kind="str")
+
+    def test_rejects_oversized_key(self):
+        with pytest.raises(ValueError, match="wider"):
+            INT_SCHEMA.encode_keys(["x" * 13])
+
+    def test_rejects_trailing_nul_key(self):
+        with pytest.raises(ValueError):
+            INT_SCHEMA.encode_keys(["ok\x00"])
+
+
+# --------------------------------------------------------------------------
+# ColumnarKeyValue: round trips, batches, wire format, spilling
+# --------------------------------------------------------------------------
+
+
+class TestColumnarKeyValue:
+    def test_scalar_and_batch_adds_round_trip(self):
+        kv = ColumnarKeyValue(INT_SCHEMA)
+        kv.add("one", 1)
+        kv.add_batch(["two", "three"], [2, 3])
+        kv.add("four", 4)
+        assert len(kv) == 4
+        assert list(kv) == [("one", 1), ("two", 2), ("three", 3), ("four", 4)]
+        kv.close()
+
+    def test_ragged_values_round_trip(self):
+        kv = ColumnarKeyValue(ragged_schema())
+        payloads = [b"", b"x", b"hello world", b"\x00\x01\x02"]
+        for i, p in enumerate(payloads):
+            kv.add(f"k{i}", p)
+        assert [v for _, v in kv] == payloads
+        kv.close()
+
+    def test_wire_round_trip(self):
+        src = ColumnarKeyValue(INT_SCHEMA)
+        src.add_batch(["a", "b", "c"], [1, 2, 3])
+        (karr, vcol) = next(iter(src.iter_batches()))
+        dst = ColumnarKeyValue(INT_SCHEMA)
+        n = dst.add_wire((karr,) + _v_to_arrays(vcol))
+        assert n == 3
+        assert list(dst) == list(src)
+        src.close()
+        dst.close()
+
+    def test_spills_and_survives(self, tmp_path):
+        kv = ColumnarKeyValue(INT_SCHEMA, pagesize=256, spool_dir=str(tmp_path))
+        expected = [(f"k{i:04d}", i) for i in range(500)]
+        for lo in range(0, 500, 50):
+            chunk = expected[lo : lo + 50]
+            kv.add_batch([k for k, _ in chunk], [v for _, v in chunk])
+        assert kv.out_of_core
+        assert kv.spilled_pages > 1
+        assert list(kv) == expected
+        kv.close()
+        assert glob.glob(str(tmp_path / "*")) == []
+
+    def test_exact_byte_accounting(self):
+        kv = ColumnarKeyValue(INT_SCHEMA)
+        kv.add_batch(["aa", "bb"], [1, 2])
+        # 2 S12 keys + 2 int64 values, no estimates involved
+        assert kv.nbytes == 2 * 12 + 2 * 8
+        kv.close()
+
+
+# --------------------------------------------------------------------------
+# Sorted iteration: the external merge sort behind sort_keys / convert
+# --------------------------------------------------------------------------
+
+
+class TestSortedBatches:
+    @pytest.mark.parametrize("pagesize", [1 << 20, 256])
+    def test_sorted_and_stable(self, pagesize, tmp_path):
+        kv = ColumnarKeyValue(INT_SCHEMA, pagesize=pagesize, spool_dir=str(tmp_path))
+        rng = np.random.default_rng(11)
+        keys = [f"k{rng.integers(40):02d}" for _ in range(600)]
+        kv.add_batch(keys, list(range(600)))
+        if pagesize == 256:
+            assert kv.out_of_core
+
+        out = []
+        for karr, vcol in iter_sorted_batches(kv):
+            for i in range(len(karr)):
+                out.append((INT_SCHEMA.decode_key(karr[i]), int(vcol[i])))
+        # stable: ties keep emission order, exactly like sorted() on pairs
+        assert out == sorted(zip(keys, range(600)), key=lambda p: p[0])
+        kv.close()
+
+
+# --------------------------------------------------------------------------
+# convert: sort-based grouping must build the same groups as dict grouping
+# --------------------------------------------------------------------------
+
+
+class TestConvertColumnar:
+    @pytest.mark.parametrize("pagesize", [1 << 20, 256])
+    def test_groups_match_dict_grouping(self, pagesize, tmp_path):
+        kv = ColumnarKeyValue(INT_SCHEMA, pagesize=pagesize, spool_dir=str(tmp_path))
+        rng = np.random.default_rng(5)
+        pairs = [(f"g{rng.integers(25):02d}", i) for i in range(700)]
+        kv.add_batch([k for k, _ in pairs], [v for _, v in pairs])
+
+        expected: dict[str, list[int]] = {}
+        for k, v in pairs:
+            expected.setdefault(k, []).append(v)
+
+        kmv = convert_columnar(kv, pagesize=pagesize, spool_dir=str(tmp_path))
+        got = {k: [int(v) for v in vs] for k, vs in kmv}
+        assert got == expected
+        # sort-based convert emits keys in sorted order
+        assert [k for k, _ in kmv] == sorted(expected)
+        assert kmv.nvalues == 700
+        kv.close()
+        kmv.close()
+        assert glob.glob(str(tmp_path / "*")) == []
+
+    def test_group_split_across_pages(self, tmp_path):
+        # one huge key dominating several spill pages must still come out
+        # as a single group
+        kv = ColumnarKeyValue(INT_SCHEMA, pagesize=128, spool_dir=str(tmp_path))
+        kv.add_batch(["big"] * 300 + ["tiny"], list(range(301)))
+        kmv = convert_columnar(kv, pagesize=128, spool_dir=str(tmp_path))
+        got = {k: [int(v) for v in vs] for k, vs in kmv}
+        assert got == {"big": list(range(300)), "tiny": [300]}
+        kv.close()
+        kmv.close()
+
+
+# --------------------------------------------------------------------------
+# KMV sorting
+# --------------------------------------------------------------------------
+
+
+class TestSortKmvColumnar:
+    @pytest.mark.parametrize("pagesize", [1 << 20, 200])
+    def test_orders_groups_by_key_fn(self, pagesize, tmp_path):
+        kv = ColumnarKeyValue(INT_SCHEMA, pagesize=pagesize, spool_dir=str(tmp_path))
+        rng = np.random.default_rng(9)
+        pairs = [(f"q{rng.integers(30):02d}", i) for i in range(400)]
+        kv.add_batch([k for k, _ in pairs], [v for _, v in pairs])
+        kmv = convert_columnar(kv, pagesize=pagesize, spool_dir=str(tmp_path))
+
+        by_reverse = sort_kmv_columnar(kmv, key=lambda k: k[::-1])
+        got = [(k, [int(v) for v in vs]) for k, vs in by_reverse]
+        expected: dict[str, list[int]] = {}
+        for k, v in pairs:
+            expected.setdefault(k, []).append(v)
+        assert got == sorted(expected.items(), key=lambda p: p[0][::-1])
+        kv.close()
+        kmv.close()
+        by_reverse.close()
+        assert glob.glob(str(tmp_path / "*")) == []
+
+    def test_non_comparable_rank_raises(self):
+        kv = ColumnarKeyValue(INT_SCHEMA)
+        kv.add_batch(["a", "b"], [1, 2])
+        kmv = convert_columnar(kv, pagesize=1 << 20)
+        with pytest.raises(TypeError):
+            sort_kmv_columnar(kmv, key=lambda k: object())
+        kv.close()
+        kmv.close()
+
+
+class TestColumnarKeyMultiValue:
+    def test_group_batch_offsets_must_start_at_zero(self):
+        kmv = ColumnarKeyMultiValue(INT_SCHEMA)
+        keys = np.array([b"a"], dtype="S12")
+        bad = np.array([1, 2], dtype=np.int64)
+        with pytest.raises(ValueError):
+            kmv.add_group_batch(keys, bad, np.array([7, 8], dtype="<i8"))
+        kmv.close()
+
+    def test_ragged_groups_round_trip(self, tmp_path):
+        kmv = ColumnarKeyMultiValue(ragged_schema(), pagesize=128, spool_dir=str(tmp_path))
+        groups = {f"k{i}": [bytes([i]) * j for j in range(1, 4)] for i in range(40)}
+        for k, vs in groups.items():
+            kmv.add(k, vs)
+        assert kmv.out_of_core
+        assert {k: vs for k, vs in kmv} == groups
+        assert kmv.nvalues == sum(len(v) for v in groups.values())
+        kmv.close()
+        assert glob.glob(str(tmp_path / "*")) == []

@@ -308,7 +308,7 @@ def test_map_kv_transforms_in_place():
         mr = MapReduce(comm, mapstyle=MapStyle.STRIDED)
         mr.map_items(list(range(12)), lambda t, item, kv: kv.add(item % 3, item))
         # Re-key every pair by value parity, doubling the values.
-        n = mr.map_kv(lambda k, v, kv: kv.add(v % 2, v * 2))
+        n = mr.map_kv(lambda k, v, kv: kv.add(v % 2, v * 2), count=True)
         mr.collate()
         mr.reduce(lambda k, vs, kv: kv.add(k, sorted(vs)))
         out = {}
