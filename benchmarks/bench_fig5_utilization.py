@@ -115,3 +115,98 @@ def test_stage_breakdown_measured(tmp_path, print_table):
         "shuffle_pairs_moved": sum(r.shuffle_pairs_moved for r in results),
         "shuffle_bytes_moved": sum(r.shuffle_bytes_moved for r in results),
     })
+
+
+def test_trace_overhead_and_fidelity(tmp_path, print_table):
+    """Tracing the Fig. 5 run must be nearly free and perfectly faithful.
+
+    Measures the wall-clock overhead of running the stage-breakdown
+    workload with full tracing on (best of 2 each way, recorded in
+    ``BENCH_fig5.json``), validates the exported Chrome JSON with the
+    exporter's own schema checker, and asserts the Fig. 5 utilisation
+    numbers recomputed from the trace alone equal the counter-derived
+    ones exactly.
+    """
+    import time
+
+    from repro.bio import SeqRecord, random_protein
+    from repro.blast import BlastOptions, format_database
+    from repro.core import MrBlastConfig, mrblast_spmd
+    from repro.obs.export import validate_chrome_trace
+    from repro.obs.report import utilization_report
+    from repro.obs.trace import TraceSession
+
+    ancestors = [random_protein(260, seed_or_rng=10 + f) for f in range(4)]
+    db = []
+    for f, anc in enumerate(ancestors):
+        for m in range(3):
+            db.append(SeqRecord(f"fam{f}_m{m}", anc))
+    alias = format_database(db, tmp_path / "db", "db", kind="protein",
+                            max_volume_bytes=1024)
+    queries = [SeqRecord(f"q{f}", anc[20:220]) for f, anc in enumerate(ancestors)]
+
+    def config(tag, trace_path=None):
+        return MrBlastConfig(
+            alias_path=str(alias),
+            query_blocks=[queries[:2], queries[2:]],
+            options=BlastOptions.blastp(evalue=1e-3),
+            output_dir=str(tmp_path / tag),
+            locality_aware=True,
+            lookup_cache_blocks=4,
+            trace_path=trace_path,
+        )
+
+    # Best-of-2 each way: the minimum filters scheduler noise on a run
+    # this small far better than a mean would.
+    plain_s = []
+    for i in range(2):
+        t0 = time.perf_counter()
+        mrblast_spmd(3, config(f"plain{i}"))
+        plain_s.append(time.perf_counter() - t0)
+    traced_s = []
+    session = None
+    results = None
+    for i in range(2):
+        session = TraceSession(3)
+        t0 = time.perf_counter()
+        results = mrblast_spmd(3, config(f"traced{i}"), trace=session)
+        traced_s.append(time.perf_counter() - t0)
+
+    overhead = (min(traced_s) - min(plain_s)) / min(plain_s)
+
+    # Export is post-processing, outside the measured run.
+    from repro.obs.export import write_chrome_trace
+
+    write_chrome_trace(tmp_path / "trace.json", session)
+    doc = json.loads((tmp_path / "trace.json").read_text())
+    assert validate_chrome_trace(doc) == []
+    n_events = len(doc["traceEvents"])
+
+    # Fig. 5 utilisation from the trace alone == counter-derived, exactly.
+    rep = utilization_report(session)
+    assert rep["stage_totals"]["busy_s"] == sum(r.busy_seconds for r in results)
+    assert rep["stage_totals"]["seed_s"] == sum(r.seed_seconds for r in results)
+    assert rep["stage_totals"]["units"] == sum(r.units_processed for r in results)
+    assert rep["phase_totals_s"]["map"] == sum(r.map_seconds for r in results)
+    assert rep["straggler_rank"] in range(3)
+
+    print_table(
+        "Tracing overhead on the Fig. 5 stage-breakdown run",
+        ["variant", "best-of-2 s", "events"],
+        [["untraced", f"{min(plain_s):.3f}", "-"],
+         ["traced", f"{min(traced_s):.3f}", str(n_events)],
+         ["overhead", f"{overhead:+.1%}", "-"]],
+    )
+
+    # Generous CI bound: the acceptance target is < 5% on the real bench;
+    # a sub-second unit-test run needs headroom for scheduler noise.
+    assert overhead < 0.15, f"tracing overhead {overhead:.1%} too high"
+
+    _record("trace_overhead", {
+        "untraced_best_s": min(plain_s),
+        "traced_best_s": min(traced_s),
+        "overhead_fraction": overhead,
+        "trace_events": n_events,
+        "mean_utilization": rep["mean_utilization"],
+        "makespan_s": rep["makespan_s"],
+    })

@@ -49,6 +49,9 @@ def build_parser() -> argparse.ArgumentParser:
     ap.add_argument("--retries", type=int, default=0, metavar="N",
                     help="run under the supervisor with up to N relaunches "
                          "(resume from the last committed iteration)")
+    ap.add_argument("--trace", default=None, metavar="PATH",
+                    help="write a Chrome trace_event JSON of the run here "
+                         "(open in chrome://tracing or Perfetto)")
     return ap
 
 
@@ -95,6 +98,7 @@ def main(argv: list[str] | None = None) -> int:
         blocks_per_iteration=args.blocks_per_iteration,
         locality_aware=args.locality,
         resume=args.resume,
+        trace_path=args.trace,
     )
     fault_plan = FaultPlan.parse(args.faults, args.np) if args.faults else None
     if args.retries > 0 or fault_plan is not None:
@@ -124,6 +128,8 @@ def main(argv: list[str] | None = None) -> int:
     if quarantined:
         print(f"quarantined work units skipped: {quarantined} (see poison.json)")
     print(f"total: {total_hits} hits for {total_queries} queries across {args.np} ranks")
+    if args.trace:
+        print(f"trace written to {args.trace}")
     return 0
 
 

@@ -39,6 +39,8 @@ from repro.mpi.comm import Comm
 from repro.mpi.faultplan import FaultPlan
 from repro.mpi.runtime import RetryPolicy, SupervisedOutcome, run_spmd, run_supervised
 from repro.mrmpi.mapreduce import MapReduce, MapStyle
+from repro.obs.export import write_chrome_trace
+from repro.obs.trace import TraceSession
 from repro.util.log import rank_logger
 
 __all__ = [
@@ -111,6 +113,10 @@ class MrBlastConfig:
     #: test/chaos hook: called with each WorkItem before it executes; raise
     #: to simulate an application failure inside map()
     unit_fault_injector: Callable[[WorkItem], None] | None = None
+    #: write a Chrome ``trace_event`` JSON of the whole run here (open in
+    #: chrome://tracing or Perfetto).  None disables tracing entirely —
+    #: the zero-cost default.
+    trace_path: str | None = None
 
     def __post_init__(self) -> None:
         if not self.query_blocks:
@@ -246,6 +252,13 @@ def run_mrblast(comm: Comm, config: MrBlastConfig) -> MrBlastResult:
     if poison is not None:
         comm.barrier()  # poison ledger settled before any rank reads it
 
+    trc = comm.tracer
+    if trc.enabled:
+        # Always emitted, so a resumed run's trace carries the marker the
+        # fault-path tests look for (0 on fresh runs).
+        trc.instant("mrblast.resume", cat="driver",
+                    resumed_from_iteration=start_iteration)
+
     mapper = MrBlastMapper(
         alias,
         config.query_blocks,
@@ -296,6 +309,9 @@ def run_mrblast(comm: Comm, config: MrBlastConfig) -> MrBlastResult:
                 and done_this_run >= config.stop_after_iterations
             ):
                 break
+            if trc.enabled:
+                trc.begin("mrblast.iteration", cat="driver",
+                          iteration=iteration, first_block=first_block)
             block_ids = range(first_block, min(first_block + step, n_blocks))
             items = build_work_items(
                 n_blocks, alias.num_partitions, config.work_order, block_range=block_ids
@@ -327,6 +343,11 @@ def run_mrblast(comm: Comm, config: MrBlastConfig) -> MrBlastResult:
             queries_log.append(reducer.queries_written)
             hits_log.append(reducer.hits_written)
             checkpoint.commit(offsets, queries_log, hits_log)
+            if trc.enabled:
+                trc.instant("checkpoint.commit", cat="driver",
+                            iteration=iteration, offset=offsets[-1],
+                            hits_written=hits_log[-1])
+                trc.end()
     finally:
         # Runs on *every* rank even when this rank is unwinding an injected
         # crash or AbortError — no KV/KMV spill files may outlive the job.
@@ -359,10 +380,22 @@ def run_mrblast(comm: Comm, config: MrBlastConfig) -> MrBlastResult:
     )
 
 
-def mrblast_spmd(nprocs: int, config: MrBlastConfig) -> list[MrBlastResult]:
-    """Launch a full in-process MPI job running :func:`run_mrblast`."""
+def mrblast_spmd(
+    nprocs: int, config: MrBlastConfig, trace: TraceSession | None = None
+) -> list[MrBlastResult]:
+    """Launch a full in-process MPI job running :func:`run_mrblast`.
+
+    Tracing: pass a :class:`~repro.obs.trace.TraceSession` to capture the
+    run, or set ``config.trace_path`` to have one created and exported as
+    Chrome trace JSON automatically.  Both may be combined.
+    """
     config.validate()
-    return run_spmd(nprocs, run_mrblast, config)
+    if trace is None and config.trace_path:
+        trace = TraceSession(nprocs)
+    results = run_spmd(nprocs, run_mrblast, config, trace=trace)
+    if config.trace_path and trace is not None:
+        write_chrome_trace(config.trace_path, trace)
+    return results
 
 
 def mrblast_supervised(
@@ -372,6 +405,7 @@ def mrblast_supervised(
     fault_plan: FaultPlan | None = None,
     retry: RetryPolicy | None = None,
     op_timeout: float | None = None,
+    trace: TraceSession | None = None,
 ) -> SupervisedOutcome:
     """Run mrblast under the supervisor: crash → detect → back off → resume.
 
@@ -383,19 +417,28 @@ def mrblast_supervised(
     runs out.
     """
     config.validate()
+    if trace is None and config.trace_path:
+        trace = TraceSession(nprocs)
 
     def prepare(attempt: int) -> tuple[tuple, dict]:
         cfg = config if attempt == 1 else dataclasses.replace(config, resume=True)
         return (cfg,), {}
 
-    outcome = run_supervised(
-        nprocs,
-        run_mrblast,
-        retry=retry,
-        fault_plan=fault_plan,
-        op_timeout=op_timeout,
-        prepare=prepare,
-    )
+    try:
+        outcome = run_supervised(
+            nprocs,
+            run_mrblast,
+            retry=retry,
+            fault_plan=fault_plan,
+            op_timeout=op_timeout,
+            prepare=prepare,
+            trace=trace,
+        )
+    finally:
+        # Export even when supervision exhausts: the trace of a failed job
+        # is exactly when you want to look at it.
+        if config.trace_path and trace is not None:
+            write_chrome_trace(config.trace_path, trace)
     for result in outcome.results:
         result.faults_injected = outcome.faults_injected
         result.retries = outcome.retries

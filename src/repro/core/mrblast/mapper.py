@@ -26,6 +26,7 @@ from repro.core.checkpoint import PoisonList
 from repro.core.mrblast.workitems import WorkItem
 from repro.mpi.exceptions import MPIError
 from repro.mrmpi.keyvalue import KeyValue
+from repro.obs.trace import current_tracer
 
 __all__ = ["MrBlastMapper", "MapperStats", "MapUnitError", "exclude_self_hits", "unit_key"]
 
@@ -142,8 +143,11 @@ class MrBlastMapper:
         about to die, and the ledger is what the relaunch learns from.
         """
         key = unit_key(item)
+        trc = current_tracer()
         if key in self.quarantined:
             self.stats.quarantined_units += 1
+            if trc.enabled:
+                trc.instant("mrblast.unit.quarantined", cat="driver", unit=key)
             return
         try:
             if self.fault_injector is not None:
@@ -153,11 +157,20 @@ class MrBlastMapper:
             raise  # runtime-level failure, not this unit's fault
         except Exception as exc:
             self.stats.map_failures += 1
+            if trc.enabled:
+                trc.instant("mrblast.unit.failed", cat="driver", unit=key,
+                            error=repr(exc))
             if self.poison is not None:
                 self.poison.record_failure(key, repr(exc))
             raise MapUnitError(key, exc) from exc
 
     def _execute(self, item: WorkItem, kv: KeyValue) -> None:
+        trc = current_tracer()
+        sid = None
+        if trc.enabled:
+            sid = trc.begin("mrblast.unit", cat="driver",
+                            block=item.block_index,
+                            partition=item.partition_index)
         t0 = time.perf_counter()
         partition = self._get_partition(item.partition_index)
         queries = self.query_blocks[item.block_index]
@@ -181,3 +194,9 @@ class MrBlastMapper:
         self.stats.gapped_seconds += last.gapped_seconds
         self.stats.lookup_cache_hits += last.lookup_cache_hits
         self.stats.intervals.append((t0, t1, last.busy_seconds))
+        if trc.enabled:
+            # The attrs are the very floats added to MapperStats above, so
+            # trace-derived stage sums match the counters bit-for-bit.
+            trc.end(sid, busy_s=t1 - t0, seed_s=last.seed_seconds,
+                    ungapped_s=last.ungapped_seconds,
+                    gapped_s=last.gapped_seconds, hits=len(hits))

@@ -43,6 +43,9 @@ def build_parser() -> argparse.ArgumentParser:
     ap.add_argument("--retries", type=int, default=0, metavar="N",
                     help="run under the supervisor with up to N relaunches "
                          "(resume from the last committed epoch)")
+    ap.add_argument("--trace", default=None, metavar="PATH",
+                    help="write a Chrome trace_event JSON of the run here "
+                         "(open in chrome://tracing or Perfetto)")
     return ap
 
 
@@ -58,6 +61,7 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
+        trace_path=args.trace,
     )
     fault_plan = FaultPlan.parse(args.faults, args.np) if args.faults else None
     if args.retries > 0 or fault_plan is not None:
@@ -83,6 +87,8 @@ def main(argv: list[str] | None = None) -> int:
         f"trained {args.rows}x{args.cols} SOM for {args.epochs} epochs on {args.np} ranks: "
         f"{units} work units, {busy:.2f} core-seconds -> {args.out}"
     )
+    if args.trace:
+        print(f"trace written to {args.trace}")
     return 0
 
 

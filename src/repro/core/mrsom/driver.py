@@ -37,6 +37,8 @@ from repro.mpi.ops import SUM
 from repro.mpi.runtime import RetryPolicy, SupervisedOutcome, run_spmd, run_supervised
 from repro.mrmpi.mapreduce import MapReduce, MapStyle
 from repro.mrmpi.schema import RecordSchema
+from repro.obs.export import write_chrome_trace
+from repro.obs.trace import TraceSession
 from repro.som.batch import accumulate_batch, batch_update
 from repro.som.codebook import SOMGrid, init_codebook
 from repro.som.neighborhood import gaussian_kernel, radius_schedule
@@ -88,6 +90,10 @@ class MrSomConfig:
     #: accumulator exchange out of core
     memsize: int | None = None
     spool_dir: str | None = None
+    #: write a Chrome ``trace_event`` JSON of the whole run here (open in
+    #: chrome://tracing or Perfetto).  None disables tracing entirely —
+    #: the zero-cost default.
+    trace_path: str | None = None
 
     def __post_init__(self) -> None:
         if self.epochs < 1:
@@ -284,6 +290,12 @@ def run_mrsom(comm: Comm, config: MrSomConfig) -> MrSomResult:
                 checkpoint.clear()  # a fresh run must not resume stale state
     start_epoch = int(comm.bcast(start_epoch, root=0))
 
+    trc = comm.tracer
+    if trc.enabled:
+        # Always emitted, so a resumed run's trace carries the marker the
+        # fault-path tests look for (0 on fresh runs).
+        trc.instant("mrsom.resume", cat="driver", resumed_from_epoch=start_epoch)
+
     initial = config.initial_radius
     if initial is None:
         initial = max(grid.diagonal / 2.0, config.final_radius)
@@ -322,14 +334,25 @@ def run_mrsom(comm: Comm, config: MrSomConfig) -> MrSomResult:
             ):
                 break
             sigma = sigmas[epoch]
+            epoch_sid = None
+            if trc.enabled:
+                epoch_sid = trc.begin("mrsom.epoch", cat="driver", epoch=epoch)
+                trc.begin("mrsom.bcast", cat="driver")
             t0 = time.perf_counter()
             comm.Bcast(codebook, root=0)  # direct MPI call #1 (Fig. 2)
-            bcast_seconds += time.perf_counter() - t0
+            dt = time.perf_counter() - t0
+            bcast_seconds += dt
+            if trc.enabled:
+                # The attr is the very float added to bcast_seconds, so the
+                # trace-derived total matches the counter bit-for-bit.
+                trc.end(seconds=dt)
 
             kernel = gaussian_kernel(sq, float(sigma))
             acc.start_epoch(codebook, kernel)
             mr.map_items(work, acc)
 
+            if trc.enabled:
+                trc.begin("mrsom.reduce", cat="driver", mode=config.reduce_mode)
             t0 = time.perf_counter()
             if red_mr is not None:
                 num_total, denom_total = _mrmpi_reduce(red_mr, acc.num, acc.denom)
@@ -338,7 +361,10 @@ def run_mrsom(comm: Comm, config: MrSomConfig) -> MrSomResult:
                 denom_total = np.zeros_like(acc.denom)
                 comm.Reduce(acc.num, num_total, op=SUM, root=0)  # direct MPI call #2
                 comm.Reduce(acc.denom, denom_total, op=SUM, root=0)
-            reduce_seconds += time.perf_counter() - t0
+            dt = time.perf_counter() - t0
+            reduce_seconds += dt
+            if trc.enabled:
+                trc.end(seconds=dt)
 
             if comm.rank == 0:
                 codebook = batch_update(codebook, num_total, denom_total)
@@ -348,7 +374,12 @@ def run_mrsom(comm: Comm, config: MrSomConfig) -> MrSomResult:
                     error_history.append(quantization_error(sample, codebook))
                 if checkpoint is not None:
                     checkpoint.save(epoch + 1, codebook)
+                    if trc.enabled:
+                        trc.instant("checkpoint.commit", cat="driver",
+                                    epoch=epoch + 1)
             epochs_done_this_run += 1
+            if trc.enabled:
+                trc.end(epoch_sid)
 
         # Final broadcast so every rank returns the trained codebook.
         comm.Bcast(codebook, root=0)
@@ -373,10 +404,22 @@ def run_mrsom(comm: Comm, config: MrSomConfig) -> MrSomResult:
     )
 
 
-def mrsom_spmd(nprocs: int, config: MrSomConfig) -> list[MrSomResult]:
-    """Launch a full in-process MPI job running :func:`run_mrsom`."""
+def mrsom_spmd(
+    nprocs: int, config: MrSomConfig, trace: TraceSession | None = None
+) -> list[MrSomResult]:
+    """Launch a full in-process MPI job running :func:`run_mrsom`.
+
+    Tracing: pass a :class:`~repro.obs.trace.TraceSession` to capture the
+    run, or set ``config.trace_path`` to have one created and exported as
+    Chrome trace JSON automatically.  Both may be combined.
+    """
     config.validate()
-    return run_spmd(nprocs, run_mrsom, config)
+    if trace is None and config.trace_path:
+        trace = TraceSession(nprocs)
+    results = run_spmd(nprocs, run_mrsom, config, trace=trace)
+    if config.trace_path and trace is not None:
+        write_chrome_trace(config.trace_path, trace)
+    return results
 
 
 def mrsom_supervised(
@@ -386,6 +429,7 @@ def mrsom_supervised(
     fault_plan: FaultPlan | None = None,
     retry: RetryPolicy | None = None,
     op_timeout: float | None = None,
+    trace: TraceSession | None = None,
 ) -> SupervisedOutcome:
     """Run mrsom under the supervisor: crash → detect → back off → resume.
 
@@ -395,6 +439,8 @@ def mrsom_supervised(
     forces ``resume=True`` when checkpoints are enabled.
     """
     config.validate()
+    if trace is None and config.trace_path:
+        trace = TraceSession(nprocs)
 
     def prepare(attempt: int) -> tuple[tuple, dict]:
         if attempt == 1 or config.checkpoint_dir is None:
@@ -403,14 +449,21 @@ def mrsom_supervised(
             cfg = dataclasses.replace(config, resume=True)
         return (cfg,), {}
 
-    outcome = run_supervised(
-        nprocs,
-        run_mrsom,
-        retry=retry,
-        fault_plan=fault_plan,
-        op_timeout=op_timeout,
-        prepare=prepare,
-    )
+    try:
+        outcome = run_supervised(
+            nprocs,
+            run_mrsom,
+            retry=retry,
+            fault_plan=fault_plan,
+            op_timeout=op_timeout,
+            prepare=prepare,
+            trace=trace,
+        )
+    finally:
+        # Export even when supervision exhausts: the trace of a failed job
+        # is exactly when you want to look at it.
+        if config.trace_path and trace is not None:
+            write_chrome_trace(config.trace_path, trace)
     for result in outcome.results:
         result.faults_injected = outcome.faults_injected
         result.retries = outcome.retries

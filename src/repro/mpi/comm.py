@@ -11,6 +11,7 @@ never match each other even inside the same context.
 from __future__ import annotations
 
 import copy
+import functools
 from typing import Any, Callable, Optional, Sequence
 
 import numpy as np
@@ -20,6 +21,31 @@ from repro.mpi.network import Message, Network
 from repro.mpi.ops import ANY_SOURCE, ANY_TAG, SUM, Op, Status
 
 __all__ = ["Comm", "Request"]
+
+
+def _traced_collective(name: str) -> Callable:
+    """Wrap a primitive collective in a ``mpi.<name>`` span.
+
+    Only primitives are wrapped (composites like ``allreduce`` reuse them,
+    so wrapping both would double-count).  With tracing off the wrapper
+    costs one attribute check.
+    """
+
+    def deco(fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(self, *args, **kwargs):
+            trc = self._tracer
+            if not trc.enabled:
+                return fn(self, *args, **kwargs)
+            sid = trc.begin(f"mpi.{name}", cat="mpi")
+            try:
+                return fn(self, *args, **kwargs)
+            finally:
+                trc.end(sid)
+
+        return wrapper
+
+    return deco
 
 # Reserved (negative) tags for collective plumbing.
 _TAG_BCAST = -2
@@ -122,6 +148,7 @@ class Comm:
             raise MPIError(f"rank {rank} outside group of size {len(self._group)}")
         self._rank = rank
         self._global_rank = self._group[rank]
+        self._tracer = network.tracer_for(self._global_rank)
 
     # -------------------------------------------------------------- properties
 
@@ -142,6 +169,11 @@ class Comm:
     @property
     def network(self) -> Network:
         return self._network
+
+    @property
+    def tracer(self):
+        """This rank's tracer (the shared null tracer when tracing is off)."""
+        return self._tracer
 
     # ------------------------------------------------------------ point-to-point
 
@@ -269,6 +301,7 @@ class Comm:
 
     # -------------------------------------------------------------- collectives
 
+    @_traced_collective("barrier")
     def barrier(self) -> None:
         """Dissemination barrier: ceil(log2(P)) rounds of pairwise messages."""
         size, rank = self.size, self._rank
@@ -281,6 +314,7 @@ class Comm:
 
     Barrier = barrier
 
+    @_traced_collective("bcast")
     def bcast(self, obj: Any = None, root: int = 0) -> Any:
         """Binomial-tree broadcast; returns the broadcast object on all ranks."""
         size, rank = self.size, self._rank
@@ -308,6 +342,7 @@ class Comm:
         if self._rank != root:
             buf.reshape(-1)[:] = np.asarray(out).reshape(-1)
 
+    @_traced_collective("reduce")
     def reduce(self, sendobj: Any, op: Op = SUM, root: int = 0) -> Any:
         """Binomial-tree reduction; returns the result on ``root`` else None."""
         size, rank = self.size, self._rank
@@ -353,6 +388,7 @@ class Comm:
         result = self.allreduce(np.ascontiguousarray(sendbuf), op=op)
         recvbuf.reshape(-1)[:] = np.asarray(result).reshape(-1)
 
+    @_traced_collective("gather")
     def gather(self, sendobj: Any, root: int = 0) -> Optional[list]:
         """Gather one object per rank into a rank-ordered list on root."""
         if self._rank != root:
@@ -373,6 +409,7 @@ class Comm:
         """Gather to rank 0 then broadcast the full list."""
         return self.bcast(self.gather(sendobj, root=0), root=0)
 
+    @_traced_collective("scatter")
     def scatter(self, sendobjs: Optional[Sequence[Any]] = None, root: int = 0) -> Any:
         """Scatter a rank-ordered sequence from root; returns this rank's item."""
         if self._rank == root:
@@ -387,6 +424,7 @@ class Comm:
             return _isolate(sendobjs[root])
         return self._match(source=root, tag=_TAG_SCATTER).payload
 
+    @_traced_collective("alltoall")
     def alltoall(self, sendobjs: Sequence[Any]) -> list:
         """Personalised all-to-all: item ``i`` of my list goes to rank ``i``."""
         if len(sendobjs) != self.size:
@@ -401,6 +439,7 @@ class Comm:
             out[msg.src] = msg.payload  # comm-local sender rank
         return out
 
+    @_traced_collective("scan")
     def scan(self, sendobj: Any, op: Op = SUM) -> Any:
         """Inclusive prefix reduction in rank order (linear chain)."""
         value = _isolate(sendobj)
@@ -411,6 +450,7 @@ class Comm:
             self._post(value, self._rank + 1, _TAG_SCAN)
         return value
 
+    @_traced_collective("exscan")
     def exscan(self, sendobj: Any, op: Op = SUM) -> Any:
         """Exclusive prefix reduction; undefined (None) on rank 0."""
         value = _isolate(sendobj)

@@ -37,6 +37,7 @@ from repro.mpi.faultplan import (
     StallRank,
 )
 from repro.mpi.ops import ANY_SOURCE, ANY_TAG
+from repro.obs.trace import NULL_TRACER
 
 __all__ = ["Network", "Message"]
 
@@ -69,12 +70,17 @@ class Network:
         nprocs: int,
         op_timeout: float | None = None,
         fault_plan: FaultPlan | None = None,
+        trace=None,
     ) -> None:
         if nprocs < 1:
             raise MPIError(f"nprocs must be >= 1, got {nprocs}")
         self.nprocs = nprocs
         self.op_timeout = op_timeout if op_timeout is not None else self.DEFAULT_OP_TIMEOUT
         self.fault_plan = fault_plan
+        if trace is not None:
+            self._tracers = [trace.tracer(rank) for rank in range(nprocs)]
+        else:
+            self._tracers = [NULL_TRACER] * nprocs
         self._lock = threading.Lock()
         self._conds = [threading.Condition(self._lock) for _ in range(nprocs)]
         self._mailboxes: list[list[Message]] = [[] for _ in range(nprocs)]
@@ -105,6 +111,14 @@ class Network:
         if self._aborted is not None:
             raise AbortError(f"another rank failed: {self._aborted!r}")
 
+    # ----------------------------------------------------------------- tracing
+
+    def tracer_for(self, rank: int):
+        """The tracer owned by ``rank`` (the shared null tracer when off)."""
+        if 0 <= rank < self.nprocs:
+            return self._tracers[rank]
+        return NULL_TRACER
+
     # ------------------------------------------------------------------ faults
 
     def _pre_op(self, rank: int) -> None:
@@ -117,6 +131,7 @@ class Network:
             return
         stall = 0.0
         failure: RankFailure | None = None
+        fired: list[tuple[str, dict]] = []
         with self._lock:
             self._heartbeats[rank] = time.monotonic()
             self._op_counts[rank] += 1
@@ -128,8 +143,17 @@ class Network:
                     if isinstance(ev, CrashRank):
                         self._crashed[rank] = True
                         failure = RankFailure(rank, op_index)
+                        fired.append(("fault.crash", {"op_index": op_index}))
                     elif isinstance(ev, StallRank):
                         stall += ev.seconds
+                        fired.append(("fault.stall",
+                                      {"op_index": op_index,
+                                       "seconds": ev.seconds}))
+        if fired:
+            trc = self._tracers[rank]
+            if trc.enabled:
+                for name, attrs in fired:
+                    trc.instant(name, cat="fault", **attrs)
         if stall > 0.0 and failure is None:
             time.sleep(stall)
         if failure is not None:
@@ -158,32 +182,49 @@ class Network:
             raise MPIError(f"invalid destination rank {msg.dst} (nprocs={self.nprocs})")
         sender = msg.src if acting is None else acting
         self._pre_op(sender)
+        trc = self.tracer_for(sender)
         duplicate = False
+        dropped = False
+        delayed = 0.0
         with self._lock:
             self._check_abort()
             if self.fault_plan is not None and 0 <= sender < self.nprocs:
                 self._send_counts[sender] += 1
                 ev = self.fault_plan.send_event(sender, self._send_counts[sender])
                 if isinstance(ev, DropMessage):
-                    return  # silently lost on the wire
-                if isinstance(ev, DuplicateMessage):
+                    dropped = True  # silently lost on the wire
+                elif isinstance(ev, DuplicateMessage):
                     duplicate = True
                 elif isinstance(ev, DelayMessage):
                     msg.not_before = time.monotonic() + ev.seconds
-            msg.seq = next(self._seq)
-            self._mailboxes[msg.dst].append(msg)
+                    delayed = ev.seconds
+            if not dropped:
+                msg.seq = next(self._seq)
+                self._mailboxes[msg.dst].append(msg)
+                if duplicate:
+                    copy = Message(
+                        src=msg.src,
+                        dst=msg.dst,
+                        tag=msg.tag,
+                        context=msg.context,
+                        payload=msg.payload,
+                        seq=next(self._seq),
+                        not_before=msg.not_before,
+                    )
+                    self._mailboxes[msg.dst].append(copy)
+                self._conds[msg.dst].notify_all()
+        if trc.enabled:
+            if dropped:
+                trc.instant("fault.drop", cat="fault", dst=msg.dst, tag=msg.tag)
+                return
+            trc.instant("mpi.send", cat="mpi", dst=msg.dst, tag=msg.tag,
+                        context=msg.context)
             if duplicate:
-                copy = Message(
-                    src=msg.src,
-                    dst=msg.dst,
-                    tag=msg.tag,
-                    context=msg.context,
-                    payload=msg.payload,
-                    seq=next(self._seq),
-                    not_before=msg.not_before,
-                )
-                self._mailboxes[msg.dst].append(copy)
-            self._conds[msg.dst].notify_all()
+                trc.instant("fault.duplicate", cat="fault", dst=msg.dst,
+                            tag=msg.tag)
+            if delayed:
+                trc.instant("fault.delay", cat="fault", dst=msg.dst,
+                            tag=msg.tag, seconds=delayed)
 
     @staticmethod
     def _matches(msg: Message, context: int, source: int, tag: int) -> bool:
@@ -236,6 +277,11 @@ class Network:
                     if self._matches(msg, context, source, tag):
                         if msg.not_before <= now:
                             del box[i]
+                            trc = self._tracers[dst]
+                            if trc.enabled:
+                                trc.instant("mpi.recv", cat="mpi",
+                                            src=msg.src, tag=msg.tag,
+                                            context=msg.context)
                             return msg
                         if next_ready is None or msg.not_before < next_ready:
                             next_ready = msg.not_before

@@ -25,6 +25,7 @@ from repro.mpi.comm import Comm
 from repro.mpi.exceptions import AbortError, DeadlockError, MPIError, RankFailure
 from repro.mpi.faultplan import FaultPlan
 from repro.mpi.network import Network
+from repro.obs.trace import set_current_tracer
 
 __all__ = [
     "run_spmd",
@@ -49,11 +50,15 @@ class SpmdJob:
         kwargs: Optional[dict] = None,
         op_timeout: float | None = None,
         fault_plan: FaultPlan | None = None,
+        trace=None,
     ) -> None:
         if nprocs < 1:
             raise MPIError(f"nprocs must be >= 1, got {nprocs}")
         self.nprocs = nprocs
-        self.network = Network(nprocs, op_timeout=op_timeout, fault_plan=fault_plan)
+        self.trace = trace
+        self.network = Network(
+            nprocs, op_timeout=op_timeout, fault_plan=fault_plan, trace=trace
+        )
         self._results: list[Any] = [None] * nprocs
         self._errors: list[Optional[BaseException]] = [None] * nprocs
         self._threads = [
@@ -68,15 +73,29 @@ class SpmdJob:
 
     def _run_rank(self, rank: int, fn: Callable, args: tuple, kwargs: dict) -> None:
         comm = Comm(self.network, rank, list(range(self.nprocs)), context=0)
+        trc = self.network.tracer_for(rank)
+        set_current_tracer(trc)
+        if trc.enabled:
+            trc.begin("rank", cat="lifecycle", nprocs=self.nprocs)
         try:
             self._results[rank] = fn(comm, *args, **kwargs)
         except AbortError as exc:
             # Collateral damage from another rank's failure; keep for debugging
             # but do not treat as the primary error.
             self._errors[rank] = exc
+            if trc.enabled:
+                trc.instant("rank.abort", cat="lifecycle", error=repr(exc))
         except BaseException as exc:  # noqa: BLE001 - must propagate anything
             self._errors[rank] = exc
+            if trc.enabled:
+                trc.instant("rank.error", cat="lifecycle", error=repr(exc))
             self.network.abort(exc)
+        finally:
+            if trc.enabled:
+                # Closes the lifecycle span and anything an exception left
+                # open, so crashed ranks still export balanced traces.
+                trc.unwind()
+            set_current_tracer(None)
 
     def run(self, join_timeout: float | None = None) -> list[Any]:
         """Start all ranks, join them, and return per-rank results.
@@ -125,14 +144,20 @@ def run_spmd(
     *args: Any,
     op_timeout: float | None = None,
     fault_plan: FaultPlan | None = None,
+    trace=None,
     **kwargs: Any,
 ) -> list[Any]:
     """Run ``fn(comm, *args, **kwargs)`` on ``nprocs`` ranks; return results.
 
     The returned list is indexed by rank.  This is the moral equivalent of
-    ``mpirun -np N python prog.py`` for this repository.
+    ``mpirun -np N python prog.py`` for this repository.  ``trace`` is an
+    optional :class:`~repro.obs.trace.TraceSession` whose per-rank tracers
+    record the run.
     """
-    return SpmdJob(nprocs, fn, args, kwargs, op_timeout=op_timeout, fault_plan=fault_plan).run()
+    return SpmdJob(
+        nprocs, fn, args, kwargs,
+        op_timeout=op_timeout, fault_plan=fault_plan, trace=trace,
+    ).run()
 
 
 # --------------------------------------------------------------- supervision
@@ -219,6 +244,7 @@ def run_supervised(
     op_timeout: float | None = None,
     prepare: Callable[[int], tuple[tuple, dict]] | None = None,
     sleep: Callable[[float], None] = time.sleep,
+    trace=None,
     **kwargs: Any,
 ) -> SupervisedOutcome:
     """Launch ``fn`` under supervision: detect, back off, relaunch.
@@ -237,10 +263,14 @@ def run_supervised(
     policy = retry or RetryPolicy()
     attempts: list[AttemptRecord] = []
     last_exc: BaseException | None = None
+    sup_trc = trace.supervisor if trace is not None else None
     for attempt in range(1, policy.max_attempts + 1):
         use_args, use_kwargs = (args, kwargs) if prepare is None else prepare(attempt)
+        if sup_trc is not None:
+            sup_trc.instant("supervisor.attempt", cat="supervisor", attempt=attempt)
         job = SpmdJob(
-            nprocs, fn, use_args, use_kwargs, op_timeout=op_timeout, fault_plan=fault_plan
+            nprocs, fn, use_args, use_kwargs,
+            op_timeout=op_timeout, fault_plan=fault_plan, trace=trace,
         )
         try:
             results = job.run()
@@ -250,10 +280,17 @@ def run_supervised(
             attempts.append(
                 AttemptRecord(attempt, classify_failure(exc), repr(exc), backoff)
             )
+            if sup_trc is not None:
+                sup_trc.instant(
+                    "supervisor.failure", cat="supervisor", attempt=attempt,
+                    outcome=classify_failure(exc), backoff_seconds=backoff,
+                )
             if backoff > 0:
                 sleep(backoff)
             continue
         attempts.append(AttemptRecord(attempt, "ok"))
+        if sup_trc is not None:
+            sup_trc.instant("supervisor.ok", cat="supervisor", attempt=attempt)
         return SupervisedOutcome(
             results=results,
             attempts=attempts,

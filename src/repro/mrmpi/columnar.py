@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.mrmpi.schema import RecordSchema
 from repro.mrmpi.spool import PageSpool
+from repro.obs.trace import current_tracer
 
 __all__ = [
     "ColumnarKeyValue",
@@ -212,7 +213,11 @@ class ColumnarKeyValue:
             self._spool = PageSpool(dir=self._spool_dir, prefix="ckv")
         keys = np.concatenate([k for k, _ in self._batches])
         vcol = _v_concat([v for _, v in self._batches])
-        self._spool.write_arrays((keys,) + _v_to_arrays(vcol), len(keys))
+        nbytes = self._spool.write_arrays((keys,) + _v_to_arrays(vcol), len(keys))
+        trc = current_tracer()
+        if trc.enabled:
+            trc.instant("store.spill", cat="spool", kind="ckv",
+                        rows=len(keys), bytes=nbytes)
         self._batches = []
         self._live_bytes = 0
 
@@ -447,7 +452,13 @@ class ColumnarKeyMultiValue:
         keys = np.concatenate([k for k, _, _ in self._batches])
         offsets = _concat_offsets([o for _, o, _ in self._batches])
         vcol = _v_concat([v for _, _, v in self._batches])
-        self._spool.write_arrays((keys, offsets) + _v_to_arrays(vcol), len(keys))
+        nbytes = self._spool.write_arrays(
+            (keys, offsets) + _v_to_arrays(vcol), len(keys)
+        )
+        trc = current_tracer()
+        if trc.enabled:
+            trc.instant("store.spill", cat="spool", kind="ckmv",
+                        rows=len(keys), bytes=nbytes)
         self._batches = []
         self._live_bytes = 0
 

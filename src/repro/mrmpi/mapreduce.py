@@ -109,6 +109,7 @@ class MapReduce:
         schema: RecordSchema | None = None,
     ) -> None:
         self.comm = comm.dup()
+        self._tracer = self.comm.tracer
         self.memsize = int(memsize)
         self.mapstyle = MapStyle(mapstyle)
         self.spool_dir = spool_dir
@@ -148,13 +149,35 @@ class MapReduce:
             return ObjectKeyValue(pagesize=self.memsize, spool_dir=self.spool_dir)
         return ColumnarKeyValue(out_schema, pagesize=self.memsize, spool_dir=self.spool_dir)
 
-    def _time(self, phase: str, t0: float) -> None:
-        self.timers[phase] = self.timers.get(phase, 0.0) + (time.perf_counter() - t0)
+    def _phase_begin(self, phase: str) -> float:
+        """Start a phase: stamp ``t0`` and open the ``mr.<phase>`` span."""
+        t0 = time.perf_counter()
+        trc = self._tracer
+        if trc.enabled:
+            trc.begin(f"mr.{phase}", cat="mr")
+        return t0
+
+    def _phase_end(self, phase: str, t0: float) -> None:
+        """Close a phase: one ``dt`` feeds both the legacy timer and the
+        span's ``seconds`` attribute, so trace-derived phase totals are
+        bit-identical to :attr:`timers` (same floats, same addition order).
+        """
+        dt = time.perf_counter() - t0
+        self.timers[phase] = self.timers.get(phase, 0.0) + dt
+        trc = self._tracer
+        if trc.enabled:
+            trc.end(seconds=dt)
 
     def _bump(self, phase: str, pairs: int, nbytes: int) -> None:
         st = self.stats.setdefault(phase, {"pairs_moved": 0, "bytes_moved": 0})
         st["pairs_moved"] += int(pairs)
         st["bytes_moved"] += int(nbytes)
+        trc = self._tracer
+        if trc.enabled:
+            trc.instant("mr.traffic", cat="mr", phase=phase,
+                        pairs=int(pairs), bytes=int(nbytes))
+            trc.metrics.counter(f"mr.{phase}.pairs_moved").add(int(pairs))
+            trc.metrics.counter(f"mr.{phase}.bytes_moved").add(int(nbytes))
 
     def _require_kv(self) -> KVStore:
         if self.kv is None:
@@ -213,7 +236,7 @@ class MapReduce:
         fresh key (spreading keys across workers) and finally steal from the
         fullest remaining key.
         """
-        t0 = time.perf_counter()
+        t0 = self._phase_begin("map")
         style = self.mapstyle if mapstyle is None else MapStyle(mapstyle)
         if self.kv is None or not addflag:
             self.kv = self._fresh_kv()
@@ -240,7 +263,7 @@ class MapReduce:
             # count used to provide this synchronisation implicitly.
             self.comm.barrier()
 
-        self._time("map", t0)
+        self._phase_end("map", t0)
         self._bump("map", len(kv), kv.nbytes if isinstance(kv, ColumnarKeyValue) else 0)
         if count:
             return self.kv_stats()[0]
@@ -335,7 +358,7 @@ class MapReduce:
         plane: the current schema by default, ``None`` for the object store,
         or a different :class:`RecordSchema`.
         """
-        t0 = time.perf_counter()
+        t0 = self._phase_begin("map")
         kv = self._require_kv()
         new_kv = self._out_kv(out_schema)
         try:
@@ -349,7 +372,7 @@ class MapReduce:
             raise
         kv.close()
         self.kv = new_kv
-        self._time("map", t0)
+        self._phase_end("map", t0)
         if count:
             return self.kv_stats()[0]
         return len(new_kv)
@@ -377,7 +400,7 @@ class MapReduce:
         ``hash_fn`` forces the record-at-a-time path (the vectorised hash
         only reproduces the stable FNV).
         """
-        t0 = time.perf_counter()
+        t0 = self._phase_begin("aggregate")
         kv = self._require_kv()
         budget = self.memsize if exchange_bytes is None else int(exchange_bytes)
         if budget < 1:
@@ -388,7 +411,7 @@ class MapReduce:
             new_kv = self._aggregate_object(kv, hash_fn or stable_hash, budget)
         kv.close()
         self.kv = new_kv
-        self._time("aggregate", t0)
+        self._phase_end("aggregate", t0)
         return len(new_kv)
 
     def _aggregate_object(
@@ -402,6 +425,7 @@ class MapReduce:
             new_kv = ObjectKeyValue(pagesize=self.memsize, spool_dir=self.spool_dir)
         source = iter(kv)
         local_done = False
+        round_idx = 0
         try:
             while True:
                 outgoing: list[list] = [[] for _ in range(self.size)]
@@ -425,6 +449,11 @@ class MapReduce:
                 incoming = self.comm.alltoall(outgoing)
                 for batch in incoming:
                     new_kv.add_multi(batch)
+                trc = self._tracer
+                if trc.enabled:
+                    trc.instant("mr.exchange_round", cat="mr", round=round_idx,
+                                pairs=moved_pairs, bytes=moved_bytes)
+                round_idx += 1
                 if self.comm.allreduce(local_done, op=LAND):
                     break
         except BaseException:
@@ -441,8 +470,11 @@ class MapReduce:
         leftover: tuple[np.ndarray, Any] | None = None
         local_done = False
         size = self.size
+        round_idx = 0
         try:
             while True:
+                round_pairs = 0
+                round_bytes = 0
                 staged: list[tuple[np.ndarray, Any]] = []
                 staged_bytes = 0
                 while not local_done and staged_bytes < budget:
@@ -486,15 +518,21 @@ class MapReduce:
                         arrs = (skeys[lo:hi],) + _v_to_arrays(_v_slice(svals, lo, hi))
                         outgoing.append(arrs)
                         if p != self.rank:
-                            self._bump(
-                                "aggregate", hi - lo, sum(int(a.nbytes) for a in arrs)
-                            )
+                            nb_out = sum(int(a.nbytes) for a in arrs)
+                            self._bump("aggregate", hi - lo, nb_out)
+                            round_pairs += hi - lo
+                            round_bytes += nb_out
                 else:
                     outgoing = [None] * size
                 incoming = self.comm.alltoall(outgoing)
                 for batch in incoming:
                     if batch is not None:
                         new_kv.add_wire(batch)
+                trc = self._tracer
+                if trc.enabled:
+                    trc.instant("mr.exchange_round", cat="mr", round=round_idx,
+                                pairs=round_pairs, bytes=round_bytes)
+                round_idx += 1
                 if self.comm.allreduce(local_done, op=LAND):
                     break
         except BaseException:
@@ -516,13 +554,13 @@ class MapReduce:
         (keys come out sorted); object datasets keep the hash-bucket path
         (keys come out in first-seen order per bucket).
         """
-        t0 = time.perf_counter()
+        t0 = self._phase_begin("convert")
         kv = self._require_kv()
         npairs = len(kv)
         self.kmv = self._convert_local(kv)
         kv.close()
         self.kv = None
-        self._time("convert", t0)
+        self._phase_end("convert", t0)
         self._bump("convert", npairs, 0)
         return len(self.kmv)
 
@@ -547,7 +585,7 @@ class MapReduce:
         volume when the reducer is idempotent under pre-aggregation (e.g.
         per-query top-K selection).  Returns the local KV pair count.
         """
-        t0 = time.perf_counter()
+        t0 = self._phase_begin("compress")
         kv = self._require_kv()
         local_kmv = self._convert_local(kv)
         if isinstance(kv, ColumnarKeyValue):
@@ -566,7 +604,7 @@ class MapReduce:
             raise
         local_kmv.close()
         self.kv = new_kv
-        self._time("compress", t0)
+        self._phase_end("compress", t0)
         return len(new_kv)
 
     def reduce(
@@ -582,7 +620,7 @@ class MapReduce:
         like :meth:`map_kv` — mrblast's reducer, for instance, emits plain
         per-query summaries and passes ``out_schema=None``.
         """
-        t0 = time.perf_counter()
+        t0 = self._phase_begin("reduce")
         kmv = self._require_kmv()
         new_kv = self._out_kv(out_schema)
         try:
@@ -594,7 +632,7 @@ class MapReduce:
         kmv.close()
         self.kmv = None
         self.kv = new_kv
-        self._time("reduce", t0)
+        self._phase_end("reduce", t0)
         self._bump("reduce", len(new_kv), 0)
         if count:
             return self.kv_stats()[0]
@@ -611,7 +649,7 @@ class MapReduce:
         sender's stream.  Receivers drain senders in rank order, so arrival
         order is deterministic.
         """
-        t0 = time.perf_counter()
+        t0 = self._phase_begin("gather")
         if not (1 <= nranks <= self.size):
             raise ValueError(f"nranks must be in [1, {self.size}], got {nranks}")
         budget = self.memsize if exchange_bytes is None else int(exchange_bytes)
@@ -639,7 +677,7 @@ class MapReduce:
                     else:
                         kv.add_wire(msg)
         self.comm.barrier()
-        self._time("gather", t0)
+        self._phase_end("gather", t0)
         return len(self._require_kv())
 
     def _gather_send_object(self, kv: ObjectKeyValue, dest: int, budget: int) -> None:

@@ -29,6 +29,8 @@ from typing import Any, Iterable, Iterator
 
 import numpy as np
 
+from repro.obs.trace import current_tracer
+
 __all__ = ["PageSpool", "approx_size"]
 
 _TAG_OBJECT = 0
@@ -117,7 +119,13 @@ class PageSpool:
         self._begin_page(_TAG_OBJECT)
         self._file.write(len(blob).to_bytes(8, "little"))
         self._file.write(blob)
-        self._finish_page(len(records))
+        nbytes = self._finish_page(len(records))
+        trc = current_tracer()
+        if trc.enabled:
+            trc.instant("spool.write", cat="spool", page=len(self._offsets) - 1,
+                        records=len(records), bytes=nbytes)
+            trc.metrics.counter("spool.pages_written").inc()
+            trc.metrics.counter("spool.bytes_written").add(nbytes)
         return len(records)
 
     def write_arrays(self, arrays: tuple[np.ndarray, ...], nrecords: int) -> int:
@@ -132,7 +140,14 @@ class PageSpool:
         self._file.write(len(arrays).to_bytes(8, "little"))
         for arr in arrays:
             np.save(self._file, np.ascontiguousarray(arr))
-        return self._finish_page(nrecords)
+        nbytes = self._finish_page(nrecords)
+        trc = current_tracer()
+        if trc.enabled:
+            trc.instant("spool.write", cat="spool", page=len(self._offsets) - 1,
+                        records=nrecords, bytes=nbytes)
+            trc.metrics.counter("spool.pages_written").inc()
+            trc.metrics.counter("spool.bytes_written").add(nbytes)
+        return nbytes
 
     def read_page(self, index: int) -> Any:
         """Read page ``index``: a list (object page) or tuple of arrays."""
@@ -140,6 +155,10 @@ class PageSpool:
             raise ValueError("spool is closed")
         if not (0 <= index < len(self._offsets)):
             raise IndexError(f"page {index} out of range [0, {len(self._offsets)})")
+        trc = current_tracer()
+        if trc.enabled:
+            trc.instant("spool.read", cat="spool", page=index)
+            trc.metrics.counter("spool.pages_read").inc()
         self._file.flush()
         self._file.seek(self._offsets[index])
         tag = self._file.read(1)[0]

@@ -1,0 +1,176 @@
+"""Trace exporters: Chrome ``trace_event`` JSON and a text summary.
+
+:func:`chrome_trace` converts a :class:`~repro.obs.trace.TraceSession`
+into the Chrome JSON Object Format (``{"traceEvents": [...]}``) that
+``chrome://tracing`` and Perfetto load directly — one ``tid`` per rank,
+timestamps in microseconds, ``B``/``E`` duration events and thread-scoped
+``i`` instants.  :func:`validate_chrome_trace` is the exporter's own
+schema checker (used by CI's trace-smoke step): it verifies structure,
+phase set, numeric timestamps, per-thread timestamp monotonicity, LIFO
+``B``/``E`` balance and JSON-scalar args, returning a list of problems
+(empty when the document is valid).
+"""
+
+import json
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "assert_valid_chrome_trace",
+    "text_summary",
+]
+
+_ALLOWED_PHASES = {"B", "E", "i", "M"}
+
+
+def chrome_trace(session):
+    """Render *session* as a Chrome ``trace_event`` JSON document (dict)."""
+    trace_events = []
+    supervisor = getattr(session, "supervisor", None)
+    for trc in session.tracers:
+        label = "supervisor" if trc is supervisor else f"rank {trc.rank}"
+        trace_events.append({
+            "ph": "M", "name": "thread_name", "pid": 0, "tid": trc.rank,
+            "args": {"name": label},
+        })
+        for ph, ts, sid, name, cat, attrs in trc.iter_events():
+            event = {
+                "ph": ph,
+                "ts": ts * 1e6,
+                "pid": 0,
+                "tid": trc.rank,
+                "name": name,
+            }
+            if cat:
+                event["cat"] = cat
+            if ph == "i":
+                event["s"] = "t"
+            if attrs:
+                event["args"] = dict(attrs)
+            trace_events.append(event)
+        if trc.dropped_events:
+            trace_events.append({
+                "ph": "M", "name": "dropped_events", "pid": 0,
+                "tid": trc.rank, "args": {"count": trc.dropped_events},
+            })
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path, session):
+    """Validate and write *session* to *path* as Chrome trace JSON."""
+    doc = chrome_trace(session)
+    assert_valid_chrome_trace(doc)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+        fh.write("\n")
+    return doc
+
+
+def _scalar(value):
+    return value is None or isinstance(value, (bool, int, float, str))
+
+
+def validate_chrome_trace(doc):
+    """Schema-check a Chrome trace document; returns a list of problems."""
+    problems = []
+    if not isinstance(doc, dict):
+        return ["document is not an object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is missing or not a list"]
+
+    last_ts = {}
+    open_stacks = {}
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in _ALLOWED_PHASES:
+            problems.append(f"{where}: bad phase {ph!r}")
+            continue
+        name = ev.get("name")
+        if not isinstance(name, str) or not name:
+            problems.append(f"{where}: missing name")
+        if not isinstance(ev.get("pid"), int):
+            problems.append(f"{where}: missing integer pid")
+        tid = ev.get("tid")
+        if not isinstance(tid, int):
+            problems.append(f"{where}: missing integer tid")
+            continue
+        args = ev.get("args")
+        if args is not None:
+            if not isinstance(args, dict):
+                problems.append(f"{where}: args is not an object")
+            else:
+                for k, v in args.items():
+                    if not _scalar(v):
+                        problems.append(
+                            f"{where}: args[{k!r}] is not a JSON scalar")
+        if ph == "M":
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)):
+            problems.append(f"{where}: missing numeric ts")
+            continue
+        prev = last_ts.get(tid)
+        if prev is not None and ts < prev:
+            problems.append(
+                f"{where}: ts {ts} < previous ts {prev} on tid {tid}")
+        last_ts[tid] = ts
+        if ph == "B":
+            open_stacks.setdefault(tid, []).append((name, i))
+        elif ph == "E":
+            stack = open_stacks.get(tid)
+            if not stack:
+                problems.append(f"{where}: E with no open B on tid {tid}")
+            else:
+                stack.pop()
+    for tid, stack in open_stacks.items():
+        for name, i in stack:
+            problems.append(
+                f"traceEvents[{i}]: unclosed B {name!r} on tid {tid}")
+    return problems
+
+
+def assert_valid_chrome_trace(doc):
+    """Raise ``ValueError`` listing every problem when *doc* is invalid."""
+    problems = validate_chrome_trace(doc)
+    if problems:
+        raise ValueError(
+            "invalid Chrome trace document:\n  " + "\n  ".join(problems))
+
+
+def text_summary(session):
+    """Per-rank, per-span-name text table: count and total seconds."""
+    lines = []
+    supervisor = getattr(session, "supervisor", None)
+    for trc in session.tracers:
+        if trc is supervisor and not trc.events:
+            continue
+        totals = {}
+        counts = {}
+        stack = []
+        instants = {}
+        for ph, ts, sid, name, cat, attrs in trc.iter_events():
+            if ph == "B":
+                stack.append((name, ts))
+            elif ph == "E" and stack:
+                bname, bts = stack.pop()
+                totals[bname] = totals.get(bname, 0.0) + (ts - bts)
+                counts[bname] = counts.get(bname, 0) + 1
+            elif ph == "i":
+                instants[name] = instants.get(name, 0) + 1
+        label = "supervisor" if trc is supervisor else f"rank {trc.rank}"
+        lines.append(f"{label}:")
+        for name in sorted(totals):
+            lines.append(
+                f"  span {name:<24} n={counts[name]:<6} "
+                f"total={totals[name]:.6f}s")
+        for name in sorted(instants):
+            lines.append(f"  inst {name:<24} n={instants[name]}")
+        if trc.dropped_events:
+            lines.append(f"  (dropped {trc.dropped_events} events)")
+    return "\n".join(lines) + "\n"

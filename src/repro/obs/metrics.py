@@ -1,0 +1,182 @@
+"""Counters, gauges and histograms behind one get-or-create registry.
+
+The registry absorbs the hand-rolled stats the drivers used to thread
+around by hand (``SearchStats`` stage timers, ``shuffle_stats()``
+pairs/bytes, robustness counters): instrumented code asks its rank's
+:class:`MetricsRegistry` for a named instrument and bumps it; reports read
+:meth:`MetricsRegistry.snapshot` afterwards and
+:func:`merge_snapshots` folds per-rank snapshots into job totals.
+
+Everything is plain Python on purpose — a counter bump is one dict lookup
+plus one float add, cheap enough to sit on the shuffle hot path.
+"""
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "merge_snapshots",
+]
+
+
+class Counter:
+    """Monotonically increasing value (float-capable, e.g. seconds)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount=1):
+        """Add *amount* (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative increment {amount}")
+        self.value += amount
+
+    add = inc
+
+    def snapshot(self):
+        """Return the current value."""
+        return self.value
+
+
+class Gauge:
+    """Point-in-time value that can move both ways."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value):
+        """Overwrite the gauge with *value*."""
+        self.value = float(value)
+
+    def snapshot(self):
+        """Return the current value."""
+        return self.value
+
+
+class Histogram:
+    """Fixed-bound bucketed distribution with count/sum/min/max.
+
+    ``bounds`` are inclusive upper edges; observations above the last
+    bound land in the implicit overflow bucket.
+    """
+
+    DEFAULT_BOUNDS = (1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0)
+
+    __slots__ = ("name", "bounds", "buckets", "count", "total", "min", "max")
+
+    def __init__(self, name, bounds=DEFAULT_BOUNDS):
+        self.name = name
+        self.bounds = tuple(bounds)
+        self.buckets = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+
+    def observe(self, value):
+        """Record one observation."""
+        value = float(value)
+        idx = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                idx = i
+                break
+        self.buckets[idx] += 1
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    def snapshot(self):
+        """Return ``{count, sum, min, max, bounds, buckets}``."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "bounds": list(self.bounds),
+            "buckets": list(self.buckets),
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create host for named instruments.
+
+    Asking twice for the same name returns the same object; asking for an
+    existing name with a different instrument kind raises.
+    """
+
+    def __init__(self):
+        self._instruments = {}
+
+    def _get(self, name, cls, *args):
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = cls(name, *args)
+            self._instruments[name] = inst
+        elif not isinstance(inst, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(inst).__name__}, not {cls.__name__}")
+        return inst
+
+    def counter(self, name):
+        """Get or create the :class:`Counter` called *name*."""
+        return self._get(name, Counter)
+
+    def gauge(self, name):
+        """Get or create the :class:`Gauge` called *name*."""
+        return self._get(name, Gauge)
+
+    def histogram(self, name, bounds=Histogram.DEFAULT_BOUNDS):
+        """Get or create the :class:`Histogram` called *name*."""
+        return self._get(name, Histogram, bounds)
+
+    def snapshot(self):
+        """Return ``{name: snapshot}`` for every instrument, sorted."""
+        return {name: self._instruments[name].snapshot()
+                for name in sorted(self._instruments)}
+
+
+def merge_snapshots(snapshots):
+    """Fold per-rank registry snapshots into job-level totals.
+
+    Counters and gauges sum; histogram snapshots merge bucket-wise
+    (bounds must agree).  Returns a dict shaped like a single snapshot.
+    """
+    merged = {}
+    for snap in snapshots:
+        for name, value in snap.items():
+            if isinstance(value, dict):
+                cur = merged.get(name)
+                if cur is None:
+                    merged[name] = {
+                        "count": value["count"],
+                        "sum": value["sum"],
+                        "min": value["min"],
+                        "max": value["max"],
+                        "bounds": list(value["bounds"]),
+                        "buckets": list(value["buckets"]),
+                    }
+                else:
+                    if cur["bounds"] != list(value["bounds"]):
+                        raise ValueError(
+                            f"histogram {name!r}: mismatched bounds")
+                    cur["count"] += value["count"]
+                    cur["sum"] += value["sum"]
+                    mins = [m for m in (cur["min"], value["min"]) if m is not None]
+                    maxs = [m for m in (cur["max"], value["max"]) if m is not None]
+                    cur["min"] = min(mins) if mins else None
+                    cur["max"] = max(maxs) if maxs else None
+                    cur["buckets"] = [a + b for a, b in
+                                      zip(cur["buckets"], value["buckets"])]
+            else:
+                merged[name] = merged.get(name, 0.0) + value
+    return dict(sorted(merged.items()))

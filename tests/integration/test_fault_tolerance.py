@@ -328,3 +328,109 @@ class TestConfigValidation:
         cfg = MrSomConfig(matrix_path=path, grid=SOMGrid(4, 4), resume=True)
         with pytest.raises(ValueError, match="resume"):
             cfg.validate()
+
+
+def _instants(session, name):
+    """All ``(rank, attrs)`` pairs for instants called *name* in *session*."""
+    found = []
+    for trc in session.tracers:
+        for ph, _ts, _sid, ev_name, _cat, attrs in trc.iter_events():
+            if ph == "i" and ev_name == name:
+                found.append((trc.rank, attrs or {}))
+    return found
+
+
+class TestFaultTraceCoverage:
+    """Injected faults and resumes must be visible in the trace."""
+
+    def test_crash_and_resume_markers_in_blast_trace(
+        self, workload, tmp_path, mid_iter2_op
+    ):
+        from repro.obs.trace import TraceSession
+
+        session = TraceSession(NPROCS)
+        plan = FaultPlan([CrashRank(rank=1, at_op=mid_iter2_op)])
+        outcome = mrblast_supervised(
+            NPROCS,
+            _config(workload, tmp_path / "traced-crash"),
+            fault_plan=plan,
+            retry=FAST_RETRY,
+            trace=session,
+        )
+        assert outcome.succeeded
+
+        crashes = _instants(session, "fault.crash")
+        assert [rank for rank, _ in crashes] == [1]
+        assert crashes[0][1]["op_index"] == mid_iter2_op
+
+        # Both attempts emitted the resume marker: 0 for the fresh start,
+        # >= 1 for the relaunch that picked up the committed iteration.
+        resumes = [a["resumed_from_iteration"]
+                   for _r, a in _instants(session, "mrblast.resume")]
+        assert 0 in resumes
+        assert any(v >= 1 for v in resumes)
+
+        # The supervisor narrated the retry on its own timeline.
+        sup = [(name, attrs or {}) for ph, _ts, _sid, name, _cat, attrs
+               in session.supervisor.iter_events()]
+        names = [n for n, _ in sup]
+        assert names.count("supervisor.attempt") == 2
+        assert "supervisor.failure" in names
+        assert "supervisor.ok" in names
+
+        # Crashed rank 1's trace still exports balanced (unwind ran).
+        from repro.obs.export import chrome_trace, validate_chrome_trace
+
+        assert validate_chrome_trace(chrome_trace(session)) == []
+
+    def test_stall_fault_appears_in_trace(self, workload, tmp_path):
+        from repro.mpi import StallRank
+        from repro.obs.trace import TraceSession
+        from repro.mpi.runtime import run_spmd
+
+        session = TraceSession(NPROCS)
+        plan = FaultPlan([StallRank(rank=2, at_op=5, seconds=0.05)])
+        results = run_spmd(
+            NPROCS,
+            run_mrblast,
+            _config(workload, tmp_path / "stalled"),
+            fault_plan=plan,
+            trace=session,
+        )
+        assert len(results) == NPROCS  # a stall slows the run, never kills it
+        stalls = _instants(session, "fault.stall")
+        assert [rank for rank, _ in stalls] == [2]
+        assert stalls[0][1]["seconds"] == 0.05
+        assert stalls[0][1]["op_index"] == 5
+
+    def test_som_resume_marker_in_trace(self, tmp_path):
+        from repro.obs.trace import TraceSession
+
+        rng = np.random.default_rng(9)
+        matrix = os.path.join(tmp_path, "v.mat")
+        write_matrix_file(matrix, rng.normal(size=(200, 6)))
+
+        def cfg(**overrides):
+            kwargs = dict(
+                matrix_path=matrix, grid=SOMGrid(5, 5), epochs=4,
+                block_rows=40, mapstyle=MapStyle.CHUNK,
+                checkpoint_dir=str(tmp_path / "ck"),
+            )
+            kwargs.update(overrides)
+            return MrSomConfig(**kwargs)
+
+        session = TraceSession(NPROCS)
+        plan = FaultPlan([CrashRank(rank=1, at_op=10)])
+        outcome = mrsom_supervised(
+            NPROCS, cfg(), fault_plan=plan, retry=FAST_RETRY, trace=session,
+        )
+        assert outcome.succeeded
+        assert _instants(session, "fault.crash")
+        resumes = [a["resumed_from_epoch"]
+                   for _r, a in _instants(session, "mrsom.resume")]
+        assert 0 in resumes
+        assert any(v >= 1 for v in resumes)
+        # Epoch checkpoints the master committed are on the timeline too.
+        commits = _instants(session, "checkpoint.commit")
+        assert all(rank == 0 for rank, _ in commits)
+        assert len(commits) >= cfg().epochs

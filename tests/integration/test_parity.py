@@ -287,3 +287,36 @@ class TestMrSomParity:
         expected_per_epoch = -(-data.shape[0] // 40)
         assert total_units == expected_per_epoch * config.epochs
         assert results[0].units_processed == 0  # master-worker: rank 0 idle
+
+
+class TestTracingParity:
+    """Tracing must observe, never perturb: identical bytes on and off."""
+
+    def test_mrblast_traced_output_is_byte_identical(self, nt_workload, tmp_path):
+        alias_path, blocks, options, _ = nt_workload
+        base = dict(alias_path=alias_path, query_blocks=blocks, options=options)
+        plain = mrblast_spmd(3, MrBlastConfig(
+            **base, output_dir=str(tmp_path / "plain")))
+        trace_path = tmp_path / "trace.json"
+        traced = mrblast_spmd(3, MrBlastConfig(
+            **base, output_dir=str(tmp_path / "traced"),
+            trace_path=str(trace_path)))
+        for p, t in zip(plain, traced):
+            with open(p.output_path, "rb") as fp, open(t.output_path, "rb") as ft:
+                assert fp.read() == ft.read()
+        assert trace_path.exists()
+        import json
+        from repro.obs.export import validate_chrome_trace
+        assert validate_chrome_trace(json.loads(trace_path.read_text())) == []
+
+    def test_mrsom_traced_codebook_is_bit_identical(self, tmp_path):
+        rng = np.random.default_rng(31)
+        path = write_matrix_file(tmp_path / "v.mat", rng.random((200, 6)))
+        # CHUNK: static schedule, so two runs add floats in the same order.
+        base = dict(matrix_path=str(path), grid=SOMGrid(5, 5), epochs=3,
+                    block_rows=40, mapstyle=MapStyle.CHUNK)
+        plain = mrsom_spmd(3, MrSomConfig(**base))
+        traced = mrsom_spmd(3, MrSomConfig(
+            **base, trace_path=str(tmp_path / "trace.json")))
+        np.testing.assert_array_equal(traced[0].codebook, plain[0].codebook)
+        assert (tmp_path / "trace.json").exists()

@@ -1,0 +1,133 @@
+"""Trace-vs-counters cross-check: the trace is a second source of truth.
+
+Every number the stack reports through legacy counters — ``MapReduce``
+phase timers, shuffle pairs/bytes, ``MapperStats`` stage seconds, mrsom's
+bcast/reduce seconds — must be recomputable *exactly* from the trace.
+The instrumentation records the very float that incremented the counter
+as a span attribute and the reports sum in the same order, so agreement
+is asserted with ``==``, not ``approx``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bio import shred_records, synthetic_community, synthetic_nt_database
+from repro.blast import BlastOptions, format_database
+from repro.core import MrBlastConfig, MrSomConfig
+from repro.core.mrblast.driver import run_mrblast
+from repro.core.mrsom.driver import run_mrsom
+from repro.core.mrsom.mmap_input import write_matrix_file
+from repro.mpi.runtime import run_spmd
+from repro.mrmpi import MapStyle
+from repro.obs.report import (
+    phase_durations,
+    shuffle_traffic,
+    span_records,
+    stage_breakdown,
+    utilization_report,
+)
+from repro.obs.trace import TraceSession
+from repro.som.codebook import SOMGrid
+
+NPROCS = 3
+
+
+@pytest.fixture(scope="module")
+def blast_run(tmp_path_factory):
+    """One traced mrblast run; returns (session, per-rank results)."""
+    tmp = tmp_path_factory.mktemp("xchk")
+    com = synthetic_community(n_genomes=3, genome_length=2000, seed=5)
+    db = synthetic_nt_database(com, n_decoys=2, decoy_length=1000, seed=6)
+    alias_path = format_database(db, tmp, "nt", kind="dna", max_volume_bytes=1500)
+    reads = list(shred_records(com.genomes))[:8]
+    blocks = [reads[i : i + 2] for i in range(0, len(reads), 2)]
+    config = MrBlastConfig(
+        alias_path=str(alias_path),
+        query_blocks=blocks,
+        options=BlastOptions.blastn(evalue=1e-4, max_hits=25),
+        output_dir=str(tmp / "out"),
+    )
+    session = TraceSession(NPROCS)
+    results = run_spmd(NPROCS, run_mrblast, config, trace=session)
+    return session, results
+
+
+class TestBlastCrosscheck:
+    def test_phase_seconds_match_timers_exactly(self, blast_run):
+        session, results = blast_run
+        durations = phase_durations(session)
+        for r in results:
+            mine = durations[r.rank]
+            assert mine.get("map", 0.0) == r.map_seconds
+            assert mine.get("aggregate", 0.0) + mine.get("convert", 0.0) \
+                == r.collate_seconds
+            assert mine.get("reduce", 0.0) == r.reduce_seconds
+
+    def test_shuffle_traffic_matches_stats_exactly(self, blast_run):
+        session, results = blast_run
+        traffic = shuffle_traffic(session)
+        for r in results:
+            mine = traffic["per_rank"][r.rank].get(
+                "aggregate", {"pairs": 0, "bytes": 0})
+            assert mine["pairs"] == r.shuffle_pairs_moved
+            assert mine["bytes"] == r.shuffle_bytes_moved
+        assert traffic["totals"]["aggregate"]["pairs"] \
+            == sum(r.shuffle_pairs_moved for r in results)
+
+    def test_stage_seconds_match_mapper_stats_exactly(self, blast_run):
+        session, results = blast_run
+        stages = stage_breakdown(session)
+        for r in results:
+            mine = stages[r.rank]
+            assert mine["busy_s"] == r.busy_seconds
+            assert mine["seed_s"] == r.seed_seconds
+            assert mine["ungapped_s"] == r.ungapped_seconds
+            assert mine["gapped_s"] == r.gapped_seconds
+            assert mine["units"] == r.units_processed
+            assert mine["hits"] == r.hits_emitted
+
+    def test_utilization_report_totals_match_counters(self, blast_run):
+        """The Fig. 5 report is computed from the trace alone — its totals
+        must equal the counter-derived numbers exactly."""
+        session, results = blast_run
+        rep = utilization_report(session)
+        assert rep["stage_totals"]["busy_s"] == \
+            sum(r.busy_seconds for r in results)
+        assert rep["stage_totals"]["units"] == \
+            sum(r.units_processed for r in results)
+        assert rep["phase_totals_s"]["map"] == \
+            sum(r.map_seconds for r in results)
+        assert rep["makespan_s"] > 0
+        assert rep["straggler_rank"] in range(NPROCS)
+        for rank in range(NPROCS):
+            assert 0.0 <= rep["per_rank"][rank]["utilization"] <= 1.0
+
+    def test_every_rank_has_lifecycle_span(self, blast_run):
+        session, _ = blast_run
+        for rank in range(NPROCS):
+            names = [rec[0] for rec in span_records(session.tracer(rank))]
+            assert "rank" in names
+            assert "mrblast.iteration" in names
+
+
+class TestSomCrosscheck:
+    def test_bcast_reduce_seconds_match_exactly(self, tmp_path):
+        mat = tmp_path / "v.mat"
+        rng = np.random.default_rng(3)
+        write_matrix_file(mat, rng.random((150, 6)))
+        config = MrSomConfig(
+            matrix_path=str(mat), grid=SOMGrid(4, 4), epochs=3,
+            block_rows=25, mapstyle=MapStyle.CHUNK,
+        )
+        session = TraceSession(NPROCS)
+        results = run_spmd(NPROCS, run_mrsom, config, trace=session)
+        for r in results:
+            recs = list(span_records(session.tracer(r.rank)))
+            bcast = sum(rec[5]["seconds"] for rec in recs
+                        if rec[0] == "mrsom.bcast")
+            reduce = sum(rec[5]["seconds"] for rec in recs
+                         if rec[0] == "mrsom.reduce")
+            assert bcast == r.bcast_seconds
+            assert reduce == r.reduce_seconds
+            epochs = [rec for rec in recs if rec[0] == "mrsom.epoch"]
+            assert len(epochs) == config.epochs
