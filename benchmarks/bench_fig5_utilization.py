@@ -43,13 +43,19 @@ def test_fig5_utilization_trace(benchmark, print_table):
     assert mid.min() > 0.85 * trace.plateau
 
 
-def test_stage_breakdown_measured(tmp_path, print_table):
+import pytest
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_stage_breakdown_measured(tmp_path, print_table, backend):
     """Per-stage map-time breakdown from a real locality-aware run.
 
     The utilisation story above is simulated; this run measures the stage
     shares (seed / ungapped / gapped) the overhaul instrumented, and shows
     the cross-partition lookup cache actually firing (hits > 0) under
-    locality-aware dispatch.
+    locality-aware dispatch.  Runs on both transport backends: the stage
+    accounting crosses the exit pipe with the results, so the breakdown is
+    equally observable when ranks are processes.
     """
     from repro.bio import SeqRecord, random_protein
     from repro.blast import BlastOptions, format_database
@@ -71,6 +77,7 @@ def test_stage_breakdown_measured(tmp_path, print_table):
         output_dir=str(tmp_path / "out"),
         locality_aware=True,
         lookup_cache_blocks=4,
+        backend=backend,
     )
     results = mrblast_spmd(3, cfg)
 
@@ -85,7 +92,7 @@ def test_stage_breakdown_measured(tmp_path, print_table):
         return [stage, f"{secs * 1e3:.1f}", f"{secs / busy:.1%}" if busy else "-"]
 
     print_table(
-        f"Measured map-stage breakdown (lookup cache hits: {hits})",
+        f"Measured map-stage breakdown [{backend}] (lookup cache hits: {hits})",
         ["stage", "ms (all ranks)", "share of busy"],
         [row("seed (block + lookup + scan)", seed),
          row("ungapped extension", ungapped),
@@ -97,7 +104,8 @@ def test_stage_breakdown_measured(tmp_path, print_table):
     assert hits > 0, "locality-aware sweeps should reuse cached lookups"
     assert 0.0 < seed + ungapped + gapped <= busy + 1e-6
 
-    _record("stage_breakdown", {
+    key = "stage_breakdown" if backend == "thread" else f"stage_breakdown@{backend}"
+    _record(key, {
         "seed_s": seed,
         "ungapped_s": ungapped,
         "gapped_s": gapped,

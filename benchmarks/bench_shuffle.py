@@ -2,14 +2,33 @@
 
 One synthetic Fig. 5-scale workload — hundreds of thousands of small
 (query id, record) pairs — pushed through emit → aggregate → convert →
-reduce on both planes at 1/4/8 ranks.  Reported per stage: pairs/sec
-(total pairs over the slowest rank's stage time) and bytes actually staged
-for other ranks.  The acceptance bar for the columnar overhaul is ≥5×
-pairs/sec on the two shuffle-bound stages, aggregate and convert.
+reduce on both planes at 1/4/8 ranks, on both transport backends.
+Reported per stage: pairs/sec (total pairs over the slowest rank's stage
+time) and bytes actually staged for other ranks.  The acceptance bar for
+the columnar overhaul is ≥5× pairs/sec on the two shuffle-bound stages,
+aggregate and convert.
+
+The process backend adds two new result families:
+
+- ``{plane}@{nprocs}@process`` runs (the legacy ``{plane}@{nprocs}`` keys
+  stay thread-backend, so the series in EXPERIMENTS.md remains comparable);
+- a per-backend Sanders/Mehlhorn machine-model fit ``t = α + n/β`` from a
+  two-rank pingpong sweep, recorded under ``machine_model``.
+
+Run as a script for the CI smoke::
+
+    python benchmarks/bench_shuffle.py --backend process --ranks 1 4 \
+        --assert-scaling
+
+which exercises the columnar pipeline per rank count and (on machines with
+enough cores) asserts wall-clock actually drops as ranks are added — the
+whole point of ranks-as-processes.
 """
 
+import argparse
 import json
 import os
+import time
 from pathlib import Path
 
 import numpy as np
@@ -23,6 +42,12 @@ RESULTS_PATH = Path(__file__).resolve().parents[1] / "BENCH_shuffle.json"
 TOTAL_PAIRS = int(os.environ.get("BENCH_SHUFFLE_PAIRS", "120000"))
 N_KEYS = 1500
 RANK_COUNTS = (1, 4, 8)
+BACKENDS_MEASURED = ("thread", "process")
+
+#: pingpong sweep for the machine-model fit; spans the shm threshold so the
+#: process-backend fit reflects both the pipe and the shared-memory path.
+PINGPONG_SIZES = (1024, 16 * 1024, 128 * 1024, 1024 * 1024, 4 * 1024 * 1024)
+PINGPONG_REPS = 5
 
 VALUE_DTYPE = np.dtype(
     [("score", "<i8"), ("pos", "<i8"), ("bit", "<f8"), ("evalue", "<f8")]
@@ -30,13 +55,15 @@ VALUE_DTYPE = np.dtype(
 SCHEMA = RecordSchema(key_dtype="S8", value_dtype=VALUE_DTYPE, key_kind="str")
 KEYTAB = np.array([f"q{k:06d}".encode() for k in range(N_KEYS)], dtype="S8")
 
+STAGES = ("map", "aggregate", "convert", "reduce")
 
-def _pipeline(comm, columnar):
+
+def _pipeline(comm, columnar, total_pairs):
     """Emit → aggregate → convert → reduce; returns rank-0 timings/traffic."""
     mr = MapReduce(
         comm, mapstyle=MapStyle.CHUNK, schema=SCHEMA if columnar else None
     )
-    per_rank = TOTAL_PAIRS // comm.size
+    per_rank = total_pairs // comm.size
 
     def columnar_mapper(itask, item, kv):
         rng = np.random.default_rng(1000 + itask)
@@ -71,7 +98,7 @@ def _pipeline(comm, columnar):
         # slowest rank bounds every collective stage
         slowest = {
             phase: max(comm.allreduce([mr.timers.get(phase, 0.0)]))
-            for phase in ("map", "aggregate", "convert", "reduce")
+            for phase in STAGES
         }
         shuffle = mr.shuffle_stats()
         if comm.rank != 0:
@@ -81,10 +108,10 @@ def _pipeline(comm, columnar):
         mr.close()
 
 
-def _run(nprocs, columnar):
-    out = run_spmd(nprocs, _pipeline, columnar)[0]
+def _run(nprocs, columnar, backend="thread", total_pairs=TOTAL_PAIRS):
+    out = run_spmd(nprocs, _pipeline, columnar, total_pairs, backend=backend)[0]
     stages = {}
-    for phase in ("map", "aggregate", "convert", "reduce"):
+    for phase in STAGES:
         secs = out["seconds"][phase]
         moved = out["shuffle"].get(phase, {"pairs_moved": 0, "bytes_moved": 0})
         stages[phase] = {
@@ -96,42 +123,90 @@ def _run(nprocs, columnar):
     return {"npairs": out["npairs"], "nkeys": out["nkeys"], "stages": stages}
 
 
+# ---------------------------------------------------------- machine model
+
+def _pingpong(comm, sizes, reps):
+    """Half round-trip seconds per message size (best-of-``reps``), rank 0."""
+    halves = []
+    for n in sizes:
+        buf = np.zeros(n, dtype=np.uint8)
+        echo = np.empty_like(buf)
+        best = float("inf")
+        for _ in range(reps):
+            comm.barrier()
+            if comm.rank == 0:
+                t0 = time.perf_counter()
+                comm.Send(buf, dest=1)
+                comm.Recv(echo, source=1)
+                best = min(best, (time.perf_counter() - t0) / 2.0)
+            else:
+                comm.Recv(echo, source=0)
+                comm.Send(buf, dest=0)
+        halves.append(best)
+    return halves if comm.rank == 0 else None
+
+
+def fit_machine_model(backend):
+    """Fit the Sanders/Mehlhorn point-to-point model ``t = α + n/β``.
+
+    α is the per-message latency (startup) and β the asymptotic bandwidth;
+    a least-squares fit over the pingpong sweep gives both in one pass.
+    """
+    halves = run_spmd(2, _pingpong, PINGPONG_SIZES, PINGPONG_REPS,
+                      backend=backend, op_timeout=60.0)[0]
+    sizes = np.array(PINGPONG_SIZES, dtype=float)
+    times = np.array(halves, dtype=float)
+    slope, alpha = np.polyfit(sizes, times, 1)
+    return {
+        "alpha_us": alpha * 1e6,
+        "bandwidth_mib_s": (1.0 / slope) / 2**20 if slope > 0 else None,
+        "points": {str(n): t for n, t in zip(PINGPONG_SIZES, halves)},
+    }
+
+
+# ------------------------------------------------------------- benchmark
+
 def test_shuffle_throughput(print_table):
     results = {}
-    for nprocs in RANK_COUNTS:
-        for plane in ("object", "columnar"):
-            results[f"{plane}@{nprocs}"] = _run(nprocs, plane == "columnar")
+    for backend in BACKENDS_MEASURED:
+        suffix = "" if backend == "thread" else f"@{backend}"
+        for nprocs in RANK_COUNTS:
+            for plane in ("object", "columnar"):
+                results[f"{plane}@{nprocs}{suffix}"] = _run(
+                    nprocs, plane == "columnar", backend=backend
+                )
 
     rows = []
-    for nprocs in RANK_COUNTS:
-        for phase in ("map", "aggregate", "convert", "reduce"):
-            obj = results[f"object@{nprocs}"]["stages"][phase]
-            col = results[f"columnar@{nprocs}"]["stages"][phase]
-            speedup = (
-                col["pairs_per_sec"] / obj["pairs_per_sec"]
-                if col["pairs_per_sec"] and obj["pairs_per_sec"]
-                else float("nan")
-            )
-            rows.append([
-                str(nprocs), phase,
-                f"{obj['pairs_per_sec']:,.0f}" if obj["pairs_per_sec"] else "-",
-                f"{col['pairs_per_sec']:,.0f}" if col["pairs_per_sec"] else "-",
-                f"{speedup:.1f}x",
-                f"{obj['bytes_moved']:,}", f"{col['bytes_moved']:,}",
-            ])
+    for backend in BACKENDS_MEASURED:
+        suffix = "" if backend == "thread" else f"@{backend}"
+        for nprocs in RANK_COUNTS:
+            for phase in STAGES:
+                obj = results[f"object@{nprocs}{suffix}"]["stages"][phase]
+                col = results[f"columnar@{nprocs}{suffix}"]["stages"][phase]
+                speedup = (
+                    col["pairs_per_sec"] / obj["pairs_per_sec"]
+                    if col["pairs_per_sec"] and obj["pairs_per_sec"]
+                    else float("nan")
+                )
+                rows.append([
+                    backend, str(nprocs), phase,
+                    f"{obj['pairs_per_sec']:,.0f}" if obj["pairs_per_sec"] else "-",
+                    f"{col['pairs_per_sec']:,.0f}" if col["pairs_per_sec"] else "-",
+                    f"{speedup:.1f}x",
+                    f"{obj['bytes_moved']:,}", f"{col['bytes_moved']:,}",
+                ])
     print_table(
         f"Shuffle throughput, {TOTAL_PAIRS:,} pairs ({N_KEYS} keys)",
-        ["ranks", "stage", "obj pairs/s", "col pairs/s", "speedup",
+        ["backend", "ranks", "stage", "obj pairs/s", "col pairs/s", "speedup",
          "obj bytes moved", "col bytes moved"],
         rows,
     )
 
-    # Results must be plane-independent before any speed claim counts.
-    for nprocs in RANK_COUNTS:
-        assert (
-            results[f"object@{nprocs}"]["nkeys"]
-            == results[f"columnar@{nprocs}"]["nkeys"]
-            == N_KEYS
+    # Results must be plane- and backend-independent before speed counts.
+    for key, run in results.items():
+        assert run["nkeys"] == N_KEYS, f"{key}: wrong reduce output"
+        assert run["npairs"] == (TOTAL_PAIRS // int(key.split("@")[1])) * int(
+            key.split("@")[1]
         )
 
     # The acceptance bar: >=5x on the shuffle-bound stages at multi-rank
@@ -144,11 +219,77 @@ def test_shuffle_throughput(print_table):
             f"pairs/s is below the 5x bar"
         )
 
+    model = {backend: fit_machine_model(backend) for backend in BACKENDS_MEASURED}
+    print_table(
+        "Machine model fit t = α + n/β (2-rank pingpong)",
+        ["backend", "α (µs)", "β (MiB/s)"],
+        [[b, f"{m['alpha_us']:.1f}",
+          f"{m['bandwidth_mib_s']:,.0f}" if m["bandwidth_mib_s"] else "-"]
+         for b, m in model.items()],
+    )
+    for b, m in model.items():
+        assert m["alpha_us"] > 0, f"{b}: non-physical negative latency fit"
+
     RESULTS_PATH.write_text(
         json.dumps(
-            {"total_pairs": TOTAL_PAIRS, "n_keys": N_KEYS, "runs": results},
+            {
+                "total_pairs": TOTAL_PAIRS,
+                "n_keys": N_KEYS,
+                "machine_model": model,
+                "runs": results,
+            },
             indent=2,
             sort_keys=True,
         )
         + "\n"
     )
+
+
+# ------------------------------------------------------------------- CLI
+
+def _pipeline_seconds(run):
+    return sum(run["stages"][phase]["seconds"] for phase in STAGES)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="bench_shuffle",
+        description="columnar shuffle scaling smoke (used by CI)",
+    )
+    ap.add_argument("--backend", choices=["thread", "process"], default="process")
+    ap.add_argument("--ranks", type=int, nargs="+", default=[1, 4])
+    ap.add_argument("--pairs", type=int, default=TOTAL_PAIRS)
+    ap.add_argument("--assert-scaling", action="store_true",
+                    help="require wall-clock to drop monotonically with more "
+                         "ranks (skipped unless the machine has enough cores)")
+    args = ap.parse_args(argv)
+
+    seconds = {}
+    for nprocs in args.ranks:
+        run = _run(nprocs, columnar=True, backend=args.backend,
+                   total_pairs=args.pairs)
+        seconds[nprocs] = _pipeline_seconds(run)
+        print(f"{args.backend}@{nprocs}: {args.pairs:,} pairs in "
+              f"{seconds[nprocs]:.3f}s pipeline time "
+              f"({run['npairs'] / seconds[nprocs]:,.0f} pairs/s)")
+
+    if args.assert_scaling:
+        cores = len(os.sched_getaffinity(0))
+        needed = max(args.ranks)
+        if cores < needed:
+            print(f"scaling assertion skipped: {cores} usable cores < "
+                  f"{needed} ranks")
+        else:
+            ordered = sorted(args.ranks)
+            for lo, hi in zip(ordered, ordered[1:]):
+                assert seconds[hi] < seconds[lo], (
+                    f"{args.backend} backend did not scale: "
+                    f"{hi} ranks took {seconds[hi]:.3f}s vs "
+                    f"{seconds[lo]:.3f}s at {lo}"
+                )
+            print(f"scaling OK: {' > '.join(f'{seconds[n]:.3f}s@{n}' for n in ordered)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -33,6 +33,10 @@ def build_parser() -> argparse.ArgumentParser:
     ap.add_argument("--target-unit-seconds", type=float, default=0.25,
                     help="dynamic mode: desired cost of one work unit")
     ap.add_argument("--np", type=int, default=4, help="number of MPI ranks")
+    ap.add_argument("--backend", choices=["thread", "process"], default=None,
+                    help="transport backend: 'process' runs each rank as an OS "
+                         "process (real multi-core); 'thread' is the in-process "
+                         "parity oracle (default: $REPRO_MPI_BACKEND or thread)")
     ap.add_argument("--out", default="mrblast_out", help="output directory")
     ap.add_argument("--program", choices=["blastn", "blastp", "blastx"], default="blastn")
     ap.add_argument("--evalue", type=float, default=10.0)
@@ -75,6 +79,7 @@ def main(argv: list[str] | None = None) -> int:
             output_dir=args.out,
             target_unit_seconds=args.target_unit_seconds,
             locality_aware=args.locality,
+            backend=args.backend,
         ))
         total_hits = sum(r.hits_written for r in dyn_results)
         for r in dyn_results:
@@ -99,6 +104,7 @@ def main(argv: list[str] | None = None) -> int:
         locality_aware=args.locality,
         resume=args.resume,
         trace_path=args.trace,
+        backend=args.backend,
     )
     fault_plan = FaultPlan.parse(args.faults, args.np) if args.faults else None
     if args.retries > 0 or fault_plan is not None:

@@ -66,6 +66,8 @@ class DynamicChunkConfig:
     taper_fraction: float = 0.25
     locality_aware: bool = True
     hit_filter: Callable[[str, HSP], bool] | None = None
+    #: transport backend (None = REPRO_MPI_BACKEND default; see run_spmd)
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         if self.target_unit_seconds <= 0:
@@ -237,4 +239,4 @@ def run_mrblast_dynamic(comm: Comm, config: DynamicChunkConfig) -> DynamicRunRes
 
 def mrblast_dynamic_spmd(nprocs: int, config: DynamicChunkConfig) -> list[DynamicRunResult]:
     """Launch a full in-process MPI job running :func:`run_mrblast_dynamic`."""
-    return run_spmd(nprocs, run_mrblast_dynamic, config)
+    return run_spmd(nprocs, run_mrblast_dynamic, config, backend=config.backend)

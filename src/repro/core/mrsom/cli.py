@@ -30,6 +30,10 @@ def build_parser() -> argparse.ArgumentParser:
     ap.add_argument("--block-rows", type=int, default=40,
                     help="input vectors per work unit (paper: 40)")
     ap.add_argument("--np", type=int, default=4, help="number of MPI ranks")
+    ap.add_argument("--backend", choices=["thread", "process"], default=None,
+                    help="transport backend: 'process' runs each rank as an OS "
+                         "process (real multi-core); 'thread' is the in-process "
+                         "parity oracle (default: $REPRO_MPI_BACKEND or thread)")
     ap.add_argument("--init", choices=["linear", "random"], default="linear")
     ap.add_argument("--seed", type=int, default=0)
     ap.add_argument("--out", default="codebook.npy", help="trained codebook output (.npy)")
@@ -62,6 +66,7 @@ def main(argv: list[str] | None = None) -> int:
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
         trace_path=args.trace,
+        backend=args.backend,
     )
     fault_plan = FaultPlan.parse(args.faults, args.np) if args.faults else None
     if args.retries > 0 or fault_plan is not None:

@@ -94,6 +94,10 @@ class MrSomConfig:
     #: chrome://tracing or Perfetto).  None disables tracing entirely —
     #: the zero-cost default.
     trace_path: str | None = None
+    #: transport backend: "thread" (in-process, GIL-bound parity oracle) or
+    #: "process" (one OS process per rank, real multi-core epoch compute).
+    #: None defers to the REPRO_MPI_BACKEND environment default.
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         if self.epochs < 1:
@@ -416,7 +420,8 @@ def mrsom_spmd(
     config.validate()
     if trace is None and config.trace_path:
         trace = TraceSession(nprocs)
-    results = run_spmd(nprocs, run_mrsom, config, trace=trace)
+    results = run_spmd(nprocs, run_mrsom, config, trace=trace,
+                       backend=config.backend)
     if config.trace_path and trace is not None:
         write_chrome_trace(config.trace_path, trace)
     return results
@@ -458,6 +463,7 @@ def mrsom_supervised(
             op_timeout=op_timeout,
             prepare=prepare,
             trace=trace,
+            backend=config.backend,
         )
     finally:
         # Export even when supervision exhausts: the trace of a failed job

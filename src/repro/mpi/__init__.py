@@ -52,12 +52,15 @@ from repro.mpi.ops import (
     Status,
 )
 from repro.mpi.network import Network
+from repro.mpi.transport import TransportEndpoint
 from repro.mpi.comm import Comm, Request
 from repro.mpi.runtime import (
+    BACKENDS,
     RetryPolicy,
     SupervisedOutcome,
     SupervisionExhausted,
     classify_failure,
+    resolve_backend,
     run_spmd,
     run_supervised,
 )
@@ -77,8 +80,11 @@ __all__ = [
     "Op",
     "Status",
     "Network",
+    "TransportEndpoint",
     "Comm",
     "Request",
+    "BACKENDS",
+    "resolve_backend",
     "run_spmd",
     "run_supervised",
     "RetryPolicy",

@@ -75,6 +75,42 @@ def _isolate(obj: Any) -> Any:
     return copy.deepcopy(obj)
 
 
+def _wire(obj: Any) -> Any:
+    """Isolation with a buffer-protocol fast path for array payloads.
+
+    MPI buffer semantics put the aliasing burden on the *caller*: a buffer
+    handed to a send must not be mutated until the operation completes.
+    Under that contract a bare ndarray — or a tuple of ndarrays, the
+    columnar page wire format — needs no defensive copy at all: the thread
+    transport passes a read-only *view* (receivers can read, nobody can
+    write), and the process transport serialises straight out of the
+    caller's buffer into a shared-memory block.  Collectives double as
+    synchronisation fences, so the SOM epoch loop and the shuffle pipeline
+    satisfy the contract naturally.
+
+    Everything else keeps the conservative :func:`_isolate` deep copy.
+    """
+    if isinstance(obj, np.ndarray):
+        view = obj.view()
+        view.setflags(write=False)
+        return view
+    if (
+        isinstance(obj, (tuple, list))
+        and obj
+        and all(isinstance(a, np.ndarray) for a in obj)
+    ):
+        # A fresh container (so receivers can't reorder the sender's list)
+        # holding frozen views — this also keeps allgather's internal
+        # bcast-of-a-gathered-list on the no-copy path.
+        frozen = []
+        for a in obj:
+            view = a.view()
+            view.setflags(write=False)
+            frozen.append(view)
+        return tuple(frozen) if isinstance(obj, tuple) else frozen
+    return _isolate(obj)
+
+
 def _payload_count(obj: Any) -> int:
     if isinstance(obj, np.ndarray):
         return int(obj.size)
@@ -192,7 +228,7 @@ class Comm:
                 dst=self._check_peer(dest),
                 tag=tag,
                 context=self._context,
-                payload=_isolate(obj),
+                payload=_wire(obj),
             ),
             acting=self._global_rank,
         )
@@ -395,7 +431,7 @@ class Comm:
             self._post(sendobj, root, _TAG_GATHER)
             return None
         out: list[Any] = [None] * self.size
-        out[root] = _isolate(sendobj)
+        out[root] = _wire(sendobj)
         for _ in range(self.size - 1):
             msg = self._match(source=ANY_SOURCE, tag=_TAG_GATHER)
             # msg.src carries the sender's communicator-local rank (senders
@@ -421,7 +457,7 @@ class Comm:
             for peer in range(self.size):
                 if peer != root:
                     self._post(sendobjs[peer], peer, _TAG_SCATTER)
-            return _isolate(sendobjs[root])
+            return _wire(sendobjs[root])
         return self._match(source=root, tag=_TAG_SCATTER).payload
 
     @_traced_collective("alltoall")
@@ -433,7 +469,7 @@ class Comm:
             if peer != self._rank:
                 self._post(sendobjs[peer], peer, _TAG_ALLTOALL)
         out: list[Any] = [None] * self.size
-        out[self._rank] = _isolate(sendobjs[self._rank])
+        out[self._rank] = _wire(sendobjs[self._rank])
         for _ in range(self.size - 1):
             msg = self._match(source=ANY_SOURCE, tag=_TAG_ALLTOALL)
             out[msg.src] = msg.payload  # comm-local sender rank

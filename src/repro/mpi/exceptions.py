@@ -35,3 +35,10 @@ class RankFailure(MPIError):
         super().__init__(f"rank {rank} crashed at MPI operation {op_index} (fault injection)")
         self.rank = rank
         self.op_index = op_index
+
+    def __reduce__(self):
+        # Default exception pickling replays __init__ with ``args`` (the
+        # formatted message), which does not match this two-int signature.
+        # The process transport ships rank errors through a pipe, so spell
+        # out the constructor call explicitly.
+        return (RankFailure, (self.rank, self.op_index))

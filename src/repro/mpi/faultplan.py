@@ -253,6 +253,40 @@ class FaultPlan:
                 self._fired.append((kind, rank, send_index))
             return ev
 
+    def absorb_fired(self, entries: Iterable[tuple]) -> None:
+        """Mark ``entries`` (trace tuples from a forked copy) as consumed.
+
+        The process transport hands each rank a fork-copied plan; events the
+        child fired are reported back in its exit envelope and absorbed here
+        so the parent's plan keeps the fire-once-per-plan contract (and the
+        combined :meth:`trace`) across supervised retry attempts.
+        """
+        with self._lock:
+            for entry in entries:
+                kind, rank, idx = entry
+                if kind in ("crash", "stall"):
+                    events = self._op_events.get((rank, idx))
+                    if events is not None:
+                        # Pop only the matching event kind; a crash and a
+                        # stall can share one (rank, op) key.
+                        cls = CrashRank if kind == "crash" else StallRank
+                        events[:] = [ev for ev in events if not isinstance(ev, cls)]
+                        if not events:
+                            del self._op_events[(rank, idx)]
+                else:
+                    self._send_events.pop((rank, idx), None)
+                self._fired.append((kind, rank, idx))
+
+    def fired_count(self) -> int:
+        """Number of trace entries so far (children snapshot this at start)."""
+        with self._lock:
+            return len(self._fired)
+
+    def fired_since(self, base: int) -> list[tuple]:
+        """Trace entries appended after :meth:`fired_count` returned ``base``."""
+        with self._lock:
+            return list(self._fired[base:])
+
     # -------------------------------------------------------------- inspection
 
     def trace(self) -> tuple[tuple, ...]:

@@ -37,6 +37,7 @@ from repro.mpi.faultplan import (
     StallRank,
 )
 from repro.mpi.ops import ANY_SOURCE, ANY_TAG
+from repro.mpi.transport import TransportEndpoint, matches
 from repro.obs.trace import NULL_TRACER
 
 __all__ = ["Network", "Message"]
@@ -57,13 +58,19 @@ class Message:
     not_before: float = 0.0
 
 
-class Network:
-    """Shared state of one SPMD job: mailboxes, contexts, abort flag, faults."""
+class Network(TransportEndpoint):
+    """Shared state of one SPMD job: mailboxes, contexts, abort flag, faults.
+
+    This is the *thread* transport endpoint: one shared object, ranks are
+    threads, everything behind one lock.  See
+    :mod:`repro.mpi.transport` for the contract and
+    :class:`repro.mpi.process.ProcessNetwork` for the per-process twin.
+    """
 
     #: Default timeout (seconds) for any single blocking operation. Generous
     #: enough for slow CI machines, small enough that a deadlocked test fails
     #: rather than hangs.
-    DEFAULT_OP_TIMEOUT = 120.0
+    DEFAULT_OP_TIMEOUT = TransportEndpoint.DEFAULT_OP_TIMEOUT
 
     def __init__(
         self,
@@ -226,15 +233,9 @@ class Network:
                 trc.instant("fault.delay", cat="fault", dst=msg.dst,
                             tag=msg.tag, seconds=delayed)
 
-    @staticmethod
-    def _matches(msg: Message, context: int, source: int, tag: int) -> bool:
-        if msg.context != context:
-            return False
-        if source != ANY_SOURCE and msg.src != source:
-            return False
-        if tag != ANY_TAG and msg.tag != tag:
-            return False
-        return True
+    # Matching logic lives in the transport module so every backend runs
+    # the exact same predicate the thread-backend tests pin down.
+    _matches = staticmethod(matches)
 
     def probe(self, dst: int, context: int, source: int, tag: int) -> Optional[Message]:
         """Non-destructively return the first deliverable match, or ``None``."""

@@ -16,6 +16,7 @@ of restarting from scratch.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from dataclasses import dataclass, field
@@ -35,12 +36,39 @@ __all__ = [
     "SupervisedOutcome",
     "SupervisionExhausted",
     "classify_failure",
+    "resolve_backend",
     "run_supervised",
 ]
 
+#: Transport backends selectable per job.  "thread" is the original
+#: in-process router (deterministic, GIL-bound — the parity oracle);
+#: "process" forks one OS process per rank for real multi-core compute.
+BACKENDS = ("thread", "process")
+
+
+def resolve_backend(backend: str | None) -> str:
+    """Validate a backend name, defaulting from ``REPRO_MPI_BACKEND``.
+
+    The environment default lets whole suites or CI jobs flip backends
+    without touching every ``run_spmd`` call site.
+    """
+    if backend is None:
+        backend = os.environ.get("REPRO_MPI_BACKEND", "thread").strip() or "thread"
+    if backend not in BACKENDS:
+        raise MPIError(
+            f"unknown transport backend {backend!r} (expected one of {BACKENDS})")
+    return backend
+
 
 class SpmdJob:
-    """A launched SPMD job.  Use :func:`run_spmd` unless you need the handle."""
+    """A launched SPMD job.  Use :func:`run_spmd` unless you need the handle.
+
+    ``backend`` picks the transport: ``"thread"`` (default) runs ranks as
+    daemon threads over one shared :class:`~repro.mpi.network.Network`;
+    ``"process"`` forks one OS process per rank over the
+    :class:`~repro.mpi.process.ProcessJob` engine.  Both expose the same
+    ``run``/``errors`` surface and failure semantics.
+    """
 
     def __init__(
         self,
@@ -51,16 +79,31 @@ class SpmdJob:
         op_timeout: float | None = None,
         fault_plan: FaultPlan | None = None,
         trace=None,
+        backend: str | None = None,
     ) -> None:
         if nprocs < 1:
             raise MPIError(f"nprocs must be >= 1, got {nprocs}")
         self.nprocs = nprocs
         self.trace = trace
+        self.backend = resolve_backend(backend)
+        self._results: list[Any] = [None] * nprocs
+        self._errors: list[Optional[BaseException]] = [None] * nprocs
+        if self.backend == "process":
+            from repro.mpi.process import ProcessJob
+
+            self._engine = ProcessJob(
+                nprocs, fn, args, kwargs,
+                op_timeout=op_timeout, fault_plan=fault_plan, trace=trace,
+            )
+            # The parent-side coordinator doubles as the telemetry surface
+            # (heartbeat_ages / op_count / abort), mirroring the shared
+            # Network object of the thread backend.
+            self.network = self._engine
+            return
+        self._engine = None
         self.network = Network(
             nprocs, op_timeout=op_timeout, fault_plan=fault_plan, trace=trace
         )
-        self._results: list[Any] = [None] * nprocs
-        self._errors: list[Optional[BaseException]] = [None] * nprocs
         self._threads = [
             threading.Thread(
                 target=self._run_rank,
@@ -105,6 +148,11 @@ class SpmdJob:
         is aborted with a report naming the ranks whose heartbeats went
         stale — the supervisor's stall detection.
         """
+        if self._engine is not None:
+            try:
+                return self._engine.run(join_timeout)
+            finally:
+                self._errors = self._engine.errors
         for t in self._threads:
             t.start()
         budget = join_timeout if join_timeout is not None else self.network.op_timeout * 4
@@ -145,6 +193,7 @@ def run_spmd(
     op_timeout: float | None = None,
     fault_plan: FaultPlan | None = None,
     trace=None,
+    backend: str | None = None,
     **kwargs: Any,
 ) -> list[Any]:
     """Run ``fn(comm, *args, **kwargs)`` on ``nprocs`` ranks; return results.
@@ -152,11 +201,14 @@ def run_spmd(
     The returned list is indexed by rank.  This is the moral equivalent of
     ``mpirun -np N python prog.py`` for this repository.  ``trace`` is an
     optional :class:`~repro.obs.trace.TraceSession` whose per-rank tracers
-    record the run.
+    record the run; ``backend`` selects the transport (``"thread"`` or
+    ``"process"``, default from ``REPRO_MPI_BACKEND``).  On the process
+    backend rank results cross a pipe and must be picklable.
     """
     return SpmdJob(
         nprocs, fn, args, kwargs,
         op_timeout=op_timeout, fault_plan=fault_plan, trace=trace,
+        backend=backend,
     ).run()
 
 
@@ -245,6 +297,7 @@ def run_supervised(
     prepare: Callable[[int], tuple[tuple, dict]] | None = None,
     sleep: Callable[[float], None] = time.sleep,
     trace=None,
+    backend: str | None = None,
     **kwargs: Any,
 ) -> SupervisedOutcome:
     """Launch ``fn`` under supervision: detect, back off, relaunch.
@@ -271,6 +324,7 @@ def run_supervised(
         job = SpmdJob(
             nprocs, fn, use_args, use_kwargs,
             op_timeout=op_timeout, fault_plan=fault_plan, trace=trace,
+            backend=backend,
         )
         try:
             results = job.run()

@@ -1,0 +1,171 @@
+"""Shared-memory payload codec for the process transport.
+
+The columnar data plane ships tuples of contiguous numpy arrays (one page
+worth of keys plus value columns) and the capitalized ``Send``/``Bcast``/
+``Reduce`` path ships single arrays.  Pickling those through a pipe copies
+every byte twice (serialize + deserialize) and funnels them through the
+pipe buffer 64 KiB at a time.  Instead, bulk array payloads travel as one
+``multiprocessing.shared_memory`` block: the sender writes the raw bytes
+once, the envelope that crosses the pipe is just a tiny handle (block
+name + per-array dtype/shape/offset header), and the receiver maps the
+block and copies straight into process-local arrays.
+
+Lifetime protocol: the *sender* creates the block and never unlinks it;
+the *receiver* unlinks after decoding (decode happens on arrival in the
+receiver thread, so a block lives only for its pipe transit).  Blocks are
+named with a per-job prefix so the parent can sweep stragglers from
+``/dev/shm`` after an abnormal teardown.  Python's ``resource_tracker``
+would double-unlink blocks that cross a fork boundary, so blocks are
+explicitly unregistered from it on both sides.
+
+Payloads below :data:`SHM_MIN_BYTES` and anything that is not a plain
+ndarray / tuple of ndarrays fall through untouched and get pickled by the
+pipe — the lowercase object path.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+__all__ = [
+    "SHM_MIN_BYTES",
+    "ShmHandle",
+    "encode_payload",
+    "decode_payload",
+    "sweep_job_blocks",
+]
+
+#: Below this many payload bytes, pickling through the pipe is cheaper than
+#: two shm syscalls plus a mmap.  32 KiB is far above any control message
+#: and far below a columnar page.
+SHM_MIN_BYTES = 32 * 1024
+
+_SHM_DIR = "/dev/shm"
+
+
+@dataclass
+class ShmHandle:
+    """The envelope that crosses the pipe in place of the array bytes."""
+
+    name: str
+    total_bytes: int
+    #: per-array (dtype, shape, byte offset) header
+    metas: list
+    #: "array" for a bare ndarray, "tuple"/"list" for a sequence of them
+    container: str
+
+
+def _untrack(name: str) -> None:
+    """Detach a block from resource_tracker (we own its lifetime)."""
+    try:
+        resource_tracker.unregister(f"/{name}", "shared_memory")
+    except Exception:
+        pass
+
+
+def _shm_eligible(obj) -> list | None:
+    """Return the list of arrays to ship via shm, or None to pickle."""
+    if isinstance(obj, np.ndarray):
+        arrays = [obj]
+    elif (
+        isinstance(obj, (tuple, list))
+        and obj
+        and all(isinstance(a, np.ndarray) for a in obj)
+    ):
+        arrays = list(obj)
+    else:
+        return None
+    total = 0
+    for a in arrays:
+        if a.dtype.hasobject:
+            return None  # object dtypes must pickle
+        total += a.nbytes
+    if total < SHM_MIN_BYTES:
+        return None
+    return arrays
+
+
+def encode_payload(obj, name_prefix: str, seq: int):
+    """Encode *obj* into a :class:`ShmHandle` when profitable.
+
+    Returns *obj* unchanged when it is not a bulk array payload — the pipe
+    pickles it as usual.  ``name_prefix``/``seq`` make the block name
+    unique per job and per send (a duplicated send encodes twice, so each
+    delivery owns its own block).
+    """
+    arrays = _shm_eligible(obj)
+    if arrays is None:
+        return obj
+    total = sum(a.nbytes for a in arrays)
+    block = shared_memory.SharedMemory(
+        create=True, size=max(total, 1), name=f"{name_prefix}{seq}"
+    )
+    _untrack(block.name)
+    metas = []
+    offset = 0
+    for a in arrays:
+        a = np.ascontiguousarray(a)
+        dst = np.ndarray(a.shape, dtype=a.dtype, buffer=block.buf, offset=offset)
+        dst[...] = a
+        metas.append((a.dtype, a.shape, offset))
+        offset += a.nbytes
+    if isinstance(obj, np.ndarray):
+        container = "array"
+    else:
+        container = "tuple" if isinstance(obj, tuple) else "list"
+    handle = ShmHandle(
+        name=block.name,
+        total_bytes=total,
+        metas=metas,
+        container=container,
+    )
+    block.close()
+    return handle
+
+
+def decode_payload(wire):
+    """Materialise a pipe payload: map + copy out of shm, then unlink.
+
+    Decoded arrays are marked read-only — the same aliasing contract the
+    thread backend's frozen-view fast path hands receivers.
+    """
+    if not isinstance(wire, ShmHandle):
+        return wire
+    block = shared_memory.SharedMemory(name=wire.name)
+    # No _untrack here: on 3.11 attaching registers with the receiver's
+    # resource tracker and ``unlink()`` below unregisters again — the pair
+    # balances itself.
+    out = []
+    for dtype, shape, offset in wire.metas:
+        a = np.ndarray(shape, dtype=dtype, buffer=block.buf, offset=offset).copy()
+        a.setflags(write=False)
+        out.append(a)
+    block.close()
+    try:
+        block.unlink()
+    except FileNotFoundError:  # pragma: no cover - double delivery race
+        pass
+    if wire.container == "array":
+        return out[0]
+    return tuple(out) if wire.container == "tuple" else out
+
+
+def sweep_job_blocks(name_prefix: str) -> int:
+    """Unlink any leftover blocks for a job (abnormal-teardown cleanup)."""
+    swept = 0
+    try:
+        names = os.listdir(_SHM_DIR)
+    except OSError:  # pragma: no cover - non-Linux shm layout
+        return 0
+    for name in names:
+        if name.startswith(name_prefix):
+            try:
+                os.unlink(os.path.join(_SHM_DIR, name))
+                swept += 1
+            except OSError:  # pragma: no cover - concurrent unlink
+                pass
+    return swept

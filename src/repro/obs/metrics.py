@@ -16,6 +16,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "absorb_snapshot",
     "merge_snapshots",
 ]
 
@@ -143,6 +144,41 @@ class MetricsRegistry:
         """Return ``{name: snapshot}`` for every instrument, sorted."""
         return {name: self._instruments[name].snapshot()
                 for name in sorted(self._instruments)}
+
+
+def absorb_snapshot(registry, snapshot):
+    """Fold one registry *snapshot* into live *registry* instruments.
+
+    Used by the process transport: each rank runs in its own process with a
+    fork-copied registry, ships ``registry.snapshot()`` back in its exit
+    envelope, and the parent absorbs it here so post-job reports see the
+    same numbers the thread backend would have produced in place.
+
+    Counters add; gauges keep the incoming value (last write wins, matching
+    a live cross-thread ``set``); histograms replay bucket-wise (bounds are
+    taken from the snapshot for instruments the parent has not seen yet).
+    Float values transfer exactly — pickling preserves float bits — so
+    trace-fidelity checks that compare counter sums across backends hold
+    to the last ulp.
+    """
+    for name, value in snapshot.items():
+        if isinstance(value, dict):
+            hist = registry.histogram(name, bounds=tuple(value["bounds"]))
+            if hist.bounds != tuple(value["bounds"]):
+                raise ValueError(f"histogram {name!r}: mismatched bounds")
+            hist.count += value["count"]
+            hist.total += value["sum"]
+            hist.buckets = [a + b for a, b in zip(hist.buckets, value["buckets"])]
+            mins = [m for m in (hist.min, value["min"]) if m is not None]
+            maxs = [m for m in (hist.max, value["max"]) if m is not None]
+            hist.min = min(mins) if mins else None
+            hist.max = max(maxs) if maxs else None
+        else:
+            inst = registry._instruments.get(name)
+            if isinstance(inst, Gauge):
+                inst.set(value)
+            else:
+                registry.counter(name).value += value
 
 
 def merge_snapshots(snapshots):

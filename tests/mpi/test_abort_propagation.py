@@ -10,9 +10,11 @@ for the op timeout.
 import pytest
 
 from repro.mpi import AbortError
-from repro.mpi.runtime import SpmdJob
+from repro.mpi.runtime import BACKENDS, SpmdJob
 
 NPROCS = 4
+
+pytestmark = pytest.mark.parametrize("backend", BACKENDS)
 
 
 class Boom(RuntimeError):
@@ -36,7 +38,7 @@ COLLECTIVES = {
 
 @pytest.mark.parametrize("failing_rank", [0, 2, NPROCS - 1])
 @pytest.mark.parametrize("name", sorted(COLLECTIVES))
-def test_exception_in_collective_wakes_all_peers(name, failing_rank):
+def test_exception_in_collective_wakes_all_peers(name, failing_rank, backend):
     op = COLLECTIVES[name]
 
     def prog(comm):
@@ -47,7 +49,7 @@ def test_exception_in_collective_wakes_all_peers(name, failing_rank):
 
     # A generous op_timeout proves peers are *woken*, not timed out: were the
     # abort lost, the job would burn the full budget and fail differently.
-    job = SpmdJob(NPROCS, prog, op_timeout=30.0)
+    job = SpmdJob(NPROCS, prog, op_timeout=30.0, backend=backend)
     with pytest.raises(Boom):
         job.run(join_timeout=10.0)
     for rank, err in enumerate(job.errors):
@@ -57,20 +59,20 @@ def test_exception_in_collective_wakes_all_peers(name, failing_rank):
             assert err is None or isinstance(err, AbortError)
 
 
-def test_exception_before_any_collective_still_aborts_peers():
+def test_exception_before_any_collective_still_aborts_peers(backend):
     def prog(comm):
         if comm.rank == 1:
             raise Boom("early death")
         # Peers head into a collective that can never complete without rank 1.
         return comm.allreduce(comm.rank)
 
-    job = SpmdJob(NPROCS, prog, op_timeout=30.0)
+    job = SpmdJob(NPROCS, prog, op_timeout=30.0, backend=backend)
     with pytest.raises(Boom):
         job.run(join_timeout=10.0)
     assert any(isinstance(e, AbortError) for e in job.errors)
 
 
-def test_nested_collectives_abort_cleanly():
+def test_nested_collectives_abort_cleanly(backend):
     """A failure several collectives deep must not strand earlier state."""
 
     def prog(comm):
@@ -83,6 +85,6 @@ def test_nested_collectives_abort_cleanly():
         comm.barrier()
         return "done"
 
-    job = SpmdJob(NPROCS, prog, op_timeout=30.0)
+    job = SpmdJob(NPROCS, prog, op_timeout=30.0, backend=backend)
     with pytest.raises(Boom):
         job.run(join_timeout=10.0)

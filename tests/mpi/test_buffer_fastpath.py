@@ -1,0 +1,102 @@
+"""The buffer-protocol fast path: numpy payloads move without deep copies.
+
+``Comm.gather``/``allgather``/``alltoall`` used to ``_isolate`` (deep-copy)
+every payload.  For ndarray payloads both transports now ship a frozen
+read-only *view*: on the thread backend the receiver aliases the sender's
+buffer outright (zero copies), and on the process backend the array crosses
+shared memory exactly once.  The aliasing contract in exchange: received
+arrays are read-only, and a sender must not mutate a buffer while an op is
+in flight — same rules as MPI buffer semantics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mpi import run_spmd
+from repro.mpi.comm import _isolate, _wire
+from repro.mpi.runtime import BACKENDS
+
+
+class TestWireUnit:
+    def test_ndarray_becomes_frozen_view(self):
+        a = np.arange(16.0)
+        w = _wire(a)
+        assert np.shares_memory(a, w)
+        assert not w.flags.writeable
+        assert a.flags.writeable  # the original is untouched
+
+    def test_tuple_of_ndarrays_freezes_each(self):
+        t = (np.arange(4), np.zeros(3))
+        w = _wire(t)
+        assert all(np.shares_memory(a, b) for a, b in zip(t, w))
+        assert all(not b.flags.writeable for b in w)
+
+    def test_other_payloads_still_deep_copy(self):
+        obj = {"nested": [1, 2]}
+        w = _wire(obj)
+        assert w == obj and w is not obj
+        assert w["nested"] is not obj["nested"]
+        mixed = (np.arange(3), "not an array")
+        assert _wire(mixed) is not mixed  # falls back to _isolate
+
+    def test_isolate_still_copies_arrays(self):
+        a = np.arange(8)
+        assert not np.shares_memory(a, _isolate(a))
+
+
+class TestGatherNoCopy:
+    def test_thread_gather_aliases_sender_buffers(self):
+        """The pin: on the thread transport a gathered ndarray IS the
+        sender's buffer (a frozen view), not a copy."""
+        originals = [None] * 3
+
+        def prog(comm):
+            mine = np.full(64, float(comm.rank))
+            originals[comm.rank] = mine
+            gathered = comm.gather(mine, root=0)
+            comm.barrier()  # keep senders alive until root has checked nothing
+            return gathered
+
+        results = run_spmd(3, prog, backend="thread", op_timeout=30.0)
+        gathered = results[0]
+        for rank, arr in enumerate(gathered):
+            assert np.shares_memory(arr, originals[rank]), \
+                f"rank {rank} contribution was deep-copied"
+            assert not arr.flags.writeable
+
+    def test_thread_allgather_aliases_sender_buffers(self):
+        originals = [None] * 3
+
+        def prog(comm):
+            mine = np.arange(32.0) + comm.rank
+            originals[comm.rank] = mine
+            return comm.allgather(mine)
+
+        results = run_spmd(3, prog, backend="thread", op_timeout=30.0)
+        for got in results:
+            for rank, arr in enumerate(got):
+                assert np.shares_memory(arr, originals[rank])
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_received_arrays_read_only_on_both_backends(self, backend):
+        def prog(comm):
+            gathered = comm.allgather(np.full(32, float(comm.rank)))
+            return [bool(a.flags.writeable) for a in gathered]
+
+        results = run_spmd(2, prog, backend=backend, op_timeout=30.0)
+        for rank, flags in enumerate(results):
+            # Every array that crossed the transport is frozen; a rank's own
+            # contribution comes back as a frozen view too.
+            assert flags == [False, False], f"rank {rank} got writable arrays"
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_gather_values_identical_across_backends(self, backend):
+        def prog(comm):
+            gathered = comm.gather(np.arange(8.0) * comm.rank, root=1)
+            if comm.rank == 1:
+                return np.concatenate(gathered).tolist()
+            return None
+
+        results = run_spmd(3, prog, backend=backend, op_timeout=30.0)
+        want = np.concatenate([np.arange(8.0) * r for r in range(3)]).tolist()
+        assert results[1] == want

@@ -20,7 +20,7 @@ from repro.mpi import (
     run_spmd,
     run_supervised,
 )
-from repro.mpi.runtime import SpmdJob
+from repro.mpi.runtime import BACKENDS, SpmdJob
 
 
 def chatty(comm, rounds=10):
@@ -32,16 +32,18 @@ def chatty(comm, rounds=10):
     return total
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 class TestCrashInjection:
-    def test_crashed_rank_raises_rank_failure(self):
+    def test_crashed_rank_raises_rank_failure(self, backend):
         plan = FaultPlan([CrashRank(rank=1, at_op=3)])
         with pytest.raises(RankFailure) as exc_info:
-            run_spmd(3, chatty, fault_plan=plan, op_timeout=10.0)
+            run_spmd(3, chatty, fault_plan=plan, op_timeout=10.0, backend=backend)
         assert exc_info.value.rank == 1
         assert plan.trace() == (("crash", 1, 3),)
 
-    def test_peers_wake_with_abort_not_deadlock(self):
-        job = SpmdJob(4, chatty, fault_plan=FaultPlan([CrashRank(2, 5)]), op_timeout=10.0)
+    def test_peers_wake_with_abort_not_deadlock(self, backend):
+        job = SpmdJob(4, chatty, fault_plan=FaultPlan([CrashRank(2, 5)]),
+                      op_timeout=10.0, backend=backend)
         with pytest.raises(RankFailure):
             job.run()
         for rank, err in enumerate(job.errors):
@@ -50,7 +52,7 @@ class TestCrashInjection:
             else:
                 assert isinstance(err, AbortError)
 
-    def test_crashed_rank_stays_crashed(self):
+    def test_crashed_rank_stays_crashed(self, backend):
         """Every MPI call after the crash op also fails (rank is dead)."""
 
         def stubborn(comm):
@@ -66,11 +68,12 @@ class TestCrashInjection:
 
         plan = FaultPlan([CrashRank(0, 2)])
         with pytest.raises(RankFailure):
-            run_spmd(2, stubborn, fault_plan=plan, op_timeout=10.0)
+            run_spmd(2, stubborn, fault_plan=plan, op_timeout=10.0, backend=backend)
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 class TestMessageFaults:
-    def test_dropped_message_times_out_receiver(self):
+    def test_dropped_message_times_out_receiver(self, backend):
         def sender_receiver(comm):
             if comm.rank == 0:
                 comm.send("payload", dest=1)
@@ -79,10 +82,11 @@ class TestMessageFaults:
 
         plan = FaultPlan([DropMessage(rank=0, nth_send=1)])
         with pytest.raises(DeadlockError):
-            run_spmd(2, sender_receiver, fault_plan=plan, op_timeout=0.4)
+            run_spmd(2, sender_receiver, fault_plan=plan, op_timeout=0.4,
+                     backend=backend)
         assert plan.trace() == (("drop", 0, 1),)
 
-    def test_duplicated_message_is_delivered_twice(self):
+    def test_duplicated_message_is_delivered_twice(self, backend):
         def dup_prog(comm):
             if comm.rank == 0:
                 comm.send("hello", dest=1)
@@ -92,10 +96,11 @@ class TestMessageFaults:
             return (first, second)
 
         plan = FaultPlan([DuplicateMessage(rank=0, nth_send=1)])
-        results = run_spmd(2, dup_prog, fault_plan=plan, op_timeout=5.0)
+        results = run_spmd(2, dup_prog, fault_plan=plan, op_timeout=5.0,
+                           backend=backend)
         assert results[1] == ("hello", "hello")
 
-    def test_delayed_message_arrives_late_but_intact(self):
+    def test_delayed_message_arrives_late_but_intact(self, backend):
         def timed(comm):
             if comm.rank == 0:
                 comm.send("slow", dest=1)
@@ -105,15 +110,17 @@ class TestMessageFaults:
             return obj, time.monotonic() - t0
 
         plan = FaultPlan([DelayMessage(rank=0, nth_send=1, seconds=0.25)])
-        results = run_spmd(2, timed, fault_plan=plan, op_timeout=5.0)
+        results = run_spmd(2, timed, fault_plan=plan, op_timeout=5.0,
+                           backend=backend)
         obj, elapsed = results[1]
         assert obj == "slow"
         assert elapsed >= 0.2
 
-    def test_stalled_rank_finishes_anyway(self):
+    def test_stalled_rank_finishes_anyway(self, backend):
         plan = FaultPlan([StallRank(rank=1, at_op=4, seconds=0.15)])
         t0 = time.monotonic()
-        results = run_spmd(2, chatty, fault_plan=plan, op_timeout=10.0)
+        results = run_spmd(2, chatty, fault_plan=plan, op_timeout=10.0,
+                           backend=backend)
         assert results == [1, 1]
         assert time.monotonic() - t0 >= 0.1
         assert plan.trace() == (("stall", 1, 4),)
@@ -162,7 +169,8 @@ class TestSupervision:
         assert classify_failure(AbortError("x")) == "abort"
         assert classify_failure(ValueError("x")) == "error"
 
-    def test_transient_crash_is_retried_to_success(self):
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_transient_crash_is_retried_to_success(self, backend):
         plan = FaultPlan([CrashRank(1, 3)])
         naps = []
         outcome = run_supervised(
@@ -172,6 +180,7 @@ class TestSupervision:
             op_timeout=10.0,
             retry=RetryPolicy(max_attempts=3, backoff_base=0.01),
             sleep=naps.append,
+            backend=backend,
         )
         assert outcome.succeeded
         assert outcome.results == [3, 3, 3]
@@ -232,3 +241,19 @@ class TestSupervision:
             traces.append(plan.trace())
         assert traces[0] == traces[1]
         assert traces[0]  # something actually fired
+
+    def test_seeded_trace_identical_across_backends(self):
+        """A fault seed addresses ops by per-rank op index, which both
+        transports count identically — so one seed fires the very same
+        event sequence whether the ranks are threads or processes."""
+        traces = {}
+        for backend in BACKENDS:
+            plan = FaultPlan.from_seed(11, 3, crashes=1, stalls=1, op_window=(3, 8))
+            try:
+                run_spmd(3, chatty, fault_plan=plan, op_timeout=10.0,
+                         backend=backend)
+            except RankFailure:
+                pass
+            traces[backend] = plan.trace()
+        assert traces["thread"] == traces["process"]
+        assert traces["thread"]  # something actually fired

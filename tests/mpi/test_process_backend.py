@@ -1,0 +1,203 @@
+"""Process-transport specifics: shared memory, pickling edges, telemetry.
+
+The generic MPI semantics (matching, collectives, aborts, faults) are
+covered by the backend-parametrized suites; this file pins down what is
+unique to ranks-as-processes — the shared-memory payload codec, pipe
+pickling of results and exceptions, per-process trace merging, and the
+shared heartbeat/op-count surfaces the supervisor reads.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.mpi import AbortError, MPIError, run_spmd
+from repro.mpi.runtime import BACKENDS, SpmdJob, resolve_backend
+from repro.mpi.shm import (
+    SHM_MIN_BYTES,
+    ShmHandle,
+    decode_payload,
+    encode_payload,
+    sweep_job_blocks,
+)
+from repro.obs.trace import TraceSession
+
+
+def _shm_blocks(prefix="reprompi"):
+    try:
+        return {n for n in os.listdir("/dev/shm") if n.startswith(prefix)}
+    except OSError:  # pragma: no cover - non-Linux shm layout
+        return set()
+
+
+class TestCollectivesSanity:
+    def test_mixed_collectives(self):
+        def prog(comm):
+            total = comm.allreduce(comm.rank)
+            ranks = comm.allgather(comm.rank)
+            comm.barrier()
+            inbox = comm.alltoall([comm.rank * 10 + d for d in range(comm.size)])
+            part = comm.scan(comm.rank)
+            return total, ranks, inbox, part
+
+        results = run_spmd(4, prog, backend="process", op_timeout=30.0)
+        for rank, (total, ranks, inbox, part) in enumerate(results):
+            assert total == 6
+            assert ranks == [0, 1, 2, 3]
+            assert inbox == [s * 10 + rank for s in range(4)]
+            assert part == sum(range(rank + 1))
+
+    def test_numpy_allreduce_and_bcast(self):
+        def prog(comm):
+            acc = np.full(8, float(comm.rank))
+            out = np.empty_like(acc)
+            comm.Allreduce(acc, out)
+            cb = np.arange(6.0) if comm.rank == 0 else np.zeros(6)
+            comm.Bcast(cb, root=0)
+            return out.tolist(), cb.tolist()
+
+        results = run_spmd(3, prog, backend="process", op_timeout=30.0)
+        for out, cb in results:
+            assert out == [3.0] * 8
+            assert cb == list(range(6))
+
+    def test_split_contexts_are_isolated(self):
+        def prog(comm):
+            sub = comm.split(color=comm.rank % 2, key=comm.rank)
+            total = sub.allreduce(comm.rank)
+            return total, sub.size
+
+        results = run_spmd(4, prog, backend="process", op_timeout=30.0)
+        assert results == [(2, 2), (4, 2), (2, 2), (4, 2)]
+
+
+class TestSharedMemoryPath:
+    def test_large_array_round_trips_through_shm(self):
+        n = SHM_MIN_BYTES  # float64 -> 8x the threshold, firmly on the shm path
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(np.arange(n, dtype=np.float64), dest=1)
+                return None
+            got = comm.recv(source=0)
+            return float(got.sum()), got.dtype.str, not got.flags.writeable
+
+        results = run_spmd(2, prog, backend="process", op_timeout=30.0)
+        assert results[1] == (float(n * (n - 1) / 2), "<f8", True)
+
+    def test_tuple_of_arrays_round_trips(self):
+        def prog(comm):
+            if comm.rank == 0:
+                page = (np.arange(10_000, dtype=np.int64),
+                        np.linspace(0.0, 1.0, 10_000))
+                comm.send(page, dest=1)
+                return None
+            keys, vals = comm.recv(source=0)
+            return int(keys[-1]), float(vals[-1])
+
+        results = run_spmd(2, prog, backend="process", op_timeout=30.0)
+        assert results[1] == (9999, 1.0)
+
+    def test_small_and_object_payloads_take_the_pipe(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(np.arange(4), dest=1)          # tiny: pickled
+                comm.send({"k": [1, 2, 3]}, dest=1)      # object path
+                return None
+            a = comm.recv(source=0)
+            d = comm.recv(source=0)
+            return a.tolist(), d
+
+        results = run_spmd(2, prog, backend="process", op_timeout=30.0)
+        assert results[1] == ([0, 1, 2, 3], {"k": [1, 2, 3]})
+
+    def test_no_blocks_leak_after_a_run(self):
+        before = _shm_blocks()
+
+        def prog(comm):
+            big = np.full(SHM_MIN_BYTES, comm.rank, dtype=np.float64)
+            gathered = comm.gather(big, root=0)
+            if comm.rank == 0:
+                return float(gathered[comm.size - 1][0])
+            return None
+
+        results = run_spmd(3, prog, backend="process", op_timeout=30.0)
+        assert results[0] == 2.0
+        assert _shm_blocks() == before
+
+    def test_codec_round_trip_in_process(self):
+        arr = np.arange(SHM_MIN_BYTES, dtype=np.float64)
+        wire = encode_payload(arr, "reprompi_test_", 1)
+        assert isinstance(wire, ShmHandle)
+        back = decode_payload(wire)
+        np.testing.assert_array_equal(back, arr)
+        assert not back.flags.writeable
+        assert "reprompi_test_1" not in _shm_blocks("reprompi_test_")
+        # Ineligible payloads pass through untouched.
+        assert encode_payload([1, 2], "reprompi_test_", 2) == [1, 2]
+        assert sweep_job_blocks("reprompi_test_") == 0
+
+
+class TestErrorPropagation:
+    def test_unpicklable_exception_is_sanitized(self):
+        class Local(RuntimeError):
+            """Defined in a function scope: unpicklable by construction."""
+
+        def prog(comm):
+            if comm.rank == 1:
+                raise Local("cannot cross the pipe as-is")
+            return comm.allreduce(comm.rank)
+
+        job = SpmdJob(2, prog, op_timeout=30.0, backend="process")
+        with pytest.raises(MPIError, match="Local: cannot cross the pipe"):
+            job.run(join_timeout=15.0)
+        assert isinstance(job.errors[0], (AbortError, type(None)))
+
+    def test_results_must_be_picklable(self):
+        def prog(comm):
+            return lambda: comm.rank  # closures cannot cross the pipe
+
+        with pytest.raises(MPIError):
+            run_spmd(2, prog, backend="process", op_timeout=30.0)
+
+
+class TestTelemetry:
+    def test_per_rank_traces_merge_into_session(self):
+        trace = TraceSession(3)
+
+        def prog(comm):
+            comm.allreduce(comm.rank)
+            comm.barrier()
+            return comm.rank
+
+        run_spmd(3, prog, backend="process", op_timeout=30.0, trace=trace)
+        for rank in range(3):
+            events = trace.tracers[rank].events
+            assert events, f"rank {rank} shipped no events"
+            names = [e[3] for e in events]
+            assert "rank" in names  # lifecycle span
+            begins = sum(1 for e in events if e[0] == "B")
+            ends = sum(1 for e in events if e[0] == "E")
+            assert begins == ends, f"rank {rank} trace unbalanced"
+
+    def test_op_counts_visible_to_parent(self):
+        job = SpmdJob(2, lambda comm: comm.allreduce(1), op_timeout=30.0,
+                      backend="process")
+        job.run(join_timeout=15.0)
+        assert all(job.network.op_count(r) > 0 for r in range(2))
+
+
+class TestBackendSelection:
+    def test_resolve_backend_env_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_MPI_BACKEND", raising=False)
+        assert resolve_backend(None) == "thread"
+        monkeypatch.setenv("REPRO_MPI_BACKEND", "process")
+        assert resolve_backend(None) == "process"
+        assert resolve_backend("thread") == "thread"  # explicit wins
+
+    def test_resolve_backend_rejects_unknown(self):
+        with pytest.raises(MPIError):
+            resolve_backend("smoke-signals")
+
+    def test_backends_constant(self):
+        assert BACKENDS == ("thread", "process")
