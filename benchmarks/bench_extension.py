@@ -19,6 +19,7 @@ Results land in ``BENCH_extension.json`` at the repo root, following the
 
 import json
 import time
+from dataclasses import replace
 from pathlib import Path
 
 import numpy as np
@@ -27,6 +28,8 @@ import pytest
 from repro.bio import SeqRecord, random_protein
 from repro.bio.alphabet import PROTEIN
 from repro.blast import BlastOptions, format_database
+from repro.blast.dbreader import DatabaseAlias
+from repro.blast.engine import make_engine
 from repro.blast.extend import batch_ungapped_extend, ungapped_extend
 from repro.blast.gapped import (
     extend_gapped,
@@ -230,6 +233,53 @@ def test_extension_stage_speedup(fig5_hits, print_table):
     assert combined >= 3.0
 
 
+def test_fused_engine_speedup(tmp_path, print_table):
+    """Fused streaming scheduler vs the staged per-subject oracle, end to
+    end through ``search_block`` on the Fig. 5 workload.
+
+    The fused pass issues one span-batched ungapped call and one gapped
+    batch per round across *all* open subjects and contexts, where the
+    staged oracle issues one ungapped call per (subject, context) and one
+    gapped batch per (subject, round) — same kernels, same admissions, so
+    the delta is pure scheduling/batching overhead.  Output must stay
+    bit-identical, and the scaling assertion pins fused throughput at
+    least at parity with staged.
+    """
+    db, queries = _fig5_records()
+    alias_path = format_database(db, tmp_path / "db", "db", kind="protein",
+                                 max_volume_bytes=1 << 20)
+    partition = DatabaseAlias.load(str(alias_path)).open_partition(0)
+
+    eng_staged = make_engine(replace(OPTS, fused=False))
+    eng_fused = make_engine(OPTS)  # fused=True is the default
+
+    t_staged, hits_staged = _best_of(lambda: eng_staged.search_block(queries, partition))
+    t_fused, hits_fused = _best_of(lambda: eng_fused.search_block(queries, partition))
+    assert hits_fused == hits_staged, "fused scheduler must be bit-identical"
+
+    fstats = eng_fused.last_stats
+    speedup = t_staged / t_fused
+    print_table(
+        "Engine end to end: staged oracle vs fused streaming pass",
+        ["metric", "staged", "fused"],
+        [["search_block best-of-3 (ms)", f"{t_staged * 1e3:.1f}", f"{t_fused * 1e3:.1f}"],
+         ["scheduler rounds", "-", str(fstats.fused_rounds)],
+         ["peak round slab (KiB)", "-", f"{fstats.peak_slab_bytes / 1024:.0f}"],
+         ["speedup", "1.0x", f"{speedup:.2f}x"]],
+    )
+    _record("fused_engine", {
+        "staged_s": t_staged,
+        "fused_s": t_fused,
+        "end_to_end_speedup": speedup,
+        "hsps": len(hits_fused),
+        "fused_rounds": fstats.fused_rounds,
+        "peak_slab_bytes_per_round": fstats.peak_slab_bytes,
+    })
+    # Scaling assertion: the fused pass may never be slower than the
+    # staged oracle it replaces as the mrblast default.
+    assert speedup >= 1.0, f"fused scheduler slower than staged ({speedup:.2f}x)"
+
+
 def test_end_to_end_wall_clock(tmp_path, print_table):
     """Production ``mrblast_spmd`` on the Fig. 5 workload: wall clock and
     the per-stage seconds the batch-level timers now report."""
@@ -270,4 +320,6 @@ def test_end_to_end_wall_clock(tmp_path, print_table):
         "gapped_stage_s": gapped,
         "hits_written": hits,
         "nprocs": 3,
+        "fused_rounds": sum(r.fused_rounds for r in results),
+        "peak_slab_bytes_per_round": max(r.peak_slab_bytes for r in results),
     })

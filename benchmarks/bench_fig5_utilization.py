@@ -122,6 +122,10 @@ def test_stage_breakdown_measured(tmp_path, print_table, backend):
         # for other ranks during the aggregate exchange.
         "shuffle_pairs_moved": sum(r.shuffle_pairs_moved for r in results),
         "shuffle_bytes_moved": sum(r.shuffle_bytes_moved for r in results),
+        # Fused-scheduler telemetry: rounds across all ranks and the largest
+        # per-round intermediate slab any work unit held.
+        "fused_rounds": sum(r.fused_rounds for r in results),
+        "peak_slab_bytes_per_round": max(r.peak_slab_bytes for r in results),
     })
 
 

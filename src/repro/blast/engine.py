@@ -13,28 +13,53 @@ only for extension *triggers* and two-hit anchors — not for every raw word
 hit.  An optional :class:`~repro.blast.lookup.LookupCache` lets the same
 query block reuse its built lookup table across DB partitions.
 
-Stage 2 is batched: every hit that could trigger an extension gets its
-X-drop extent precomputed by one
-:func:`~repro.blast.extend.batch_ungapped_extend` call per context —
-windows escalate geometrically inside the kernel until every extension
-terminates in-batch — and the admission state machine consumes the
-precomputed extents; the scalar
-:func:`~repro.blast.extend.ungapped_extend` fallback remains for any row
-the kernel reports incomplete (bit-identical either way).  Stage timing is
-accumulated per batch/per admitted gapped trigger, never per word hit.
+Two schedulers share that admission machinery:
+
+- The **fused** scheduler (``options.fused``, the default) runs the whole
+  work unit as one round-based pass.  Subjects are streamed from the
+  partition into a pool of *open* subjects bounded by
+  ``options.fused_slab_rows`` word-hit rows; each round advances every live
+  (context, diagonal) run of every open subject to its pending trigger,
+  extends all of them with **one**
+  :func:`~repro.blast.extend.batch_ungapped_extend_spans` call over the
+  concatenated query block and a concatenated subject arena, and feeds the
+  seeds admitted in that round straight into that round's single
+  :func:`~repro.blast.gapped.extend_gapped_batch` call.  No stage ever
+  materialises a whole-partition intermediate: scan hits, triggers and
+  admitted seeds live only as bounded per-round slabs
+  (``SearchStats.peak_slab_bytes`` reports the high-water mark), and a
+  subject's HSPs are finalised the moment its last run exhausts.
+
+- The **staged** scheduler (``options.fused=False``) is the original
+  per-subject pipeline, retained verbatim as the bit-identical parity
+  oracle: the per-run admission state machines depend only on their own
+  word-hit coordinates and extension extents, both extension kernels are
+  batch-composition independent, and per-subject culling sees the same
+  rank-ordered HSP sequence either way, so the two schedulers produce
+  identical output (pinned by the property suite).
+
+Stage timing is accumulated per kernel call, never per word hit: lookup
+build/fetch and subject scanning count as ``seed``, the span/batch kernels
+and any scalar fallback as ``ungapped``, and the gapped batch as
+``gapped`` — in both schedulers the three timers cover disjoint code
+regions, so per-stage seconds never double-count.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
 
 from repro.bio.seq import SeqRecord
 from repro.blast.dbreader import DbPartition
-from repro.blast.extend import batch_ungapped_extend, ungapped_extend
+from repro.blast.extend import (
+    batch_ungapped_extend,
+    batch_ungapped_extend_spans,
+    ungapped_extend,
+)
 from repro.blast.gapped import extend_gapped_batch
 from repro.blast.hsp import HSP, cull_overlapping, top_hits
 from repro.blast.karlin import gapped_params, karlin_params
@@ -47,7 +72,8 @@ from repro.blast.lookup import (
 )
 from repro.blast.matrices import BLOSUM62, nucleotide_matrix
 from repro.blast.options import BlastOptions
-from repro.blast.statistics import bit_score, evalue
+from repro.blast.statistics import SearchSpace, bit_score
+from repro.obs.trace import current_tracer
 
 __all__ = ["BlastnEngine", "BlastpEngine", "make_engine", "SearchStats"]
 
@@ -62,6 +88,12 @@ class SearchStats:
     then the two extension stages) makes stage-1 cost observable rather
     than inferred; ``lookup_cache_hits`` counts block lookups served from a
     :class:`~repro.blast.lookup.LookupCache` instead of rebuilt.
+
+    ``fused_rounds`` counts scheduler rounds of the fused pipeline (0 under
+    the staged oracle) and ``peak_slab_bytes`` its intermediate high-water
+    mark: the largest per-round footprint of the subject arena, open
+    subjects' run arrays, the round's trigger rows and both extension
+    kernels' scratch slabs.
     """
 
     n_subjects: int = 0
@@ -74,6 +106,8 @@ class SearchStats:
     ungapped_seconds: float = 0.0
     gapped_seconds: float = 0.0
     lookup_cache_hits: int = 0
+    fused_rounds: int = 0
+    peak_slab_bytes: int = 0
 
     def merge(self, other: "SearchStats") -> None:
         self.n_subjects += other.n_subjects
@@ -86,6 +120,45 @@ class SearchStats:
         self.ungapped_seconds += other.ungapped_seconds
         self.gapped_seconds += other.gapped_seconds
         self.lookup_cache_hits += other.lookup_cache_hits
+        self.fused_rounds += other.fused_rounds
+        self.peak_slab_bytes = max(self.peak_slab_bytes, other.peak_slab_bytes)
+
+
+@dataclass
+class _SubjectRuns:
+    """One subject's word hits grouped into per-(context, diagonal) runs.
+
+    Arrays are in run order (one ``lexsort`` by context, diagonal, subject
+    position); ``rank_r`` maps each row back to the (context, query pos,
+    subject pos) admission order of the original per-hit loop so downstream
+    culling sees an identical HSP sequence under any scheduler.
+    """
+
+    n: int
+    ctx_r: np.ndarray  # context index per row
+    q_r: np.ndarray  # context-local query word start
+    qg_r: np.ndarray  # block-concatenated query word start
+    s_r: np.ndarray  # subject word start
+    rank_r: np.ndarray  # emission rank (admission order)
+    run_starts: np.ndarray
+    run_ends: np.ndarray
+
+
+@dataclass
+class _OpenSubject:
+    """A subject streamed into the fused scheduler's open pool."""
+
+    ordinal: int  # position in partition order (result slot)
+    subject_id: str
+    s_index: np.ndarray  # subject codes as intp (gapped jobs + fallback)
+    runs: _SubjectRuns
+    states: list  # live run states [a, i, b, covered, last_end]
+    found: list = field(default_factory=list)  # (rank, HSP) accumulator
+    arena_lo: int = 0  # subject's offset inside the pool arena
+
+    @property
+    def slab_rows(self) -> int:
+        return self.runs.n
 
 
 class _EngineBase:
@@ -108,6 +181,10 @@ class _EngineBase:
             gap_open=options.gap_open,
             gap_extend=options.gap_extend,
         )
+        # One statistics context for the engine's lifetime: λ/K/H fixed at
+        # construction, length adjustments cached per search-space triple.
+        self.search_space = SearchSpace(self.gapped_stats_params)
+        self._two_hit = self.program == "blastp" and options.two_hit_window > 0
         self.last_stats = SearchStats()
         self.lookup_cache: LookupCache | None = None
 
@@ -170,12 +247,15 @@ class _EngineBase:
         db_len = opts.db_length_override or partition.total_length
         db_seqs = opts.db_num_seqs_override or partition.num_seqs
 
-        all_hits: list[HSP] = []
-        for sid, s_codes in partition:
-            stats.n_subjects += 1
-            all_hits.extend(
-                self._search_subject(block, lookup, sid, s_codes, db_len, db_seqs, stats)
-            )
+        if opts.fused:
+            all_hits = self._search_fused(block, lookup, partition, db_len, db_seqs, stats)
+        else:
+            all_hits = []
+            for sid, s_codes in partition:
+                stats.n_subjects += 1
+                all_hits.extend(
+                    self._search_subject(block, lookup, sid, s_codes, db_len, db_seqs, stats)
+                )
 
         # Per-query E-value filter + top-K (the per-partition hit list).
         by_query: dict[str, list[HSP]] = {}
@@ -191,10 +271,351 @@ class _EngineBase:
         self.last_stats = stats
         return out
 
-    # ---- pipeline ------------------------------------------------------------
+    # ---- shared admission machinery ------------------------------------------
 
     def _masking_enabled(self) -> bool:
         return self.options.dust if self.program == "blastn" else self.options.seg
+
+    def _prepare_runs(
+        self, block: QueryBlock, qpos_concat: np.ndarray, spos_arr: np.ndarray
+    ) -> _SubjectRuns:
+        """Group one subject's word hits into per-(context, diagonal) runs.
+
+        Admission works on runs left to right along the subject; emitted
+        HSPs are re-ordered afterwards via ``rank_r`` to the (context,
+        query pos, subject pos) admission order of the original per-hit
+        loop, so downstream culling sees an identical sequence — the
+        per-diagonal state machines are independent, which makes every
+        traversal order produce the same extensions.
+        """
+        opts = self.options
+        ctx_indices, q_local = block.localize(qpos_concat)
+        diags = spos_arr - q_local
+        n = qpos_concat.size
+
+        run_order = np.lexsort((spos_arr, diags, ctx_indices))
+        emit_rank = np.empty(n, dtype=np.int64)
+        emit_rank[np.lexsort((spos_arr, qpos_concat, ctx_indices))] = np.arange(n)
+
+        ctx_r = ctx_indices[run_order]
+        q_r = q_local[run_order]
+        qg_r = qpos_concat[run_order]
+        s_r = spos_arr[run_order]
+        diag_r = diags[run_order]
+        rank_r = emit_rank[run_order]
+
+        breaks = 1 + np.flatnonzero((ctx_r[1:] != ctx_r[:-1]) | (diag_r[1:] != diag_r[:-1]))
+        run_starts = np.concatenate(([0], breaks))
+        run_ends = np.concatenate((breaks, [n]))
+
+        if self._two_hit:
+            # A run can trigger an extension only if some adjacent pair sits
+            # within window + word of each other on the subject: a trigger's
+            # anchor ends at s_k + word, every hit between anchor and trigger
+            # overlaps the anchor, so the trigger's immediate predecessor is
+            # at most window + word behind it.  Runs without such a pair are
+            # pure no-ops (coverage only changes after an extension), so the
+            # admission loops visit extension-capable runs only.
+            word = opts.word_size
+            window = opts.two_hit_window
+            pair_ok = np.zeros(max(n - 1, 0), dtype=bool)
+            if n > 1:
+                same_run = (ctx_r[1:] == ctx_r[:-1]) & (diag_r[1:] == diag_r[:-1])
+                pair_ok = same_run & (s_r[1:] - s_r[:-1] <= window + word)
+            csum = np.concatenate(([0], np.cumsum(pair_ok.astype(np.int64))))
+            live = csum[run_ends - 1] - csum[run_starts] > 0
+            run_starts = run_starts[live]
+            run_ends = run_ends[live]
+
+        return _SubjectRuns(n, ctx_r, q_r, qg_r, s_r, rank_r, run_starts, run_ends)
+
+    def _advance_run(self, st: list, s_r: np.ndarray) -> int:
+        """Walk a run to its next extension trigger; -1 when exhausted.
+
+        Run state is ``[a, i, b, covered, last_end]``: ``covered`` is the
+        subject end of the last extension on the diagonal, ``last_end`` the
+        two-hit anchor (end of the last admitted word hit).
+        """
+        two_hit = self._two_hit
+        word = self.options.word_size
+        window = self.options.two_hit_window
+        a, i, b, covered, last_end = st
+        while i < b:
+            s_pos = int(s_r[i])
+            if s_pos < covered:
+                # Jump over every hit inside the already-extended region.
+                i = a + int(np.searchsorted(s_r[a:b], covered, side="left"))
+                continue
+            if two_hit:
+                # NCBI's two-hit rule: remember the *end* of the last word
+                # hit on this diagonal; hits overlapping it are ignored
+                # outright (the anchor survives), a non-overlapping hit
+                # within the window triggers extension, and a hit beyond
+                # the window becomes the new anchor.
+                if last_end < 0:
+                    last_end = s_pos + word
+                    i += 1
+                    continue
+                if s_pos < last_end:
+                    # Jump over the whole overlapping stretch at once.
+                    i = a + int(np.searchsorted(s_r[a:b], last_end, side="left"))
+                    continue
+                if s_pos - last_end > window:
+                    last_end = s_pos + word
+                    i += 1
+                    continue
+                last_end = s_pos + word
+            st[1], st[4] = i, last_end
+            return i
+        st[1], st[4] = i, last_end
+        return -1
+
+    def _make_states(self, runs: _SubjectRuns) -> list:
+        """Fresh run states advanced to their first trigger (dead runs dropped)."""
+        states = [
+            [int(a), int(a), int(b), 0, -1]
+            for a, b in zip(runs.run_starts, runs.run_ends)
+        ]
+        return [st for st in states if self._advance_run(st, runs.s_r) >= 0]
+
+    def _emit_hsp(self, block: QueryBlock, ctx, subject_id: str, g, db_len: int, db_seqs: int):
+        """HSP for a gapped alignment, or None below the E-value cutoff."""
+        rec = block.records[ctx.query_index]
+        e = self.search_space.evalue(g.score, len(rec.seq), db_len, db_seqs)
+        if e > self.options.evalue:
+            return None
+        if ctx.strand == 1:
+            q_start, q_end = g.q_start, g.q_end
+        else:
+            q_start, q_end = ctx.length - g.q_end, ctx.length - g.q_start
+        return HSP(
+            query_id=rec.id,
+            subject_id=subject_id,
+            score=g.score,
+            bit_score=self.search_space.bit_score(g.score),
+            evalue=e,
+            q_start=q_start,
+            q_end=q_end,
+            s_start=g.s_start,
+            s_end=g.s_end,
+            identities=g.identities,
+            align_len=g.align_len,
+            gaps=g.gaps,
+            strand=ctx.strand,
+        )
+
+    # ---- fused scheduler -----------------------------------------------------
+
+    def _search_fused(
+        self,
+        block: QueryBlock,
+        lookup,
+        partition,
+        db_len: int,
+        db_seqs: int,
+        stats: SearchStats,
+    ) -> list[HSP]:
+        """One streaming seed→ungapped→gapped pass over the whole work unit.
+
+        Subjects stream into a pool of open subjects bounded by
+        ``fused_slab_rows`` word-hit rows; every round extends the pending
+        triggers of *all* open runs with one span-batched kernel call over
+        (query block concat × subject arena), feeds the admitted seeds into
+        one gapped batch, advances the state machines, and finalises any
+        subject whose runs all exhausted.  Output order and content are
+        bit-identical to the staged oracle (see module docstring).
+        """
+        opts = self.options
+        word = opts.word_size
+        q_arena = block.concat_index
+        ctx_starts = block._starts
+        ctx_ends = ctx_starts + np.array([c.length for c in block.contexts], dtype=np.int64)
+
+        results: list[list[HSP] | None] = []
+        pool: list[_OpenSubject] = []
+        arena = np.empty(0, dtype=np.intp)
+        pool_rows = 0
+        kernel_peaks: dict = {}
+        subject_iter = iter(partition)
+        exhausted = False
+        trc = current_tracer()
+
+        def finalize(subj: _OpenSubject) -> None:
+            subj.found.sort(key=lambda rh: rh[0])
+            results[subj.ordinal] = cull_overlapping([h for _, h in subj.found])
+
+        while True:
+            # Refill: stream subjects in until the slab bound (always at
+            # least one so an oversized subject still makes progress).
+            added = False
+            while not exhausted and (not pool or pool_rows < opts.fused_slab_rows):
+                try:
+                    subject_id, s_codes = next(subject_iter)
+                except StopIteration:
+                    exhausted = True
+                    break
+                stats.n_subjects += 1
+                t_seed = time.perf_counter()
+                qpos_concat, spos_arr = lookup.scan(s_codes)
+                stats.seed_seconds += time.perf_counter() - t_seed
+                stats.n_word_hits += int(qpos_concat.size)
+                if qpos_concat.size == 0:
+                    results.append([])
+                    continue
+                runs = self._prepare_runs(block, qpos_concat, spos_arr)
+                states = self._make_states(runs)
+                if not states:
+                    results.append([])
+                    continue
+                s_index = s_codes if s_codes.dtype == np.intp else s_codes.astype(np.intp)
+                subj = _OpenSubject(len(results), subject_id, s_index, runs, states)
+                results.append(None)
+                pool.append(subj)
+                pool_rows += runs.n
+                added = True
+            if added:
+                # Rebuild the subject arena (compacting finished subjects
+                # out): one copy per subject per refill it survives.
+                arena = np.concatenate([s.s_index for s in pool])
+                lo = 0
+                for s in pool:
+                    s.arena_lo = lo
+                    lo += s.s_index.size
+            if not pool:
+                break
+
+            # Gather this round's pending triggers across the whole pool.
+            refs: list[tuple[_OpenSubject, list]] = [
+                (subj, st) for subj in pool for st in subj.states
+            ]
+            m = len(refs)
+            qg = np.empty(m, dtype=np.int64)
+            sg = np.empty(m, dtype=np.int64)
+            q_lo = np.empty(m, dtype=np.int64)
+            q_hi = np.empty(m, dtype=np.int64)
+            s_lo = np.empty(m, dtype=np.int64)
+            s_hi = np.empty(m, dtype=np.int64)
+            for j, (subj, st) in enumerate(refs):
+                i = st[1]
+                c = int(subj.runs.ctx_r[i])
+                qg[j] = subj.runs.qg_r[i]
+                sg[j] = subj.runs.s_r[i] + subj.arena_lo
+                q_lo[j] = ctx_starts[c]
+                q_hi[j] = ctx_ends[c]
+                s_lo[j] = subj.arena_lo
+                s_hi[j] = subj.arena_lo + subj.s_index.size
+
+            t_ext = time.perf_counter()
+            ext = batch_ungapped_extend_spans(
+                q_arena, arena, qg, sg, q_lo, q_hi, s_lo, s_hi,
+                word, self.matrix, opts.xdrop_ungapped,
+                window=opts.extension_window, stats=kernel_peaks,
+            )
+            stats.ungapped_seconds += time.perf_counter() - t_ext
+
+            # Consume extents run by run; admitted triggers only queue their
+            # gapped job here — a run's gapped result can only influence its
+            # own later triggers (coverage on its diagonal), so every job
+            # queued in a round is independent of the others.
+            gapped_jobs: list[tuple] = []
+            for j, (subj, st) in enumerate(refs):
+                i = st[1]
+                ctx = block.contexts[int(subj.runs.ctx_r[i])]
+                if ext.complete[j]:
+                    u_score = int(ext.score[j])
+                    u_q_start = int(ext.q_start[j]) - ctx.offset
+                    u_q_end = int(ext.q_end[j]) - ctx.offset
+                    u_s_start = int(ext.s_start[j]) - subj.arena_lo
+                    u_s_end = int(ext.s_end[j]) - subj.arena_lo
+                else:
+                    # Kernel escalation was capped: exact scalar path.
+                    t_u = time.perf_counter()
+                    u = ungapped_extend(
+                        ctx.codes_index, subj.s_index,
+                        int(subj.runs.q_r[i]), int(subj.runs.s_r[i]),
+                        word, self.matrix, opts.xdrop_ungapped,
+                    )
+                    stats.ungapped_seconds += time.perf_counter() - t_u
+                    u_score = u.score
+                    u_q_start, u_q_end = u.q_start, u.q_end
+                    u_s_start, u_s_end = u.s_start, u.s_end
+                stats.n_ungapped += 1
+                st[3] = u_s_end  # covered
+                if bit_score(u_score, self.ungapped_params) >= opts.ungapped_cutoff_bits:
+                    # Mid-point of the ungapped segment — the gapped anchor
+                    # (same arithmetic as UngappedHSP.seed_point).
+                    mid = (u_q_end - u_q_start) // 2
+                    gapped_jobs.append((subj, st, i, ctx, u_q_start + mid, u_s_start + mid))
+
+            if gapped_jobs:
+                t_g = time.perf_counter()
+                aligns = extend_gapped_batch(
+                    [
+                        (ctx.codes_index, subj.s_index, q_seed, s_seed)
+                        for subj, _, _, ctx, q_seed, s_seed in gapped_jobs
+                    ],
+                    self.matrix,
+                    opts.gap_open,
+                    opts.gap_extend,
+                    opts.xdrop_gapped,
+                    opts.band_width,
+                    stats=kernel_peaks,
+                )
+                stats.n_gapped += len(gapped_jobs)
+                stats.gapped_seconds += time.perf_counter() - t_g
+                for (subj, st, i, ctx, _, _), g in zip(gapped_jobs, aligns):
+                    if g is None:
+                        continue
+                    st[3] = max(st[3], g.s_end)
+                    hsp = self._emit_hsp(block, ctx, subj.subject_id, g, db_len, db_seqs)
+                    if hsp is not None:
+                        subj.found.append((int(subj.runs.rank_r[i]), hsp))
+
+            # Per-round slab high-water mark: subject arena + open subjects'
+            # run arrays + this round's trigger rows + kernel scratch peaks.
+            run_bytes = sum(
+                s.runs.ctx_r.nbytes + s.runs.q_r.nbytes + s.runs.qg_r.nbytes
+                + s.runs.s_r.nbytes + s.runs.rank_r.nbytes
+                for s in pool
+            )
+            slab_bytes = (
+                arena.nbytes + run_bytes + 6 * 8 * m
+                + kernel_peaks.get("peak_window_bytes", 0)
+                + kernel_peaks.get("peak_grid_bytes", 0)
+            )
+            stats.peak_slab_bytes = max(stats.peak_slab_bytes, slab_bytes)
+            if trc.enabled:
+                trc.instant(
+                    "blast.fused_round", cat="blast",
+                    round=stats.fused_rounds, rows=m, gapped=len(gapped_jobs),
+                    open_subjects=len(pool), slab_bytes=slab_bytes,
+                )
+            stats.fused_rounds += 1
+
+            # Advance every run past its consumed trigger; finalise subjects
+            # whose runs all exhausted so their slab rows free up.
+            done: list[_OpenSubject] = []
+            for subj in pool:
+                nxt = []
+                for st in subj.states:
+                    st[1] += 1
+                    if self._advance_run(st, subj.runs.s_r) >= 0:
+                        nxt.append(st)
+                subj.states = nxt
+                if not nxt:
+                    done.append(subj)
+            if done:
+                for subj in done:
+                    finalize(subj)
+                    pool_rows -= subj.runs.n
+                pool = [s for s in pool if s.states]
+
+        all_hits: list[HSP] = []
+        for hits in results:
+            all_hits.extend(hits or [])
+        return all_hits
+
+    # ---- staged scheduler (parity oracle) -------------------------------------
 
     def _search_subject(
         self,
@@ -213,51 +634,10 @@ class _EngineBase:
         stats.n_word_hits += int(qpos_concat.size)
         if qpos_concat.size == 0:
             return []
-        ctx_indices, q_local = block.localize(qpos_concat)
-        diags = spos_arr - q_local
-        n = qpos_concat.size
-
-        # Admission works on per-(context, diagonal) runs, left to right
-        # along the subject.  The emitted HSPs are re-ordered afterwards to
-        # the (context, query pos, subject pos) admission order of the
-        # original per-hit loop, so downstream culling sees an identical
-        # sequence — the per-diagonal state machines are independent, which
-        # makes the two traversals produce the same extensions.
-        run_order = np.lexsort((spos_arr, diags, ctx_indices))
-        emit_rank = np.empty(n, dtype=np.int64)
-        emit_rank[np.lexsort((spos_arr, qpos_concat, ctx_indices))] = np.arange(n)
-
-        ctx_r = ctx_indices[run_order]
-        q_r = q_local[run_order]
-        s_r = spos_arr[run_order]
-        diag_r = diags[run_order]
-        rank_r = emit_rank[run_order]
-
-        breaks = 1 + np.flatnonzero((ctx_r[1:] != ctx_r[:-1]) | (diag_r[1:] != diag_r[:-1]))
-        run_starts = np.concatenate(([0], breaks))
-        run_ends = np.concatenate((breaks, [n]))
-
-        two_hit = self.program == "blastp" and opts.two_hit_window > 0
+        runs = self._prepare_runs(block, qpos_concat, spos_arr)
+        n = runs.n
         word = opts.word_size
-        window = opts.two_hit_window
         found: list[tuple[int, HSP]] = []
-
-        if two_hit:
-            # A run can trigger an extension only if some adjacent pair sits
-            # within window + word of each other on the subject: a trigger's
-            # anchor ends at s_k + word, every hit between anchor and trigger
-            # overlaps the anchor, so the trigger's immediate predecessor is
-            # at most window + word behind it.  Runs without such a pair are
-            # pure no-ops (coverage only changes after an extension), so the
-            # Python loop below visits extension-capable runs only.
-            pair_ok = np.zeros(max(n - 1, 0), dtype=bool)
-            if n > 1:
-                same_run = (ctx_r[1:] == ctx_r[:-1]) & (diag_r[1:] == diag_r[:-1])
-                pair_ok = same_run & (s_r[1:] - s_r[:-1] <= window + word)
-            csum = np.concatenate(([0], np.cumsum(pair_ok.astype(np.int64))))
-            live = csum[run_ends - 1] - csum[run_starts] > 0
-            run_starts = run_starts[live]
-            run_ends = run_ends[live]
 
         # Stage 2, batched by rounds: every (context, diagonal) run is an
         # independent admission state machine, and walking one to its next
@@ -276,58 +656,19 @@ class _EngineBase:
         ext_se = np.zeros(n, dtype=np.int64)
         ext_complete = np.zeros(n, dtype=bool)
 
-        # Run state: [a, i, b, covered, last_end].  ``covered`` is the
-        # subject end of the last extension on the diagonal; ``last_end``
-        # the two-hit anchor (end of the last admitted word hit).
-        states = [[int(a), int(a), int(b), 0, -1] for a, b in zip(run_starts, run_ends)]
-
-        def _advance(st: list) -> int:
-            """Walk a run to its next extension trigger; -1 when exhausted."""
-            a, i, b, covered, last_end = st
-            while i < b:
-                s_pos = int(s_r[i])
-                if s_pos < covered:
-                    # Jump over every hit inside the already-extended region.
-                    i = a + int(np.searchsorted(s_r[a:b], covered, side="left"))
-                    continue
-                if two_hit:
-                    # NCBI's two-hit rule: remember the *end* of the last
-                    # word hit on this diagonal; hits overlapping it are
-                    # ignored outright (the anchor survives), a
-                    # non-overlapping hit within the window triggers
-                    # extension, and a hit beyond the window becomes the
-                    # new anchor.
-                    if last_end < 0:
-                        last_end = s_pos + word
-                        i += 1
-                        continue
-                    if s_pos < last_end:
-                        # Jump over the whole overlapping stretch at once.
-                        i = a + int(np.searchsorted(s_r[a:b], last_end, side="left"))
-                        continue
-                    if s_pos - last_end > window:
-                        last_end = s_pos + word
-                        i += 1
-                        continue
-                    last_end = s_pos + word
-                st[1], st[4] = i, last_end
-                return i
-            st[1], st[4] = i, last_end
-            return -1
-
-        waiting = [st for st in states if _advance(st) >= 0]
+        waiting = self._make_states(runs)
         while waiting:
             t_ext = time.perf_counter()
             by_ctx: dict[int, list[int]] = {}
             for st in waiting:
-                by_ctx.setdefault(int(ctx_r[st[1]]), []).append(st[1])
+                by_ctx.setdefault(int(runs.ctx_r[st[1]]), []).append(st[1])
             for c, row_list in by_ctx.items():
                 rows = np.asarray(row_list, dtype=np.int64)
                 ext = batch_ungapped_extend(
                     block.contexts[c].codes_index,
                     s_index,
-                    q_r[rows],
-                    s_r[rows],
+                    runs.q_r[rows],
+                    runs.s_r[rows],
                     word,
                     self.matrix,
                     opts.xdrop_ungapped,
@@ -349,7 +690,7 @@ class _EngineBase:
             gapped_jobs: list[tuple] = []
             for st in waiting:
                 i = st[1]
-                ctx = block.contexts[int(ctx_r[i])]
+                ctx = block.contexts[int(runs.ctx_r[i])]
                 if ext_complete[i]:
                     u_score = int(ext_score[i])
                     u_q_start = int(ext_qs[i])
@@ -360,7 +701,7 @@ class _EngineBase:
                     # Kernel escalation was capped: exact scalar path.
                     t_u = time.perf_counter()
                     u = ungapped_extend(
-                        ctx.codes_index, s_index, int(q_r[i]), int(s_r[i]),
+                        ctx.codes_index, s_index, int(runs.q_r[i]), int(runs.s_r[i]),
                         word, self.matrix, opts.xdrop_ungapped,
                     )
                     stats.ungapped_seconds += time.perf_counter() - t_u
@@ -394,40 +735,14 @@ class _EngineBase:
                     if g is None:
                         continue
                     st[3] = max(st[3], g.s_end)
-                    rec = block.records[ctx.query_index]
-                    e = evalue(
-                        g.score, self.gapped_stats_params, len(rec.seq), db_len, db_seqs
-                    )
-                    if e <= opts.evalue:
-                        if ctx.strand == 1:
-                            q_start, q_end = g.q_start, g.q_end
-                        else:
-                            q_start, q_end = ctx.length - g.q_end, ctx.length - g.q_start
-                        found.append(
-                            (
-                                int(rank_r[i]),
-                                HSP(
-                                    query_id=rec.id,
-                                    subject_id=subject_id,
-                                    score=g.score,
-                                    bit_score=bit_score(g.score, self.gapped_stats_params),
-                                    evalue=e,
-                                    q_start=q_start,
-                                    q_end=q_end,
-                                    s_start=g.s_start,
-                                    s_end=g.s_end,
-                                    identities=g.identities,
-                                    align_len=g.align_len,
-                                    gaps=g.gaps,
-                                    strand=ctx.strand,
-                                ),
-                            )
-                        )
+                    hsp = self._emit_hsp(block, ctx, subject_id, g, db_len, db_seqs)
+                    if hsp is not None:
+                        found.append((int(runs.rank_r[i]), hsp))
 
             next_waiting = []
             for st in waiting:
                 st[1] += 1
-                if _advance(st) >= 0:
+                if self._advance_run(st, runs.s_r) >= 0:
                     next_waiting.append(st)
             waiting = next_waiting
         found.sort(key=lambda rh: rh[0])

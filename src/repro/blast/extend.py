@@ -34,6 +34,7 @@ __all__ = [
     "UngappedExtents",
     "ungapped_extend",
     "batch_ungapped_extend",
+    "batch_ungapped_extend_spans",
     "extension_scores",
 ]
 
@@ -203,14 +204,24 @@ def _batch_pass(
     s_idx: np.ndarray,
     qp: np.ndarray,
     sp: np.ndarray,
+    bounds: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
     word_size: int,
     matrix: np.ndarray,
     xdrop: float,
     window: int,
     cell_budget: int,
 ) -> tuple[np.ndarray, ...]:
-    """One fixed-window pass over a set of hits (chunked to the cell budget)."""
+    """One fixed-window pass over a set of hits (chunked to the cell budget).
+
+    ``bounds`` carries per-row ``(q_lo, q_hi, s_lo, s_hi)`` sequence spans
+    inside ``q_idx``/``s_idx``: a row's extension may not read outside its
+    own span, which is what lets one pass serve hits of *many* concatenated
+    sequences.  Cells gathered past a span are clamped into the arrays (the
+    gather must stay in range) and masked below ``-xdrop``, so the X-drop
+    scan stops exactly at each row's own boundary.
+    """
     n = qp.size
+    q_lo_a, q_hi_a, s_lo_a, s_hi_a = bounds
     qlen, slen = q_idx.size, s_idx.size
     pad = np.int32(int(np.floor(xdrop)) + 1)
     steps = np.arange(window, dtype=np.int64)
@@ -228,20 +239,25 @@ def _batch_pass(
         qp_c = qp[lo : lo + chunk, None]
         sp_c = sp[lo : lo + chunk, None]
         nc = qp_c.shape[0]
+        q_hi_c = q_hi_a[lo : lo + chunk]
+        s_hi_c = s_hi_a[lo : lo + chunk]
+        q_lo_c = q_lo_a[lo : lo + chunk]
+        s_lo_c = s_lo_a[lo : lo + chunk]
 
         word_scores = matrix[
             q_idx[qp_c + word_steps], s_idx[sp_c + word_steps]
         ].sum(axis=1, dtype=np.int64)
 
         # Right of the word: step t reads q[qp+word+t], s[sp+word+t].
-        avail_r = np.minimum(qlen - (qp_c[:, 0] + word_size), slen - (sp_c[:, 0] + word_size))
+        avail_r = np.minimum(q_hi_c - (qp_c[:, 0] + word_size),
+                             s_hi_c - (sp_c[:, 0] + word_size))
         q_r = np.minimum(qp_c + word_size + steps, qlen - 1)
         s_r = np.minimum(sp_c + word_size + steps, slen - 1)
         scores_r = matrix[q_idx[q_r], s_idx[s_r]]
         scores_r[steps[None, :] >= avail_r[:, None]] = -pad
 
         # Left of the word: step t reads q[qp-1-t], s[sp-1-t] (outward walk).
-        avail_l = np.minimum(qp_c[:, 0], sp_c[:, 0])
+        avail_l = np.minimum(qp_c[:, 0] - q_lo_c, sp_c[:, 0] - s_lo_c)
         q_l = np.maximum(qp_c - 1 - steps, 0)
         s_l = np.maximum(sp_c - 1 - steps, 0)
         scores_l = matrix[q_idx[q_l], s_idx[s_l]]
@@ -296,19 +312,100 @@ def batch_ungapped_extend(
     qp = np.asarray(q_pos, dtype=np.int64)
     sp = np.asarray(s_pos, dtype=np.int64)
     n = qp.size
+    bounds = (
+        np.zeros(n, dtype=np.int64),
+        np.full(n, q_idx.size, dtype=np.int64),
+        np.zeros(n, dtype=np.int64),
+        np.full(n, s_idx.size, dtype=np.int64),
+    )
+    return _extend_bounded(
+        q_idx, s_idx, qp, sp, bounds, word_size, matrix, xdrop,
+        window, chunk, max_window,
+    )
+
+
+def batch_ungapped_extend_spans(
+    q_codes: np.ndarray,
+    s_codes: np.ndarray,
+    q_pos: np.ndarray,
+    s_pos: np.ndarray,
+    q_lo: np.ndarray,
+    q_hi: np.ndarray,
+    s_lo: np.ndarray,
+    s_hi: np.ndarray,
+    word_size: int,
+    matrix: np.ndarray,
+    xdrop: float,
+    window: int = 64,
+    chunk: int = 4096,
+    max_window: int | None = None,
+    stats: dict | None = None,
+) -> UngappedExtents:
+    """Ungapped extension of hits spread across *many* sequence pairs.
+
+    The multi-sequence form of :func:`batch_ungapped_extend`:
+    ``q_codes``/``s_codes`` are concatenations of whole sequence sets, and
+    each hit row carries the half-open span ``[q_lo, q_hi)`` / ``[s_lo,
+    s_hi)`` of the sequences it belongs to.  Every pass is still one padded
+    2-D gather and one row-wise X-drop scan across the entire batch — one
+    kernel call per round regardless of how many queries, contexts and
+    subjects contributed rows, which is what the fused engine scheduler
+    relies on.  Per-row results are bit-identical to calling
+    :func:`batch_ungapped_extend` on each row's own sequence pair.
+
+    ``stats`` (optional dict) accumulates ``peak_window_bytes``: the largest
+    padded score-window slab any pass allocated.
+    """
+    qp = np.asarray(q_pos, dtype=np.int64)
+    sp = np.asarray(s_pos, dtype=np.int64)
+    bounds = (
+        np.asarray(q_lo, dtype=np.int64),
+        np.asarray(q_hi, dtype=np.int64),
+        np.asarray(s_lo, dtype=np.int64),
+        np.asarray(s_hi, dtype=np.int64),
+    )
+    return _extend_bounded(
+        _as_index(q_codes), _as_index(s_codes), qp, sp, bounds, word_size,
+        matrix, xdrop, window, chunk, max_window, stats,
+    )
+
+
+def _extend_bounded(
+    q_idx: np.ndarray,
+    s_idx: np.ndarray,
+    qp: np.ndarray,
+    sp: np.ndarray,
+    bounds: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+    word_size: int,
+    matrix: np.ndarray,
+    xdrop: float,
+    window: int,
+    chunk: int,
+    max_window: int | None,
+    stats: dict | None = None,
+) -> UngappedExtents:
+    """Shared escalation driver over :func:`_batch_pass` (see public docs)."""
+    n = qp.size
+    q_lo_a, q_hi_a, s_lo_a, s_hi_a = bounds
     out_score = np.zeros(n, dtype=np.int64)
     out_len_l = np.zeros(n, dtype=np.int64)
     out_len_r = np.zeros(n, dtype=np.int64)
     out_complete = np.zeros(n, dtype=bool)
-    qlen, slen = q_idx.size, s_idx.size
     cell_budget = max(chunk, 1) * max(window, 1)
 
     pending = np.arange(n)
     w = max(window, 1)
     while pending.size:
+        if stats is not None:
+            # Both direction slabs of the widest chunk this pass gathers.
+            rows = min(pending.size, max(1, cell_budget // max(w, 1)))
+            stats["peak_window_bytes"] = max(
+                stats.get("peak_window_bytes", 0), 2 * rows * w * 4
+            )
         score, len_l, len_r, complete = _batch_pass(
-            q_idx, s_idx, qp[pending], sp[pending], word_size, matrix, xdrop,
-            w, cell_budget,
+            q_idx, s_idx, qp[pending], sp[pending],
+            tuple(b[pending] for b in bounds),
+            word_size, matrix, xdrop, w, cell_budget,
         )
         out_score[pending] = score
         out_len_l[pending] = len_l
@@ -321,9 +418,10 @@ def batch_ungapped_extend(
             break
         # A window covering everything reachable completes every row, so
         # the escalation terminates at the widest remaining reach.
-        reach_r = np.minimum(qlen - (qp[pending] + word_size),
-                             slen - (sp[pending] + word_size))
-        reach_l = np.minimum(qp[pending], sp[pending])
+        reach_r = np.minimum(q_hi_a[pending] - (qp[pending] + word_size),
+                             s_hi_a[pending] - (sp[pending] + word_size))
+        reach_l = np.minimum(qp[pending] - q_lo_a[pending],
+                             sp[pending] - s_lo_a[pending])
         reach = int(max(reach_r.max(), reach_l.max(), 1))
         w = min(w * 4, reach)
         if max_window is not None:

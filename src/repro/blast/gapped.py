@@ -245,6 +245,7 @@ def _half_extension_many(
     gap_extend: int,
     xdrop: float,
     band: int,
+    stats: dict | None = None,
 ) -> list:
     """Many independent half extensions, advanced in lockstep batches.
 
@@ -279,6 +280,10 @@ def _half_extension_many(
         k = max(1, min(_CHUNK_HALVES, fit, len(active) - pos))
         idxs = [active[int(order[p])] for p in range(pos, pos + k)]
         pos += k
+        if stats is not None:
+            stats["peak_grid_bytes"] = max(
+                stats.get("peak_grid_bytes", 0), 3 * (nmax + 1) * k * width * 4
+            )
         results = _half_extension_chunk(
             [halves[i] for i in idxs], matrix, gap_open, gap_extend, xdrop, band
         )
@@ -568,6 +573,7 @@ def extend_gapped_batch(
     gap_extend: int,
     xdrop: float,
     band: int,
+    stats: dict | None = None,
 ) -> list:
     """Gapped extensions around many seed points, batched.
 
@@ -577,6 +583,12 @@ def extend_gapped_batch(
     would return for that seed.  All ``2 * len(seeds)`` halves advance
     through :func:`_half_extension_many` in lockstep chunks, so the per-DP-
     row numpy overhead is paid once per chunk instead of once per seed.
+    Results are independent of how seeds are grouped into calls — each
+    half keeps its own X-drop threshold, termination row and traceback —
+    so callers may batch across subjects and queries freely.
+
+    ``stats`` (optional dict) accumulates ``peak_grid_bytes``: the largest
+    band-compressed DP grid any lockstep chunk allocated.
     """
     halves = []
     for q_codes, s_codes, q_seed, s_seed in seeds:
@@ -584,7 +596,9 @@ def extend_gapped_batch(
             raise ValueError("seed point out of range")
         halves.append((q_codes[:q_seed][::-1], s_codes[:s_seed][::-1]))
         halves.append((q_codes[q_seed:], s_codes[s_seed:]))
-    done = _half_extension_many(halves, matrix, gap_open, gap_extend, xdrop, band)
+    done = _half_extension_many(
+        halves, matrix, gap_open, gap_extend, xdrop, band, stats
+    )
     return [
         _combine_halves(done[2 * t], done[2 * t + 1], seed[2], seed[3])
         for t, seed in enumerate(seeds)

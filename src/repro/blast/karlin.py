@@ -194,6 +194,7 @@ _GAPPED_TABLE: dict[tuple, KarlinParams] = {
 }
 
 
+@lru_cache(maxsize=64)
 def gapped_params(
     *,
     program: str,
@@ -202,7 +203,7 @@ def gapped_params(
     gap_open: int = 5,
     gap_extend: int = 2,
 ) -> KarlinParams:
-    """Gapped Karlin parameters.
+    """Gapped Karlin parameters, cached per scoring system.
 
     Looks up the published simulation-derived table for standard settings and
     falls back to the ungapped values otherwise.  The fallback overstates λ

@@ -112,6 +112,22 @@ class QueryBlock:
         self.total_length = offset
         self._starts = np.array([c.offset for c in self.contexts], dtype=np.int64)
 
+    @property
+    def concat_index(self) -> np.ndarray:
+        """Every context's codes as one ``intp`` array, cached per block.
+
+        Contexts are laid out back to back (``ctx.offset`` strides by
+        ``ctx.length``), so this is the whole block in concatenated
+        coordinates: the fused scheduler gathers matrix rows for hits of
+        *all* contexts from it in one fancy-index instead of one gather
+        per (subject, context) pair.
+        """
+        idx = getattr(self, "_concat_index", None)
+        if idx is None:
+            idx = np.concatenate([c.codes_index for c in self.contexts])
+            self._concat_index = idx
+        return idx
+
     def context_of(self, concat_pos: int | np.ndarray):
         """Context index (or array of indices) for concatenated positions."""
         return np.searchsorted(self._starts, concat_pos, side="right") - 1

@@ -44,6 +44,18 @@ class BlastOptions:
     #: first pass; hits whose X-drop extent outruns it are re-batched with
     #: geometrically wider windows until every extension terminates
     extension_window: int = 64
+    #: fused streaming scheduler (default): seed→ungapped→gapped advances as
+    #: one round-based pass over the whole (block × partition) work unit —
+    #: every round extends the pending triggers of *all* open subjects and
+    #: contexts with one span-batched kernel call, and seeds admitted in a
+    #: round enter that round's gapped batch immediately.  ``False`` runs
+    #: the per-subject staged scheduler (the bit-identical parity oracle).
+    fused: bool = True
+    #: scan-slab bound of the fused scheduler: more subjects are streamed
+    #: into the open pool only while the word-hit rows held across open
+    #: subjects stay below this, so stage-1 intermediates are a bounded
+    #: slab instead of a whole-partition materialisation.
+    fused_slab_rows: int = 65536
 
     # Reporting
     evalue: float = 10.0
@@ -79,6 +91,10 @@ class BlastOptions:
         if self.extension_window < 1:
             raise ValueError(
                 f"extension_window must be >= 1, got {self.extension_window}"
+            )
+        if self.fused_slab_rows < 1:
+            raise ValueError(
+                f"fused_slab_rows must be >= 1, got {self.fused_slab_rows}"
             )
 
     @staticmethod

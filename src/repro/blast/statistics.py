@@ -20,7 +20,14 @@ import math
 
 from repro.blast.karlin import KarlinParams
 
-__all__ = ["bit_score", "evalue", "evalue_to_score", "effective_lengths", "pvalue"]
+__all__ = [
+    "bit_score",
+    "evalue",
+    "evalue_to_score",
+    "effective_lengths",
+    "pvalue",
+    "SearchSpace",
+]
 
 
 def bit_score(raw_score: int | float, params: KarlinParams) -> float:
@@ -115,6 +122,64 @@ def evalue_to_score(
         params.lam
     )
     return max(int(math.ceil(s)), 1)
+
+
+class SearchSpace:
+    """Engine-lifetime E-value calculator with cached length adjustments.
+
+    λ/K/H are fixed when the engine is built, and the
+    :func:`length_adjustment` bisection — the dominant per-HSP statistics
+    cost — runs once per distinct ``(query_len, db_len, db_num_seqs)``
+    triple instead of once per HSP per block.  Every method reproduces the
+    corresponding module function bit for bit (same float operations in
+    the same order), so cached and uncached searches report identical
+    E-values.
+    """
+
+    def __init__(self, params: KarlinParams) -> None:
+        self.params = params
+        self._lengths: dict[tuple[int, int, int], tuple[float, float]] = {}
+
+    def effective_lengths(
+        self, query_len: int, db_len: int, db_num_seqs: int
+    ) -> tuple[float, float]:
+        key = (query_len, db_len, db_num_seqs)
+        ent = self._lengths.get(key)
+        if ent is None:
+            ent = effective_lengths(self.params, query_len, db_len, db_num_seqs)
+            self._lengths[key] = ent
+        return ent
+
+    def bit_score(self, raw_score: int | float) -> float:
+        return bit_score(raw_score, self.params)
+
+    def evalue(
+        self, raw_score: int | float, query_len: int, db_len: int, db_num_seqs: int
+    ) -> float:
+        m_eff, n_eff = self.effective_lengths(query_len, db_len, db_num_seqs)
+        log_e = (
+            math.log(self.params.K)
+            + math.log(m_eff)
+            + math.log(n_eff)
+            - self.params.lam * raw_score
+        )
+        if log_e > 700.0:
+            return math.inf
+        return math.exp(log_e)
+
+    def evalue_to_score(
+        self, target_evalue: float, query_len: int, db_len: int, db_num_seqs: int
+    ) -> int:
+        if target_evalue <= 0:
+            raise ValueError(f"target E-value must be positive, got {target_evalue}")
+        m_eff, n_eff = self.effective_lengths(query_len, db_len, db_num_seqs)
+        s = (
+            math.log(self.params.K)
+            + math.log(m_eff)
+            + math.log(n_eff)
+            - math.log(target_evalue)
+        ) / self.params.lam
+        return max(int(math.ceil(s)), 1)
 
 
 def pvalue(e: float) -> float:

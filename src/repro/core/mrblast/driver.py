@@ -213,6 +213,11 @@ class MrBlastResult:
     #: plane.
     shuffle_pairs_moved: int = 0
     shuffle_bytes_moved: int = 0
+    #: fused-scheduler telemetry (PR 7): scheduler rounds run on this rank
+    #: (0 under the staged oracle) and the largest per-round intermediate
+    #: slab any work unit held.
+    fused_rounds: int = 0
+    peak_slab_bytes: int = 0
 
 
 def run_mrblast(comm: Comm, config: MrBlastConfig) -> MrBlastResult:
@@ -381,6 +386,8 @@ def run_mrblast(comm: Comm, config: MrBlastConfig) -> MrBlastResult:
         map_failures=mapper.stats.map_failures,
         shuffle_pairs_moved=shuffle["pairs_moved"],
         shuffle_bytes_moved=shuffle["bytes_moved"],
+        fused_rounds=mapper.stats.fused_rounds,
+        peak_slab_bytes=mapper.stats.peak_slab_bytes,
     )
 
 

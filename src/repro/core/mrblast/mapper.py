@@ -68,6 +68,11 @@ class MapperStats:
     ungapped_seconds: float = 0.0
     gapped_seconds: float = 0.0
     lookup_cache_hits: int = 0
+    #: fused-scheduler telemetry: total scheduler rounds across this rank's
+    #: units (0 under the staged oracle) and the largest per-round
+    #: intermediate slab any unit held
+    fused_rounds: int = 0
+    peak_slab_bytes: int = 0
     #: robustness counters: units skipped because their failure budget is
     #: spent, and map() exceptions this rank recorded into the poison ledger
     quarantined_units: int = 0
@@ -193,10 +198,14 @@ class MrBlastMapper:
         self.stats.ungapped_seconds += last.ungapped_seconds
         self.stats.gapped_seconds += last.gapped_seconds
         self.stats.lookup_cache_hits += last.lookup_cache_hits
+        self.stats.fused_rounds += last.fused_rounds
+        self.stats.peak_slab_bytes = max(self.stats.peak_slab_bytes, last.peak_slab_bytes)
         self.stats.intervals.append((t0, t1, last.busy_seconds))
         if trc.enabled:
             # The attrs are the very floats added to MapperStats above, so
             # trace-derived stage sums match the counters bit-for-bit.
             trc.end(sid, busy_s=t1 - t0, seed_s=last.seed_seconds,
                     ungapped_s=last.ungapped_seconds,
-                    gapped_s=last.gapped_seconds, hits=len(hits))
+                    gapped_s=last.gapped_seconds, hits=len(hits),
+                    fused_rounds=last.fused_rounds,
+                    slab_bytes=last.peak_slab_bytes)

@@ -1,0 +1,80 @@
+"""Fused vs staged scheduler parity through the full mrblast pipeline.
+
+The engine-level property suite pins ``search_block`` output; this pins the
+production surface: per-rank output files of a fused run compare equal
+byte for byte to a staged run — on both transport backends, in-core and
+when a tiny ``memsize`` forces the columnar plane through multi-page
+spill.  The fused scheduler is the default, so these tests are what
+certifies the default path against the PR-2 oracle.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.blast import BlastOptions, format_database
+from repro.bio import shred_records, synthetic_community, synthetic_nt_database
+from repro.core import MrBlastConfig, mrblast_spmd
+
+
+@pytest.fixture(scope="module")
+def nt_workload(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("nt_fused")
+    com = synthetic_community(n_genomes=3, genome_length=2000, seed=61)
+    db = synthetic_nt_database(com, n_decoys=2, decoy_length=1200, homolog_rate=0.05, seed=62)
+    alias_path = format_database(db, tmp, "nt", kind="dna", max_volume_bytes=1500)
+    reads = list(shred_records(com.genomes))[:8]
+    blocks = [reads[i : i + 2] for i in range(0, len(reads), 2)]
+    options = BlastOptions.blastn(evalue=1e-4, max_hits=25)
+    return str(alias_path), blocks, options
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+@pytest.mark.parametrize("memsize", [None, 512])
+def test_rank_files_byte_identical(nt_workload, tmp_path, backend, memsize):
+    """Fused (default) vs staged mrblast: same bytes in every rank file,
+    whichever transport carries the messages and whether or not the KV
+    plane spills."""
+    alias_path, blocks, options = nt_workload
+    base = dict(alias_path=alias_path, query_blocks=blocks, backend=backend)
+    if memsize is not None:
+        base["memsize"] = memsize
+    tag = f"{backend}-{memsize or 'incore'}"
+    fused = mrblast_spmd(3, MrBlastConfig(
+        **base, options=options,
+        output_dir=str(tmp_path / f"fused-{tag}"),
+        spool_dir=str(tmp_path / f"fspool-{tag}")))
+    staged = mrblast_spmd(3, MrBlastConfig(
+        **base, options=replace(options, fused=False),
+        output_dir=str(tmp_path / f"staged-{tag}"),
+        spool_dir=str(tmp_path / f"sspool-{tag}")))
+    assert sum(r.hits_written for r in fused) > 0
+    for f, s in zip(fused, staged):
+        assert (f.rank, f.hits_written, f.queries_written) == (
+            s.rank, s.hits_written, s.queries_written)
+        with open(f.output_path, "rb") as ff, open(s.output_path, "rb") as fs:
+            assert ff.read() == fs.read(), f"rank {f.rank} output diverged"
+    # Telemetry: fused runs count rounds and slab bytes, staged runs don't.
+    assert sum(r.fused_rounds for r in fused) > 0
+    assert max(r.peak_slab_bytes for r in fused) > 0
+    assert sum(r.fused_rounds for r in staged) == 0
+
+
+def test_fused_round_instants_in_trace(nt_workload, tmp_path):
+    """The fused scheduler emits ``blast.fused_round`` instants carrying
+    the round telemetry the obs layer's stage reports consume."""
+    import json
+
+    alias_path, blocks, options = nt_workload
+    trace_path = tmp_path / "trace.json"
+    results = mrblast_spmd(2, MrBlastConfig(
+        alias_path=alias_path, query_blocks=blocks, options=options,
+        output_dir=str(tmp_path / "out"), trace_path=str(trace_path)))
+    doc = json.loads(trace_path.read_text())
+    rounds = [ev for ev in doc["traceEvents"]
+              if ev.get("name") == "blast.fused_round"]
+    assert len(rounds) == sum(r.fused_rounds for r in results) > 0
+    for ev in rounds:
+        args = ev.get("args", {})
+        assert args.get("rows", 0) > 0
+        assert args.get("slab_bytes", 0) > 0
