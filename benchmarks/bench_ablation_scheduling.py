@@ -7,9 +7,29 @@
 
 The ablation quantifies both claims: location-awareness slashes DB reloads,
 and static scatter loses to dynamic balancing on an irregular workload.
+
+The straggler ablation (PR 8) adds the robustness arms on the same fleet:
+plain dispatch vs speculative re-execution vs speculation + in-flight
+reassignment, under a seeded stall/crash plan on 256 simulated cores.
 """
 
+import json
+from pathlib import Path
+
+from repro.cluster import nucleotide_workload, ranger, simulate_blast_run
 from repro.figures.comparisons import ablation_scheduling
+from repro.mpi.faultplan import FaultPlan
+from repro.sched import SpeculationPolicy
+
+RESULTS_PATH = Path(__file__).resolve().parents[1] / "BENCH_robustness.json"
+
+
+def _record(key, payload):
+    data = {}
+    if RESULTS_PATH.exists():
+        data = json.loads(RESULTS_PATH.read_text())
+    data[key] = payload
+    RESULTS_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
 
 
 def test_ablation_scheduling(benchmark, print_table):
@@ -38,3 +58,75 @@ def test_ablation_scheduling(benchmark, print_table):
         assert static.wall_minutes >= affinity.wall_minutes
         # Glide-in pays external-scheduler overheads the in-job master avoids.
         assert glidein.wall_minutes >= fifo.wall_minutes * 0.98
+
+
+def test_straggler_mitigation_ablation(print_table):
+    """none / speculation / speculation+reassignment on a 256-core fleet.
+
+    One worker stalls for 600 s mid-map and another crashes outright; the
+    same seeded plan drives every arm, so the deltas are pure policy.
+    """
+    cluster = ranger(256)
+    workload = nucleotide_workload(n_queries=20_000)
+    plan = FaultPlan.parse("stall=7@3:600,crash=19@5", cluster.workers)
+
+    arms = {
+        "none": dict(),
+        "speculation": dict(speculation=SpeculationPolicy(factor=2.0)),
+        "speculation+reassign": dict(
+            speculation=SpeculationPolicy(factor=2.0), reassign=True
+        ),
+    }
+    runs = {
+        name: simulate_blast_run(cluster, workload, fault_plan=plan, **kw)
+        for name, kw in arms.items()
+    }
+
+    def utilization(res):
+        busy = res.total_io_seconds + res.total_compute_seconds
+        return busy / (cluster.workers * res.map_makespan)
+
+    print_table(
+        "Straggler ablation — blastn 20K queries, 256 cores, stall+crash",
+        ["policy", "makespan s", "speculated", "wasted units", "wasted s",
+         "reassigned", "lost units", "utilization"],
+        [
+            [name, f"{r.map_makespan:.1f}", r.speculated_units,
+             r.wasted_units, f"{r.wasted_seconds:.1f}", r.reassigned_units,
+             r.lost_units, f"{utilization(r):.2f}"]
+            for name, r in runs.items()
+        ],
+    )
+    _record("straggler_ablation", {
+        "cluster_cores": cluster.cores,
+        "fault_plan": "stall=7@3:600,crash=19@5",
+        "n_units": workload.n_units,
+        "arms": {
+            name: {
+                "map_makespan_s": r.map_makespan,
+                "speculated_units": r.speculated_units,
+                "wasted_units": r.wasted_units,
+                "wasted_seconds": r.wasted_seconds,
+                "reassigned_units": r.reassigned_units,
+                "lost_units": r.lost_units,
+                "lost_workers": list(r.lost_workers),
+                "utilization": utilization(r),
+            }
+            for name, r in runs.items()
+        },
+    })
+
+    none, spec, full = (runs["none"], runs["speculation"],
+                        runs["speculation+reassign"])
+    # Speculation clones the stalled unit instead of waiting out the stall.
+    assert none.map_makespan >= 1.5 * spec.map_makespan
+    assert spec.speculated_units >= 1
+    # Only the reassignment arm re-runs the crashed worker's orphans.
+    assert none.lost_units > 0 and spec.lost_units > 0
+    assert full.lost_units == 0
+    assert full.reassigned_units >= 1
+    assert sum(t.units for t in full.traces) == workload.n_units
+    # Duplicate work is the price of speculation; it must be visible, a
+    # sliver of the useful compute, and must not sink utilisation.
+    assert 0 < spec.wasted_seconds < 0.1 * spec.total_compute_seconds
+    assert utilization(spec) > utilization(none)

@@ -27,6 +27,8 @@ from dataclasses import dataclass, field
 from repro.cluster.blast_model import BlastWorkloadModel
 from repro.cluster.machine import ClusterSpec
 from repro.cluster.pagecache import PartitionCache
+from repro.mpi.faultplan import CrashRank, FaultPlan, StallRank
+from repro.sched import SpeculationPolicy, StragglerTracker
 from repro.simtime.events import Environment
 
 __all__ = ["SimResult", "WorkerTrace", "simulate_blast_run"]
@@ -42,6 +44,11 @@ class WorkerTrace:
     reloads: int = 0
     io_seconds: float = 0.0
     compute_seconds: float = 0.0
+    #: straggler-mitigation accounting (PR 8)
+    wasted_units: int = 0
+    wasted_seconds: float = 0.0
+    stall_seconds: float = 0.0
+    crashed: bool = False
 
 
 @dataclass
@@ -57,6 +64,13 @@ class SimResult:
     traces: list[WorkerTrace]
     cache_hits: int
     cache_misses: int
+    #: straggler-mitigation / fault accounting (PR 8)
+    speculated_units: int = 0
+    wasted_units: int = 0
+    wasted_seconds: float = 0.0
+    reassigned_units: int = 0
+    lost_units: int = 0
+    lost_workers: tuple[int, ...] = ()
 
     @property
     def makespan(self) -> float:
@@ -159,19 +173,74 @@ class _Scheduler:
         victim = max(remaining, key=lambda p: len(self._by_partition[p]))
         return self._by_partition[victim].popleft()
 
+    def requeue(self, unit: tuple[int, int]) -> None:
+        """Put a unit back at the FRONT of its queue (a dead worker's work).
+
+        Front, not back: the unit is the oldest outstanding work, so it
+        should not wait behind the whole remaining backlog a second time.
+        """
+        b, p = unit
+        if self.policy == "master_worker":
+            self._fifo.appendleft(unit)
+        elif self.policy == "affinity":
+            self._by_partition[p].appendleft(unit)
+        else:  # pragma: no cover - static has no reassignment (checked above)
+            raise ValueError("static scheduling cannot requeue units")
+
 
 def simulate_blast_run(
     cluster: ClusterSpec,
     workload: BlastWorkloadModel,
     scheduler: str = "master_worker",
     order: str = "query_major",
+    *,
+    speculation: SpeculationPolicy | None = None,
+    reassign: bool = False,
+    fault_plan: FaultPlan | None = None,
 ) -> SimResult:
-    """Simulate one map+collate+reduce cycle; deterministic per inputs."""
+    """Simulate one map+collate+reduce cycle; deterministic per inputs.
+
+    Straggler/fault extensions (PR 8), all off by default:
+
+    - ``fault_plan`` reinterprets a :class:`~repro.mpi.faultplan.FaultPlan`
+      on the simulated fleet: event ``rank`` is the worker index and
+      ``at_op`` counts that worker's *dispatched units* (1-based).
+      ``StallRank`` adds ``seconds`` to the unit's service time;
+      ``CrashRank`` kills the worker right after it takes its ``at_op``-th
+      unit.  Message events are ignored (the DES has no message plane).
+    - ``speculation`` re-issues overdue units to idle workers under the
+      same :class:`~repro.sched.SpeculationPolicy` as the real runtime;
+      the first copy to finish wins and the loser's time is wasted work.
+    - ``reassign`` requeues a dead worker's in-flight units to the front
+      of the queue (degraded completion); without it they are lost.
+
+    ``map_makespan`` then means *result-complete time* — the instant the
+    last work unit is accepted — so a loser copy still grinding on a
+    stalled worker does not mask the speculation win.
+    """
+    if scheduler == "static" and (speculation is not None or reassign):
+        raise ValueError(
+            "static scheduling has no central queue: speculation/reassignment "
+            "require the master_worker or affinity policy"
+        )
     env = Environment()
     workers = cluster.workers if scheduler != "static" else cluster.cores
     cache = PartitionCache(cluster.page_cache_gb)
     sched = _Scheduler(workload, scheduler, workers, order=order)
     traces = [WorkerTrace(w) for w in range(workers)]
+
+    # Per-worker fault tables, read (not consumed) from the plan so one plan
+    # can drive many simulated arms.
+    crash_at: dict[int, int] = {}
+    stall_at: dict[tuple[int, int], float] = {}
+    if fault_plan is not None:
+        for ev in fault_plan.events:
+            if isinstance(ev, CrashRank) and ev.rank < workers:
+                crash_at[ev.rank] = min(crash_at.get(ev.rank, ev.at_op), ev.at_op)
+            elif isinstance(ev, StallRank) and ev.rank < workers:
+                key = (ev.rank, ev.at_op)
+                stall_at[key] = stall_at.get(key, 0.0) + ev.seconds
+    tracked = speculation is not None or reassign or bool(crash_at) or bool(stall_at)
 
     def worker_proc(env: Environment, wid: int):
         trace = traces[wid]
@@ -197,10 +266,83 @@ def simulate_blast_run(
             trace.io_seconds += io
             trace.compute_seconds += compute
 
+    n_units = workload.n_blocks * workload.n_partitions
+    tracker = StragglerTracker(speculation)
+    state = {"lost": 0, "crashed": []}
+
+    def sched_worker_proc(env: Environment, wid: int):
+        trace = traces[wid]
+        current: int | None = None
+        dispatched = 0
+        crash_op = crash_at.get(wid)
+        while tracker.completed + state["lost"] < n_units:
+            unit = sched.next_unit(wid, current)
+            if unit is None and speculation is not None:
+                # Queue drained: clone the most-overdue straggler instead of
+                # going idle (dedup by unit id makes the clone safe).
+                unit = tracker.candidate(env.now, exclude_worker=wid)
+            if unit is None:
+                # Idle but the job is not done (a straggler or a requeue may
+                # still need this worker): poll at a cadence scaled to the
+                # observed unit cost.
+                med = tracker.median()
+                yield env.timeout(
+                    max((med or 2.0) / 2.0, cluster.dispatch_latency * 8)
+                )
+                continue
+            dispatched += 1
+            yield env.timeout(cluster.dispatch_latency)
+            tracker.assign(unit, wid, env.now)
+            if crash_op is not None and dispatched >= crash_op:
+                trace.crashed = True
+                state["crashed"].append(wid)
+                orphans = tracker.release_worker(wid, env.now)
+                if reassign:
+                    for u in orphans:
+                        sched.requeue(u)
+                    tracker.reassigned += len(orphans)
+                else:
+                    state["lost"] += len(orphans)
+                    if scheduler == "static":
+                        # Static ownership: the dead worker's whole queue
+                        # dies with it — nobody else may serve it.
+                        q = sched._per_worker[wid]
+                        state["lost"] += len(q)
+                        q.clear()
+                return
+            block, partition = unit
+            start = env.now
+            io = 0.0
+            if partition != current:
+                cached = cache.access(partition, workload.partition_gb)
+                io = cluster.load_seconds(workload.partition_gb, cached)
+                yield env.timeout(io)
+                trace.reloads += 1
+                current = partition
+            stall = stall_at.get((wid, dispatched), 0.0)
+            if stall:
+                trace.stall_seconds += stall
+                yield env.timeout(stall)
+            compute = workload.compute_seconds(block, partition)
+            yield env.timeout(compute)
+            accepted = tracker.complete(unit, wid, env.now)
+            trace.intervals.append((start, start + io, env.now))
+            if accepted:
+                trace.units += 1
+                trace.io_seconds += io
+                trace.compute_seconds += compute
+            else:
+                trace.wasted_units += 1
+                trace.wasted_seconds += io + stall + compute
+
+    proc = sched_worker_proc if tracked else worker_proc
     for w in range(workers):
-        env.process(worker_proc(env, w))
+        env.process(proc(env, w))
     env.run()
-    map_makespan = env.now
+    if tracked and tracker.finish_time is not None:
+        map_makespan = tracker.finish_time
+    else:
+        map_makespan = env.now
 
     # Shuffle model: every rank holds kv_total/P and exchanges (P-1)/P of it
     # in a personalised all-to-all limited by per-link bandwidth.
@@ -229,4 +371,10 @@ def simulate_blast_run(
         traces=traces,
         cache_hits=cache.hits,
         cache_misses=cache.misses,
+        speculated_units=tracker.speculated,
+        wasted_units=tracker.wasted,
+        wasted_seconds=sum(t.wasted_seconds for t in traces),
+        reassigned_units=tracker.reassigned,
+        lost_units=state["lost"],
+        lost_workers=tuple(sorted(state["crashed"])),
     )

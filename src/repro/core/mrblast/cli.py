@@ -60,12 +60,39 @@ def build_parser() -> argparse.ArgumentParser:
     ap.add_argument("--trace", default=None, metavar="PATH",
                     help="write a Chrome trace_event JSON of the run here "
                          "(open in chrome://tracing or Perfetto)")
+    ap.add_argument("--speculate", type=float, default=None, metavar="FACTOR",
+                    help="straggler mitigation: re-issue a work unit once its "
+                         "elapsed time exceeds FACTOR x the running median "
+                         "(must be > 1.0; first copy to finish wins)")
+    ap.add_argument("--no-degraded", action="store_true",
+                    help="abort the job when a worker rank dies instead of "
+                         "reassigning its work to survivors (degraded-mode "
+                         "completion is the default)")
     return ap
+
+
+def _print_sched_summary(live: list) -> None:
+    """One line of straggler/degraded accounting when anything happened."""
+    if not live:
+        return
+    head = live[0]
+    if head.speculated_units:
+        print(
+            f"speculation: {head.speculated_units} extra copies launched, "
+            f"{head.wasted_units} discarded as losers"
+        )
+    if head.degraded:
+        print(
+            f"degraded completion: lost ranks {list(head.lost_ranks)}, "
+            f"{head.reassigned_units} work units reassigned to survivors"
+        )
 
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point of the ``mrblast`` console script."""
     args = build_parser().parse_args(argv)
+    if args.speculate is not None and args.speculate <= 1.0:
+        build_parser().error(f"--speculate must be > 1.0, got {args.speculate}")
     factory = {
         "blastn": BlastOptions.blastn,
         "blastp": BlastOptions.blastp,
@@ -86,17 +113,21 @@ def main(argv: list[str] | None = None) -> int:
             target_unit_seconds=args.target_unit_seconds,
             locality_aware=args.locality,
             backend=args.backend,
+            speculation_factor=args.speculate,
+            degraded=not args.no_degraded,
         ))
-        total_hits = sum(r.hits_written for r in dyn_results)
-        for r in dyn_results:
+        live = [r for r in dyn_results if r is not None]
+        total_hits = sum(r.hits_written for r in live)
+        for r in live:
             print(
                 f"rank {r.rank}: units={r.units_processed} "
                 f"switches={r.partition_switches} wrote {r.hits_written} hits "
                 f"-> {r.output_path}"
             )
+        _print_sched_summary(live)
         print(
-            f"dynamic chunking chose {dyn_results[0].block_size}-query blocks "
-            f"({dyn_results[0].n_blocks} blocks); total {total_hits} hits "
+            f"dynamic chunking chose {live[0].block_size}-query blocks "
+            f"({live[0].n_blocks} blocks); total {total_hits} hits "
             f"across {args.np} ranks"
         )
         return 0
@@ -111,6 +142,8 @@ def main(argv: list[str] | None = None) -> int:
         resume=args.resume,
         trace_path=args.trace,
         backend=args.backend,
+        speculation_factor=args.speculate,
+        degraded=not args.no_degraded,
     )
     fault_plan = FaultPlan.parse(args.faults, args.np) if args.faults else None
     if args.retries > 0 or fault_plan is not None:
@@ -127,18 +160,20 @@ def main(argv: list[str] | None = None) -> int:
         )
     else:
         results = mrblast_spmd(args.np, config)
-    total_hits = sum(r.hits_written for r in results)
-    total_queries = sum(r.queries_written for r in results)
-    quarantined = sum(r.quarantined_units for r in results)
-    for r in results:
+    live = [r for r in results if r is not None]
+    total_hits = sum(r.hits_written for r in live)
+    total_queries = sum(r.queries_written for r in live)
+    quarantined = sum(r.quarantined_units for r in live)
+    for r in live:
         print(
             f"rank {r.rank}: units={r.units_processed} switches={r.partition_switches} "
             f"wrote {r.hits_written} hits for {r.queries_written} queries -> {r.output_path}"
         )
-    if results and results[0].resumed_from_iteration:
-        print(f"resumed from iteration {results[0].resumed_from_iteration}")
+    if live and live[0].resumed_from_iteration:
+        print(f"resumed from iteration {live[0].resumed_from_iteration}")
     if quarantined:
         print(f"quarantined work units skipped: {quarantined} (see poison.json)")
+    _print_sched_summary(live)
     print(f"total: {total_hits} hits for {total_queries} queries across {args.np} ranks")
     if args.trace:
         print(f"trace written to {args.trace}")

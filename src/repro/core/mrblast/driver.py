@@ -121,6 +121,15 @@ class MrBlastConfig:
     #: "process" (one OS process per rank, real multi-core map compute).
     #: None defers to the REPRO_MPI_BACKEND environment default.
     backend: str | None = None
+    #: straggler mitigation: re-issue a work unit to an idle worker once its
+    #: elapsed time exceeds this factor times the running median unit
+    #: runtime (None disables speculation).  First completion wins; output
+    #: is byte-identical to a no-speculation run.
+    speculation_factor: float | None = None
+    #: degraded-mode completion: a worker dying mid-map no longer aborts the
+    #: job — its units are reassigned to survivors and the run finishes with
+    #: ``degraded=True`` plus loss counters in :class:`MrBlastResult`.
+    degraded: bool = False
 
     def __post_init__(self) -> None:
         if not self.query_blocks:
@@ -133,6 +142,9 @@ class MrBlastConfig:
             raise ValueError("id_width must be >= 1")
         if self.stop_after_iterations is not None and self.stop_after_iterations < 1:
             raise ValueError("stop_after_iterations must be >= 1 when set")
+        if self.speculation_factor is not None and self.speculation_factor <= 1.0:
+            raise ValueError(
+                f"speculation_factor must be > 1.0, got {self.speculation_factor}")
 
     def validate(self) -> None:
         """Fail-fast checks before any rank spawns.
@@ -218,6 +230,15 @@ class MrBlastResult:
     #: slab any work unit held.
     fused_rounds: int = 0
     peak_slab_bytes: int = 0
+    #: straggler-mitigation telemetry (PR 8): whether the run lost ranks and
+    #: completed degraded, which *global* ranks were lost, and how much work
+    #: the scheduler re-issued (reassigned after death / speculative copies /
+    #: duplicate completions discarded).
+    degraded: bool = False
+    lost_ranks: tuple[int, ...] = ()
+    reassigned_units: int = 0
+    speculated_units: int = 0
+    wasted_units: int = 0
 
 
 def run_mrblast(comm: Comm, config: MrBlastConfig) -> MrBlastResult:
@@ -295,6 +316,11 @@ def run_mrblast(comm: Comm, config: MrBlastConfig) -> MrBlastResult:
         spool_dir=config.spool_dir,
         schema=schema,
     )
+    speculation = None
+    if config.speculation_factor is not None:
+        from repro.sched import SpeculationPolicy
+
+        speculation = SpeculationPolicy(factor=config.speculation_factor)
 
     # Original input position of each query id, so per-rank files preserve
     # the input order of the queries they own (paper §III.A).
@@ -330,6 +356,8 @@ def run_mrblast(comm: Comm, config: MrBlastConfig) -> MrBlastResult:
                 items,
                 mapper,
                 locality_key=(lambda it: it.partition_index) if config.locality_aware else None,
+                speculation=speculation,
+                degraded=config.degraded,
             )
             if config.combiner:
                 from repro.blast.hsp import top_hits
@@ -388,6 +416,11 @@ def run_mrblast(comm: Comm, config: MrBlastConfig) -> MrBlastResult:
         shuffle_bytes_moved=shuffle["bytes_moved"],
         fused_rounds=mapper.stats.fused_rounds,
         peak_slab_bytes=mapper.stats.peak_slab_bytes,
+        degraded=mr.degraded_run,
+        lost_ranks=mr.lost_ranks,
+        reassigned_units=mr.sched_stats["reassigned"],
+        speculated_units=mr.sched_stats["speculated"],
+        wasted_units=mr.sched_stats["wasted"],
     )
 
 
@@ -453,6 +486,8 @@ def mrblast_supervised(
         if config.trace_path and trace is not None:
             write_chrome_trace(config.trace_path, trace)
     for result in outcome.results:
+        if result is None:  # rank lost in a degraded-mode run
+            continue
         result.faults_injected = outcome.faults_injected
         result.retries = outcome.retries
     return outcome

@@ -68,6 +68,18 @@ class DynamicChunkConfig:
     hit_filter: Callable[[str, HSP], bool] | None = None
     #: transport backend (None = REPRO_MPI_BACKEND default; see run_spmd)
     backend: str | None = None
+    #: adaptive deadlines (the Fig. 4 knob closed-loop): process the query
+    #: set in waves of ``queries_per_wave`` queries and re-size the block
+    #: between waves from the *observed* unit-runtime distribution, instead
+    #: of trusting the pilot forever.  Requires ``queries_per_wave >= 1``.
+    adaptive: bool = False
+    #: queries per adaptation wave (0 = one wave over everything, i.e. the
+    #: non-adaptive legacy plan)
+    queries_per_wave: int = 0
+    #: straggler speculation factor (None disables; see MrBlastConfig)
+    speculation_factor: float | None = None
+    #: degraded-mode completion on worker death (see MrBlastConfig)
+    degraded: bool = False
 
     def __post_init__(self) -> None:
         if self.target_unit_seconds <= 0:
@@ -78,6 +90,13 @@ class DynamicChunkConfig:
             raise ValueError("need 1 <= min_block <= max_block")
         if not (0.0 <= self.taper_fraction < 1.0):
             raise ValueError("taper_fraction must be in [0, 1)")
+        if self.adaptive and self.queries_per_wave < 1:
+            raise ValueError("adaptive mode needs queries_per_wave >= 1")
+        if self.queries_per_wave < 0:
+            raise ValueError("queries_per_wave must be >= 0")
+        if self.speculation_factor is not None and self.speculation_factor <= 1.0:
+            raise ValueError(
+                f"speculation_factor must be > 1.0, got {self.speculation_factor}")
 
 
 def pilot_block_size(
@@ -146,6 +165,16 @@ class DynamicRunResult:
     units_processed: int
     partition_switches: int
     hits_written: int
+    #: adaptive-deadline telemetry (PR 8): block size entering each wave
+    #: (length 1 when non-adaptive) and the number of map waves run.
+    block_size_history: tuple[int, ...] = ()
+    waves: int = 1
+    #: straggler/degraded telemetry, mirrored from the scheduler report.
+    degraded: bool = False
+    lost_ranks: tuple[int, ...] = ()
+    speculated_units: int = 0
+    reassigned_units: int = 0
+    wasted_units: int = 0
 
 
 class _LazyBlockMapper:
@@ -170,6 +199,9 @@ class _LazyBlockMapper:
         self._block_cache: tuple[int, list] | None = None
         self.units = 0
         self.partition_switches = 0
+        #: wall-clock seconds of every unit this rank executed, in order —
+        #: the observable the adaptive-deadline controller feeds on.
+        self.unit_seconds: list[float] = []
 
     def _queries(self, block_index: int):
         if self._block_cache is None or self._block_cache[0] != block_index:
@@ -178,6 +210,7 @@ class _LazyBlockMapper:
         return self._block_cache[1]
 
     def __call__(self, itask: int, item: WorkItem, kv) -> None:
+        t0 = time.perf_counter()
         if self._partition_index != item.partition_index:
             if self._partition is not None:
                 self._partition.release()
@@ -189,10 +222,19 @@ class _LazyBlockMapper:
                 continue
             kv.add(hsp.query_id, hsp)
         self.units += 1
+        self.unit_seconds.append(time.perf_counter() - t0)
 
 
 def run_mrblast_dynamic(comm: Comm, config: DynamicChunkConfig) -> DynamicRunResult:
-    """SPMD entry point for the dynamically-chunked pipeline."""
+    """SPMD entry point for the dynamically-chunked pipeline.
+
+    Non-adaptive (``queries_per_wave == 0``): one map over the pilot-sized
+    plan, exactly the legacy behaviour.  Adaptive: the query set is
+    processed in waves; after each wave the block size is re-derived from
+    the *observed* median unit runtime (clamped to [0.5x, 2x] per step so
+    one noisy wave cannot whipsaw the plan) — a feedback controller closing
+    the loop the pilot only opens.
+    """
     alias = DatabaseAlias.load(config.alias_path)
     index = FastaIndex(config.query_fasta)
 
@@ -202,38 +244,90 @@ def run_mrblast_dynamic(comm: Comm, config: DynamicChunkConfig) -> DynamicRunRes
         block_size = pilot_block_size(index, alias, config)
     block_size = comm.bcast(block_size, root=0)
 
-    ranges = plan_block_ranges(
-        len(index), block_size, config.taper_fraction, config.min_block
-    )
-    items = [
-        WorkItem(b, p)
-        for b in range(len(ranges))
-        for p in range(alias.num_partitions)
-    ]
+    speculation = None
+    if config.speculation_factor is not None:
+        from repro.sched import SpeculationPolicy
+
+        speculation = SpeculationPolicy(factor=config.speculation_factor)
 
     os.makedirs(config.output_dir, exist_ok=True)
     output_path = os.path.join(config.output_dir, f"hits.rank{comm.rank:04d}.tsv")
     open(output_path, "w").close()
 
+    ranges: list[tuple[int, int]] = []  # grows wave by wave, shared w/ mapper
     mapper = _LazyBlockMapper(alias, index, ranges, config.options, config.hit_filter)
     reducer = MrBlastReducer(mapper.options, output_path)
     mr = MapReduce(comm, mapstyle=MapStyle.MASTER_WORKER)
-    mr.map_items(
-        items,
-        mapper,
-        locality_key=(lambda it: it.partition_index) if config.locality_aware else None,
-    )
+
+    n_queries = len(index)
+    per_wave = config.queries_per_wave if config.adaptive else 0
+    history = [block_size]
+    waves = 0
+    pos = 0
+    while pos < n_queries:
+        wave_end = n_queries if per_wave == 0 else min(pos + per_wave, n_queries)
+        last = wave_end >= n_queries
+        # Taper only the final wave: mid-run waves are followed by more
+        # work, so there is no drain to smooth.
+        wave_ranges = plan_block_ranges(
+            wave_end - pos, block_size,
+            config.taper_fraction if last else 0.0, config.min_block,
+        )
+        base = len(ranges)
+        ranges.extend((pos + a, pos + b) for a, b in wave_ranges)
+        items = [
+            WorkItem(b, p)
+            for b in range(base, len(ranges))
+            for p in range(alias.num_partitions)
+        ]
+        mark = len(mapper.unit_seconds)
+        mr.map_items(
+            items,
+            mapper,
+            addflag=True,
+            locality_key=(lambda it: it.partition_index) if config.locality_aware else None,
+            speculation=speculation,
+            degraded=config.degraded,
+        )
+        waves += 1
+        pos = wave_end
+        if config.adaptive and not last:
+            # Feedback step: every rank contributes its wave's observed unit
+            # durations; the fleet agrees on the median and rescales.
+            observed = sorted(
+                d
+                for sub in mr.comm.allgather(mapper.unit_seconds[mark:])
+                for d in sub
+            )
+            if observed:
+                median = observed[len(observed) // 2]
+                if median > 0:
+                    scale = min(2.0, max(0.5, config.target_unit_seconds / median))
+                    block_size = max(
+                        config.min_block,
+                        min(int(block_size * scale), config.max_block, n_queries),
+                    )
+                    block_size = max(block_size, 1)
+            history.append(block_size)
+
     mr.collate()
     mr.reduce(reducer)
     mr.close()
     return DynamicRunResult(
         rank=comm.rank,
         output_path=output_path,
-        block_size=block_size,
+        block_size=history[-1],
         n_blocks=len(ranges),
         units_processed=mapper.units,
         partition_switches=mapper.partition_switches,
         hits_written=reducer.hits_written,
+        block_size_history=tuple(history),
+        waves=waves,
+        degraded=mr.degraded_run,
+        lost_ranks=mr.lost_ranks,
+        speculated_units=mr.sched_stats["speculated"],
+        reassigned_units=mr.sched_stats["reassigned"],
+        wasted_units=mr.sched_stats["wasted"],
     )
 
 

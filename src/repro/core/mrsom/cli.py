@@ -50,12 +50,22 @@ def build_parser() -> argparse.ArgumentParser:
     ap.add_argument("--trace", default=None, metavar="PATH",
                     help="write a Chrome trace_event JSON of the run here "
                          "(open in chrome://tracing or Perfetto)")
+    ap.add_argument("--speculate", type=float, default=None, metavar="FACTOR",
+                    help="straggler mitigation: re-issue a work unit once its "
+                         "elapsed time exceeds FACTOR x the running median "
+                         "(must be > 1.0; first copy to finish wins)")
+    ap.add_argument("--no-degraded", action="store_true",
+                    help="abort the job when a worker rank dies instead of "
+                         "reassigning its work to survivors (degraded-mode "
+                         "completion is the default)")
     return ap
 
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point of the ``mrsom`` console script."""
     args = build_parser().parse_args(argv)
+    if args.speculate is not None and args.speculate <= 1.0:
+        build_parser().error(f"--speculate must be > 1.0, got {args.speculate}")
     config = MrSomConfig(
         matrix_path=args.input,
         grid=SOMGrid(args.rows, args.cols),
@@ -67,6 +77,8 @@ def main(argv: list[str] | None = None) -> int:
         resume=args.resume,
         trace_path=args.trace,
         backend=args.backend,
+        speculation_factor=args.speculate,
+        degraded=not args.no_degraded,
     )
     fault_plan = FaultPlan.parse(args.faults, args.np) if args.faults else None
     if args.retries > 0 or fault_plan is not None:
@@ -83,11 +95,22 @@ def main(argv: list[str] | None = None) -> int:
         )
     else:
         results = mrsom_spmd(args.np, config)
-    np.save(args.out, results[0].codebook)
-    busy = sum(r.busy_seconds for r in results)
-    units = sum(r.units_processed for r in results)
-    if results[0].resumed_from_epoch:
-        print(f"resumed from epoch {results[0].resumed_from_epoch}")
+    live = [r for r in results if r is not None]
+    np.save(args.out, live[0].codebook)
+    busy = sum(r.busy_seconds for r in live)
+    units = sum(r.units_processed for r in live)
+    if live[0].resumed_from_epoch:
+        print(f"resumed from epoch {live[0].resumed_from_epoch}")
+    if live[0].speculated_units:
+        print(
+            f"speculation: {live[0].speculated_units} extra copies launched, "
+            f"{live[0].wasted_units} discarded as losers"
+        )
+    if live[0].degraded:
+        print(
+            f"degraded completion: lost ranks {list(live[0].lost_ranks)}, "
+            f"{live[0].reassigned_units} work units reassigned to survivors"
+        )
     print(
         f"trained {args.rows}x{args.cols} SOM for {args.epochs} epochs on {args.np} ranks: "
         f"{units} work units, {busy:.2f} core-seconds -> {args.out}"

@@ -98,6 +98,15 @@ class MrSomConfig:
     #: "process" (one OS process per rank, real multi-core epoch compute).
     #: None defers to the REPRO_MPI_BACKEND environment default.
     backend: str | None = None
+    #: straggler threshold: re-issue a unit once its elapsed time exceeds
+    #: ``speculation_factor ×`` the running median (None = no speculation).
+    #: Only effective under MASTER_WORKER dispatch on >1 rank.
+    speculation_factor: float | None = None
+    #: keep training when a worker rank dies mid-map: the master reassigns
+    #: its units to survivors and the epoch's collectives run on the shrunk
+    #: communicator.  Incompatible with ``reduce_mode="mrmpi"`` (the
+    #: reduction plane's exchange is collective over the original comm).
+    degraded: bool = False
 
     def __post_init__(self) -> None:
         if self.epochs < 1:
@@ -109,6 +118,16 @@ class MrSomConfig:
         if self.reduce_mode not in ("mpi", "mrmpi"):
             raise ValueError(
                 f"reduce_mode must be 'mpi' or 'mrmpi', got {self.reduce_mode!r}"
+            )
+        if self.speculation_factor is not None and self.speculation_factor <= 1.0:
+            raise ValueError(
+                f"speculation_factor must be > 1.0, got {self.speculation_factor}"
+            )
+        if self.degraded and self.reduce_mode == "mrmpi":
+            raise ValueError(
+                "degraded=True is incompatible with reduce_mode='mrmpi': the "
+                "accumulator exchange is collective over the original "
+                "communicator and cannot survive a rank loss"
             )
 
     def validate(self) -> None:
@@ -169,11 +188,27 @@ class MrSomResult:
     #: shuffle traffic of the ``"mrmpi"`` reduction plane (0 in "mpi" mode)
     shuffle_pairs_moved: int = 0
     shuffle_bytes_moved: int = 0
+    #: straggler-mitigation / degraded-mode counters (PR 8)
+    degraded: bool = False
+    lost_ranks: tuple = ()
+    speculated_units: int = 0
+    wasted_units: int = 0
+    reassigned_units: int = 0
 
 
 @dataclass
 class _BlockAccumulator:
-    """The map() callable: accumulates Eq. 5 sums over assigned blocks."""
+    """The map() callable: accumulates Eq. 5 sums over assigned blocks.
+
+    Under scheduled dispatch (speculation / degraded mode) the master may
+    discard a unit after the mapper already ran it — a speculative loser,
+    or a unit redone after a worker death.  Accumulating straight into the
+    rank totals would then double-count, so the scheduler's unit hooks
+    stage each unit in its own buffers: ``begin_unit`` allocates them,
+    ``commit_unit`` folds them into the totals once the master accepts the
+    unit, ``discard_unit`` drops them.  Without hooks (plain dispatch) the
+    mapper accumulates directly into the totals, as before.
+    """
 
     matrix: MatrixFile
     codebook: np.ndarray = None
@@ -182,6 +217,8 @@ class _BlockAccumulator:
     denom: np.ndarray = None
     units: int = 0
     busy: float = 0.0
+    _unit_num: np.ndarray = None
+    _unit_denom: np.ndarray = None
 
     def start_epoch(self, codebook: np.ndarray, kernel: np.ndarray) -> None:
         self.codebook = codebook
@@ -189,13 +226,37 @@ class _BlockAccumulator:
         k, dim = codebook.shape
         self.num = np.zeros((k, dim))
         self.denom = np.zeros(k)
+        self._unit_num = None
+        self._unit_denom = None
+
+    def begin_unit(self, itask: int) -> None:
+        k, dim = self.codebook.shape
+        self._unit_num = np.zeros((k, dim))
+        self._unit_denom = np.zeros(k)
+
+    def commit_unit(self, itask: int) -> None:
+        if self._unit_num is not None:
+            self.num += self._unit_num
+            self.denom += self._unit_denom
+            self.units += 1
+        self._unit_num = None
+        self._unit_denom = None
+
+    def discard_unit(self, itask: int) -> None:
+        self._unit_num = None
+        self._unit_denom = None
 
     def __call__(self, itask: int, item: tuple[int, int], kv) -> None:
         t0 = time.perf_counter()
         start, stop = item
         block = self.matrix.rows(start, stop)
-        accumulate_batch(block, self.codebook, self.kernel, self.num, self.denom)
-        self.units += 1
+        if self._unit_num is not None:
+            accumulate_batch(
+                block, self.codebook, self.kernel, self._unit_num, self._unit_denom
+            )
+        else:
+            accumulate_batch(block, self.codebook, self.kernel, self.num, self.denom)
+            self.units += 1
         self.busy += time.perf_counter() - t0
 
 
@@ -307,6 +368,12 @@ def run_mrsom(comm: Comm, config: MrSomConfig) -> MrSomResult:
     sq = grid.grid_sq_distances()
     work = matrix.work_units(config.block_rows)
 
+    speculation = None
+    if config.speculation_factor is not None:
+        from repro.sched import SpeculationPolicy
+
+        speculation = SpeculationPolicy(factor=config.speculation_factor)
+
     mr = MapReduce(comm, mapstyle=config.mapstyle)
     red_mr = None
     if config.reduce_mode == "mrmpi":
@@ -343,7 +410,9 @@ def run_mrsom(comm: Comm, config: MrSomConfig) -> MrSomResult:
                 epoch_sid = trc.begin("mrsom.epoch", cat="driver", epoch=epoch)
                 trc.begin("mrsom.bcast", cat="driver")
             t0 = time.perf_counter()
-            comm.Bcast(codebook, root=0)  # direct MPI call #1 (Fig. 2)
+            # mr.comm is `comm` until a degraded map shrinks it; collectives
+            # must run on the surviving group (the dead rank can't Bcast).
+            mr.comm.Bcast(codebook, root=0)  # direct MPI call #1 (Fig. 2)
             dt = time.perf_counter() - t0
             bcast_seconds += dt
             if trc.enabled:
@@ -353,7 +422,7 @@ def run_mrsom(comm: Comm, config: MrSomConfig) -> MrSomResult:
 
             kernel = gaussian_kernel(sq, float(sigma))
             acc.start_epoch(codebook, kernel)
-            mr.map_items(work, acc)
+            mr.map_items(work, acc, speculation=speculation, degraded=config.degraded)
 
             if trc.enabled:
                 trc.begin("mrsom.reduce", cat="driver", mode=config.reduce_mode)
@@ -363,8 +432,8 @@ def run_mrsom(comm: Comm, config: MrSomConfig) -> MrSomResult:
             else:
                 num_total = np.zeros_like(acc.num)
                 denom_total = np.zeros_like(acc.denom)
-                comm.Reduce(acc.num, num_total, op=SUM, root=0)  # direct MPI call #2
-                comm.Reduce(acc.denom, denom_total, op=SUM, root=0)
+                mr.comm.Reduce(acc.num, num_total, op=SUM, root=0)  # direct MPI call #2
+                mr.comm.Reduce(acc.denom, denom_total, op=SUM, root=0)
             dt = time.perf_counter() - t0
             reduce_seconds += dt
             if trc.enabled:
@@ -386,7 +455,7 @@ def run_mrsom(comm: Comm, config: MrSomConfig) -> MrSomResult:
                 trc.end(epoch_sid)
 
         # Final broadcast so every rank returns the trained codebook.
-        comm.Bcast(codebook, root=0)
+        mr.comm.Bcast(codebook, root=0)
     finally:
         shuffle = {"pairs_moved": 0, "bytes_moved": 0}
         if red_mr is not None:
@@ -405,6 +474,11 @@ def run_mrsom(comm: Comm, config: MrSomConfig) -> MrSomResult:
         resumed_from_epoch=start_epoch,
         shuffle_pairs_moved=shuffle["pairs_moved"],
         shuffle_bytes_moved=shuffle["bytes_moved"],
+        degraded=mr.degraded_run,
+        lost_ranks=mr.lost_ranks,
+        speculated_units=mr.sched_stats["speculated"],
+        wasted_units=mr.sched_stats["wasted"],
+        reassigned_units=mr.sched_stats["reassigned"],
     )
 
 
@@ -471,6 +545,8 @@ def mrsom_supervised(
         if config.trace_path and trace is not None:
             write_chrome_trace(config.trace_path, trace)
     for result in outcome.results:
+        if result is None:  # a rank lost to a degraded-mode death
+            continue
         result.faults_injected = outcome.faults_injected
         result.retries = outcome.retries
     return outcome

@@ -207,6 +207,16 @@ class Comm:
         return self._network
 
     @property
+    def group(self) -> tuple[int, ...]:
+        """Comm-local rank -> global (network) rank mapping."""
+        return tuple(self._group)
+
+    @property
+    def global_rank(self) -> int:
+        """This rank's global (network) rank."""
+        return self._global_rank
+
+    @property
     def tracer(self):
         """This rank's tracer (the shared null tracer when tracing is off)."""
         return self._tracer
@@ -527,3 +537,30 @@ class Comm:
             ("dup", self._context, self._dup_count, tuple(self._group))
         )
         return Comm(self._network, self._rank, self._group, context=ctx)
+
+    def shrink(self, dead: Sequence[int]) -> "Comm":
+        """Drop ``dead`` comm-local ranks; return the survivors' communicator.
+
+        Degraded-mode analogue of ULFM's ``MPI_Comm_shrink``, but
+        *non-collective by construction*: every survivor already knows the
+        same dead set (the master broadcast it / the transport's dead flags
+        named it), so all survivors derive the same group and context key
+        without an extra round of messages — which matters because the dead
+        ranks can no longer participate in a collective.
+
+        The caller must be a survivor.  Ranks are renumbered densely in
+        the old order.
+        """
+        dead_set = set(dead)
+        if self._rank in dead_set:
+            raise MPIError(
+                f"rank {self._rank} cannot shrink a communicator it was "
+                f"dropped from")
+        group_global = [g for i, g in enumerate(self._group) if i not in dead_set]
+        if not group_global:
+            raise MPIError("shrink would leave an empty communicator")
+        my_new_rank = group_global.index(self._global_rank)
+        ctx = self._network.allocate_context(
+            ("shrink", self._context, tuple(group_global))
+        )
+        return Comm(self._network, my_new_rank, group_global, context=ctx)

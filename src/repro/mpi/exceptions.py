@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-__all__ = ["MPIError", "DeadlockError", "AbortError", "RankFailure"]
+__all__ = ["MPIError", "DeadlockError", "AbortError", "RankFailure", "DegradedRankLoss"]
 
 
 class MPIError(RuntimeError):
@@ -42,3 +42,23 @@ class RankFailure(MPIError):
         # The process transport ships rank errors through a pipe, so spell
         # out the constructor call explicitly.
         return (RankFailure, (self.rank, self.op_index))
+
+
+class DegradedRankLoss(MPIError):
+    """A rank died mid-map but the job routed around it (degraded mode).
+
+    Raised *by the dead rank itself* in place of propagating its crash to
+    the whole job: the MASTER_WORKER master notices the death, reassigns
+    the rank's units to survivors, and the job completes with
+    ``degraded=True``.  The supervisor treats this like :class:`AbortError`
+    — recorded, never re-raised as the job's primary error.
+    """
+
+    def __init__(self, rank: int, cause: str = "") -> None:
+        detail = f": {cause}" if cause else ""
+        super().__init__(f"rank {rank} lost mid-map, job degraded{detail}")
+        self.rank = rank
+        self.cause = cause
+
+    def __reduce__(self):
+        return (DegradedRankLoss, (self.rank, self.cause))

@@ -99,6 +99,7 @@ class Network(TransportEndpoint):
         self._send_counts = [0] * nprocs
         self._heartbeats = [time.monotonic()] * nprocs
         self._crashed = [False] * nprocs
+        self._dead = [False] * nprocs
 
     # ------------------------------------------------------------------ abort
 
@@ -113,6 +114,26 @@ class Network(TransportEndpoint):
     @property
     def aborted(self) -> Optional[BaseException]:
         return self._aborted
+
+    # ------------------------------------------------------------- dead ranks
+
+    def mark_dead(self, rank: int) -> None:
+        """Record that ``rank`` left the job in degraded mode (no abort).
+
+        Wakes every blocked rank so a master polling for requests can run
+        its death sweep promptly.
+        """
+        if not (0 <= rank < self.nprocs):
+            return
+        with self._lock:
+            self._dead[rank] = True
+            for cond in self._conds:
+                cond.notify_all()
+
+    def dead_ranks(self) -> frozenset[int]:
+        """Global ranks that declared themselves lost (degraded mode)."""
+        with self._lock:
+            return frozenset(r for r, d in enumerate(self._dead) if d)
 
     def _check_abort(self) -> None:
         if self._aborted is not None:

@@ -56,7 +56,13 @@ from typing import Any, Callable, Optional, Sequence
 
 import numpy as np
 
-from repro.mpi.exceptions import AbortError, DeadlockError, MPIError, RankFailure
+from repro.mpi.exceptions import (
+    AbortError,
+    DeadlockError,
+    DegradedRankLoss,
+    MPIError,
+    RankFailure,
+)
 from repro.mpi.faultplan import CrashRank, FaultPlan, StallRank
 from repro.mpi.faultplan import DelayMessage, DropMessage, DuplicateMessage
 from repro.mpi.network import Message
@@ -119,6 +125,7 @@ class ProcessNetwork(TransportEndpoint):
         fault_plan: FaultPlan | None,
         tracer,
         shm_prefix: str,
+        dead_flags=None,
     ) -> None:
         self.rank = rank
         self.nprocs = nprocs
@@ -131,6 +138,7 @@ class ProcessNetwork(TransportEndpoint):
         self._heartbeats = heartbeats
         self._op_counts = op_counts
         self._abort_flag = abort_flag
+        self._dead_flags = dead_flags
         self._tracer = tracer if tracer is not None else NULL_TRACER
         self._shm_prefix = f"{shm_prefix}r{rank}_"
         self._cond = threading.Condition()
@@ -196,6 +204,23 @@ class ProcessNetwork(TransportEndpoint):
     @property
     def aborted(self) -> Optional[BaseException]:
         return self._aborted
+
+    # ------------------------------------------------------------- dead ranks
+
+    def mark_dead(self, rank: int) -> None:
+        """Record that ``rank`` left the job in degraded mode (no abort).
+
+        The flag lives in a shared array so the master's poll loop sees it
+        immediately, without waiting for a pipe round-trip.
+        """
+        if self._dead_flags is not None and 0 <= rank < self.nprocs:
+            self._dead_flags[rank] = 1
+
+    def dead_ranks(self) -> frozenset[int]:
+        """Global ranks that declared themselves lost (degraded mode)."""
+        if self._dead_flags is None:
+            return frozenset()
+        return frozenset(r for r in range(self.nprocs) if self._dead_flags[r])
 
     def _check_abort(self) -> None:
         if self._aborted is None and self._abort_flag.value:
@@ -429,6 +454,7 @@ def _child_main(
     fault_plan: FaultPlan | None,
     trace,
     shm_prefix: str,
+    dead_flags=None,
 ) -> None:
     """Entry point of one forked rank process."""
     from repro.mpi.comm import Comm
@@ -445,7 +471,7 @@ def _child_main(
     net = ProcessNetwork(
         rank, nprocs, inbound, outbound, ctrl_r, exit_w,
         heartbeats, op_counts, abort_flag, op_timeout, fault_plan, tracer,
-        shm_prefix,
+        shm_prefix, dead_flags,
     )
     comm = Comm(net, rank, list(range(nprocs)), context=0)
     set_current_tracer(tracer)
@@ -459,6 +485,12 @@ def _child_main(
         error = exc
         if tracer.enabled:
             tracer.instant("rank.abort", cat="lifecycle", error=repr(exc))
+    except DegradedRankLoss as exc:
+        # This rank died mid-map but the master routed around it: record
+        # the loss, never abort — survivors are finishing the job.
+        error = exc
+        if tracer.enabled:
+            tracer.instant("rank.degraded", cat="lifecycle", error=repr(exc))
     except BaseException as exc:  # noqa: BLE001 - must propagate anything
         error = exc
         if tracer.enabled:
@@ -534,6 +566,7 @@ class ProcessJob:
         self._heartbeats = ctx.Array("d", [now] * nprocs, lock=False)
         self._op_counts = ctx.Array("q", [0] * nprocs, lock=False)
         self._abort_flag = ctx.Value("i", 0, lock=False)
+        self._dead_flags = ctx.Array("b", [0] * nprocs, lock=False)
         # Data mesh: reader[j][i] / writer[i][j] move traffic i -> j.
         readers: list[list] = [[None] * nprocs for _ in range(nprocs)]
         writers: list[dict] = [dict() for _ in range(nprocs)]
@@ -558,7 +591,8 @@ class ProcessJob:
                 args=(rank, nprocs, fn, tuple(args), dict(kwargs or {}),
                       inbound, writers[rank], ctrl_r, exit_w,
                       self._heartbeats, self._op_counts, self._abort_flag,
-                      self.op_timeout, fault_plan, trace, self._shm_prefix),
+                      self.op_timeout, fault_plan, trace, self._shm_prefix,
+                      self._dead_flags),
                 name=f"mpi-rank-{rank}",
                 daemon=True,
             ))
@@ -587,6 +621,11 @@ class ProcessJob:
 
     def op_count(self, rank: int) -> int:
         return int(self._op_counts[rank])
+
+    def dead_ranks(self) -> frozenset[int]:
+        """Ranks lost in degraded mode (shared-array read)."""
+        return frozenset(
+            r for r in range(self.nprocs) if self._dead_flags[r])
 
     # ------------------------------------------------------------------- merge
 
@@ -630,14 +669,18 @@ class ProcessJob:
                     p.join(timeout=5.0)
             sweep_job_blocks(self._shm_prefix)
         primary = next(
-            (e for e in self._errors if e is not None and not isinstance(e, AbortError)),
+            (e for e in self._errors
+             if e is not None and not isinstance(e, (AbortError, DegradedRankLoss))),
             None,
         )
         if primary is not None:
             raise primary
-        collateral = next((e for e in self._errors if e is not None), None)
+        collateral = next(
+            (e for e in self._errors if isinstance(e, AbortError)), None)
         if collateral is not None:
             raise collateral
+        # Only DegradedRankLoss left (if anything): the job completed
+        # degraded — survivors' results are valid, lost ranks stay None.
         return self._results
 
     def _collect(self, deadline: float, budget: float) -> None:

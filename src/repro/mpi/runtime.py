@@ -17,13 +17,20 @@ of restarting from scratch.
 from __future__ import annotations
 
 import os
+import random
 import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence
 
 from repro.mpi.comm import Comm
-from repro.mpi.exceptions import AbortError, DeadlockError, MPIError, RankFailure
+from repro.mpi.exceptions import (
+    AbortError,
+    DeadlockError,
+    DegradedRankLoss,
+    MPIError,
+    RankFailure,
+)
 from repro.mpi.faultplan import FaultPlan
 from repro.mpi.network import Network
 from repro.obs.trace import set_current_tracer
@@ -128,6 +135,12 @@ class SpmdJob:
             self._errors[rank] = exc
             if trc.enabled:
                 trc.instant("rank.abort", cat="lifecycle", error=repr(exc))
+        except DegradedRankLoss as exc:
+            # The rank died mid-map but the master routed around it: record
+            # the loss, never abort — survivors are finishing the job.
+            self._errors[rank] = exc
+            if trc.enabled:
+                trc.instant("rank.degraded", cat="lifecycle", error=repr(exc))
         except BaseException as exc:  # noqa: BLE001 - must propagate anything
             self._errors[rank] = exc
             if trc.enabled:
@@ -170,14 +183,18 @@ class SpmdJob:
                     self.network.abort(err)
                     raise err
         primary = next(
-            (e for e in self._errors if e is not None and not isinstance(e, AbortError)),
+            (e for e in self._errors
+             if e is not None and not isinstance(e, (AbortError, DegradedRankLoss))),
             None,
         )
         if primary is not None:
             raise primary
-        collateral = next((e for e in self._errors if e is not None), None)
+        collateral = next(
+            (e for e in self._errors if isinstance(e, AbortError)), None)
         if collateral is not None:  # pragma: no cover - defensive
             raise collateral
+        # Only DegradedRankLoss left (if anything): the job completed
+        # degraded — survivors' results are valid, lost ranks stay None.
         return self._results
 
     @property
@@ -217,22 +234,60 @@ def run_spmd(
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """Bounded exponential backoff for supervised relaunches."""
+    """Bounded exponential backoff for supervised relaunches.
+
+    ``jitter="decorrelated"`` switches the schedule to decorrelated jitter
+    (each delay drawn uniformly from ``[base, 3 x previous delay]``), so a
+    fleet of supervisors relaunching after a correlated failure does not
+    synchronise into retry storms.  ``backoff_max`` caps the *jittered*
+    delay, not just the exponential base.  ``seed`` pins the RNG for
+    deterministic tests.
+    """
 
     max_attempts: int = 3
     backoff_base: float = 0.05
     backoff_factor: float = 2.0
     backoff_max: float = 2.0
+    jitter: str = "none"
+    seed: int | None = None
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
         if self.backoff_base < 0 or self.backoff_max < 0 or self.backoff_factor < 1:
             raise ValueError("backoff parameters must be non-negative (factor >= 1)")
+        if self.jitter not in ("none", "decorrelated"):
+            raise ValueError(
+                f"jitter must be 'none' or 'decorrelated', got {self.jitter!r}")
 
     def backoff(self, attempt: int) -> float:
-        """Sleep before relaunching after failed attempt number ``attempt``."""
+        """Jitter-free delay after failed attempt ``attempt`` (the old API)."""
         return min(self.backoff_base * self.backoff_factor ** (attempt - 1), self.backoff_max)
+
+    def backoff_schedule(self) -> "_BackoffSchedule":
+        """A stateful delay generator honouring the jitter mode."""
+        return _BackoffSchedule(self)
+
+
+class _BackoffSchedule:
+    """Stateful backoff delays for one supervised job (one RNG stream)."""
+
+    def __init__(self, policy: RetryPolicy) -> None:
+        self.policy = policy
+        self._rng = random.Random(policy.seed)
+        self._prev = policy.backoff_base
+
+    def next(self, attempt: int) -> float:
+        """Delay to sleep after failed attempt number ``attempt`` (1-based)."""
+        p = self.policy
+        if p.jitter == "decorrelated":
+            # AWS-style decorrelated jitter; the cap bounds the jittered
+            # value itself so delays never exceed backoff_max.
+            delay = min(p.backoff_max,
+                        self._rng.uniform(p.backoff_base, self._prev * 3.0))
+            self._prev = max(delay, p.backoff_base)
+            return delay
+        return p.backoff(attempt)
 
 
 @dataclass(frozen=True)
@@ -314,6 +369,7 @@ def run_supervised(
     ``sleep`` is injectable for tests.
     """
     policy = retry or RetryPolicy()
+    schedule = policy.backoff_schedule()
     attempts: list[AttemptRecord] = []
     last_exc: BaseException | None = None
     sup_trc = trace.supervisor if trace is not None else None
@@ -330,7 +386,7 @@ def run_supervised(
             results = job.run()
         except BaseException as exc:  # noqa: BLE001 - classify everything
             last_exc = exc
-            backoff = policy.backoff(attempt) if attempt < policy.max_attempts else 0.0
+            backoff = schedule.next(attempt) if attempt < policy.max_attempts else 0.0
             attempts.append(
                 AttemptRecord(attempt, classify_failure(exc), repr(exc), backoff)
             )

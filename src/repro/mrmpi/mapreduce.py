@@ -33,6 +33,7 @@ from typing import Any, Callable, Optional, Sequence, Union
 import numpy as np
 
 from repro.mpi.comm import Comm
+from repro.mpi.exceptions import DegradedRankLoss, MPIError, RankFailure
 from repro.mpi.ops import ANY_SOURCE, LAND, MAX, SUM, Status
 from repro.mrmpi.columnar import (
     ColumnarKeyMultiValue,
@@ -54,15 +55,22 @@ from repro.mrmpi.keymultivalue import (
 from repro.mrmpi.keyvalue import ObjectKeyValue
 from repro.mrmpi.schema import RecordSchema
 from repro.mrmpi.spool import PageSpool, approx_size
+from repro.sched import SchedReport, SpeculationPolicy, StragglerTracker
 
 __all__ = ["MapReduce", "MapStyle", "KEEP_SCHEMA"]
 
 _TAG_REQUEST = 101
 _TAG_ASSIGN = 102
 _TAG_GATHER = 103
+_TAG_REPORT = 104
 
 #: Sentinel task id telling a worker to retire.
 _NO_MORE_WORK = -1
+
+#: Sentinel task id telling a worker to ask again shortly (sched dispatch:
+#: no queued work, but in-flight units may yet need a speculative copy or a
+#: reassignment, so the worker must not retire).
+_WAIT_RETRY = -2
 
 #: Sentinel for reduce()/map_kv() meaning "output uses the current schema".
 KEEP_SCHEMA = object()
@@ -124,6 +132,17 @@ class MapReduce:
         #: exact array bytes on the columnar plane and ``approx_size``
         #: estimates on the object plane.
         self.stats: dict[str, dict[str, int]] = {}
+        #: scheduler report of the most recent sched-dispatched map
+        #: (``None`` until a map runs with speculation/degraded enabled).
+        self.sched: Optional[SchedReport] = None
+        #: counters accumulated across all sched-dispatched maps.
+        self.sched_stats: dict[str, int] = {
+            "speculated": 0, "wasted": 0, "reassigned": 0}
+        #: *global* ranks lost across all degraded maps (the comm shrinks
+        #: past them, so comm-local numbering is not stable).
+        self.lost_ranks: tuple[int, ...] = ()
+        #: True once any map completed degraded (a rank was lost).
+        self.degraded_run = False
 
     # --------------------------------------------------------------- plumbing
 
@@ -198,6 +217,8 @@ class MapReduce:
         addflag: bool = False,
         mapstyle: MapStyle | None = None,
         count: bool = False,
+        speculation: SpeculationPolicy | None = None,
+        degraded: bool = False,
     ) -> int:
         """Run ``mapper(itask, kv)`` for each task id in ``[0, nmap)``.
 
@@ -208,7 +229,8 @@ class MapReduce:
         multi-iteration loop); otherwise a fresh dataset is started.
         """
         return self.map_items(
-            range(nmap), lambda i, item, kv: mapper(i, kv), addflag, mapstyle, count=count
+            range(nmap), lambda i, item, kv: mapper(i, kv), addflag, mapstyle,
+            count=count, speculation=speculation, degraded=degraded,
         )
 
     def map_items(
@@ -219,6 +241,8 @@ class MapReduce:
         mapstyle: MapStyle | None = None,
         locality_key: Callable[[Any], Any] | None = None,
         count: bool = False,
+        speculation: SpeculationPolicy | None = None,
+        degraded: bool = False,
     ) -> int:
         """Run ``mapper(itask, items[itask], kv)`` over a list of work items.
 
@@ -235,6 +259,25 @@ class MapReduce:
         the same DB partitions").  Workers with no matching work claim a
         fresh key (spreading keys across workers) and finally steal from the
         fullest remaining key.
+
+        ``speculation`` (master/worker mode only) enables speculative
+        re-execution: the master keeps an online P² quantile of unit
+        runtimes and re-issues a unit to an idle worker once its elapsed
+        time exceeds ``factor x`` the running median.  Workers buffer each
+        unit's output in a staging store and only merge it into the real
+        dataset once the master accepts their completion, so the winner is
+        chosen deterministically (first completion, dedup by unit id) and
+        the final dataset is identical to a no-speculation run.
+
+        ``degraded`` (master/worker mode only) lets the job survive worker
+        death mid-map: a worker hitting a rank failure marks itself dead on
+        the transport and raises
+        :class:`~repro.mpi.exceptions.DegradedRankLoss` instead of aborting
+        the job; the master reassigns its in-flight, queued *and
+        previously-completed* units to survivors (the dead rank's local
+        dataset is lost with it), and the communicator shrinks past the dead
+        rank for the rest of this MapReduce object's life.  The scheduler
+        report lands in :attr:`sched` on every surviving rank.
         """
         t0 = self._phase_begin("map")
         style = self.mapstyle if mapstyle is None else MapStyle(mapstyle)
@@ -242,8 +285,16 @@ class MapReduce:
             self.kv = self._fresh_kv()
         kv = self.kv
         nmap = len(items)
+        sched_active = (
+            (speculation is not None or degraded)
+            and self.size > 1
+            and style is MapStyle.MASTER_WORKER
+        )
 
-        if self.size == 1 or style is not MapStyle.MASTER_WORKER:
+        if sched_active:
+            self._map_items_sched(
+                items, mapper, kv, locality_key, speculation, degraded)
+        elif self.size == 1 or style is not MapStyle.MASTER_WORKER:
             for itask in self._static_tasks(nmap, style):
                 mapper(itask, items[itask], kv)
         elif self.rank == 0:
@@ -268,6 +319,307 @@ class MapReduce:
         if count:
             return self.kv_stats()[0]
         return len(kv)
+
+    def _map_items_sched(
+        self,
+        items: Sequence[Any],
+        mapper: Callable[[int, Any, KVStore], None],
+        kv: KVStore,
+        locality_key: Callable[[Any], Any] | None,
+        speculation: SpeculationPolicy | None,
+        degraded: bool,
+    ) -> None:
+        """Sched-dispatched MASTER_WORKER map (speculation / degraded mode).
+
+        On return ``self.comm`` may have shrunk past dead ranks, and
+        :attr:`sched` holds the master's report on every surviving rank.
+        A worker that died raises :class:`DegradedRankLoss` out of here.
+        """
+        if self.rank == 0:
+            report, dead_local = self._run_sched_master(
+                items, locality_key, speculation, degraded)
+        else:
+            report, dead_local = self._run_sched_worker(
+                lambda itask, target: mapper(itask, items[itask], target),
+                kv,
+                mapper,
+                key_of=(None if locality_key is None
+                        else (lambda i: locality_key(items[i]))),
+                speculating=speculation is not None,
+                degraded=degraded,
+            )
+        # Every survivor holds the same master-authored (report, dead set)
+        # before anyone shrinks, so the shrunk communicators agree even when
+        # a death is discovered after some workers were already retired.
+        if dead_local:
+            lost_global = tuple(sorted(self.comm.group[r] for r in dead_local))
+            self.comm = self.comm.shrink(sorted(dead_local))
+            self._tracer = self.comm.tracer
+            self.lost_ranks = tuple(sorted(set(self.lost_ranks) | set(lost_global)))
+            self.degraded_run = True
+        self.sched = report
+        self.sched_stats["speculated"] += report.speculated
+        self.sched_stats["wasted"] += report.wasted
+        self.sched_stats["reassigned"] += report.reassigned
+
+    def _run_sched_master(
+        self,
+        items: Sequence[Any],
+        locality_key: Callable[[Any], Any] | None,
+        speculation: SpeculationPolicy | None,
+        degraded: bool,
+    ) -> tuple[SchedReport, frozenset[int]]:
+        """Rank 0: pull dispatch with straggler speculation and death sweeps.
+
+        The wire protocol differs from the plain master: worker requests
+        carry ``(last_key, done_unit)`` and replies carry
+        ``(keep, directive, extra)`` — ``keep`` resolves the worker's
+        previous unit (commit or discard its staging), ``directive`` is a
+        task id, ``_WAIT_RETRY`` (extra = seconds) or ``_NO_MORE_WORK``.
+        Once every worker is retired the master runs one final death sweep
+        and sends ``(report, dead_ranks)`` to each survivor on
+        ``_TAG_REPORT``; membership is decided exactly once, here, so a
+        death discovered after some workers were already retired cannot
+        leave the fleet shrinking around different dead sets.
+        """
+        nmap = len(items)
+        tracker = StragglerTracker(speculation)
+        trc = self._tracer
+        # Work queues: plain FIFO, or the locality structures of
+        # _run_locality_master.  requeue() puts a reassigned unit at the
+        # front so lost work restarts before fresh work.
+        if locality_key is None:
+            fifo = deque(range(nmap))
+
+            def next_task(last_key: Any) -> Optional[int]:
+                return fifo.popleft() if fifo else None
+
+            def requeue(unit: int) -> None:
+                fifo.appendleft(unit)
+        else:
+            queues: dict[Any, deque] = {}
+            claim_order: deque = deque()
+            for itask, item in enumerate(items):
+                key = locality_key(item)
+                if key not in queues:
+                    queues[key] = deque()
+                    claim_order.append(key)
+                queues[key].append(itask)
+
+            def next_task(last_key: Any) -> Optional[int]:
+                q = queues.get(last_key)
+                if q:
+                    return q.popleft()
+                while claim_order:
+                    key = claim_order.popleft()
+                    q = queues.get(key)
+                    if q:
+                        return q.popleft()
+                remaining = [k for k, q in queues.items() if q]
+                if not remaining:
+                    return None
+                victim = max(remaining, key=lambda k: len(queues[k]))
+                return queues[victim].popleft()
+
+            def requeue(unit: int) -> None:
+                queues[locality_key(items[unit])].appendleft(unit)
+
+        active = set(range(1, self.size))
+        dead_local: set[int] = set()
+
+        def sweep_dead() -> None:
+            """Fold transport-level death flags into the dispatch state."""
+            group = self.comm.group
+            for global_rank in self.comm.network.dead_ranks():
+                if global_rank not in group:
+                    continue
+                local = group.index(global_rank)
+                if local in dead_local or local == 0:
+                    continue
+                dead_local.add(local)
+                active.discard(local)
+                now = time.monotonic()
+                # In-flight units whose only live runner died go back to
+                # the front of the queue; units the dead worker already
+                # completed are lost with its local dataset and must be
+                # redone from scratch.
+                orphans = tracker.release_worker(local, now)
+                lost_done = tracker.accepted_units(local)
+                for unit in lost_done:
+                    tracker.forget(unit)
+                for unit in lost_done + orphans:
+                    requeue(unit)
+                tracker.reassigned += len(lost_done) + len(orphans)
+                if trc.enabled:
+                    trc.instant("sched.reassign", cat="sched", rank=local,
+                                global_rank=global_rank,
+                                inflight=len(orphans), completed=len(lost_done))
+                # Void any requests the dead worker left in the mailbox.
+                while self.comm._match(source=local, tag=_TAG_REQUEST,
+                                       block=False) is not None:
+                    pass
+
+        def guarded_send(payload: Any, dest: int, tag: int = _TAG_ASSIGN) -> None:
+            # In degraded mode a reply can race the destination's death
+            # (process backend: broken pipe).  The next sweep retires it.
+            if not degraded:
+                self.comm.send(payload, dest=dest, tag=tag)
+                return
+            try:
+                self.comm.send(payload, dest=dest, tag=tag)
+            except MPIError:
+                pass
+
+        while active:
+            if degraded:
+                sweep_dead()
+                if not active:
+                    break
+            msg = self.comm._match(source=ANY_SOURCE, tag=_TAG_REQUEST,
+                                   block=False)
+            if msg is None:
+                time.sleep(0.002)
+                continue
+            src = msg.src
+            if src in dead_local:
+                continue  # stale request from a dead worker
+            last_key, done = msg.payload
+            now = time.monotonic()
+            keep = False
+            if done is not None:
+                keep = tracker.complete(done, src, now)
+            unit = next_task(last_key) if tracker.completed < nmap else None
+            if unit is not None:
+                tracker.assign(unit, src, now)
+                guarded_send((keep, unit, None), src)
+            elif tracker.completed < nmap:
+                cand = None
+                if speculation is not None:
+                    cand = tracker.candidate(now, exclude_worker=src)
+                if cand is not None:
+                    tracker.assign(cand, src, now)
+                    if trc.enabled:
+                        trc.instant(
+                            "sched.speculate", cat="sched", unit=cand,
+                            rank=src, copies=len(tracker.runners(cand)),
+                            median=tracker.median() or 0.0)
+                    guarded_send((keep, cand, None), src)
+                else:
+                    guarded_send((keep, _WAIT_RETRY, 0.005), src)
+            else:
+                guarded_send((keep, _NO_MORE_WORK, None), src)
+                active.discard(src)
+        # Final death sweep: a worker that died after its last completion
+        # (or between other workers' retirements) must still make it into
+        # the dead set every survivor shrinks around.  If the sweep forgets
+        # accepted units there is nobody left to redo them, so the map is
+        # genuinely incomplete and the job aborts.
+        if degraded:
+            sweep_dead()
+        if tracker.completed < nmap:
+            raise MPIError(
+                f"sched master: all workers lost with "
+                f"{nmap - tracker.completed} of {nmap} units incomplete")
+        lost_global = tuple(self.comm.group[r] for r in sorted(dead_local))
+        report = tracker.report(lost_global, degraded=bool(dead_local))
+        dead = frozenset(dead_local)
+        for local in range(1, self.size):
+            if local not in dead:
+                guarded_send((report, tuple(sorted(dead))), local,
+                             tag=_TAG_REPORT)
+        return report, dead
+
+    def _run_sched_worker(
+        self,
+        run_task: Callable[[int, KVStore], None],
+        kv: KVStore,
+        mapper: Any,
+        key_of: Callable[[int], Any] | None,
+        speculating: bool,
+        degraded: bool,
+    ) -> tuple[SchedReport, frozenset[int]]:
+        """Worker side of sched dispatch.
+
+        With speculation each unit runs against a fresh staging store that
+        is merged into ``kv`` only once the master accepts the completion
+        (first-copy-wins): a discarded loser leaves no trace, so output is
+        identical to a no-speculation run.  Mappers with out-of-band state
+        (e.g. mrsom's accumulator) expose optional ``begin_unit`` /
+        ``commit_unit`` / ``discard_unit`` hooks that bracket each unit the
+        same way.
+
+        In degraded mode a rank failure is converted into
+        :class:`DegradedRankLoss` after flagging this rank dead on the
+        transport, so the master can route around it.
+        """
+        begin_hook = getattr(mapper, "begin_unit", None)
+        commit_hook = getattr(mapper, "commit_unit", None)
+        discard_hook = getattr(mapper, "discard_unit", None)
+        last_key: Any = None
+        pending: Optional[tuple[int, Optional[KVStore]]] = None
+        stage: Optional[KVStore] = None
+        try:
+            while True:
+                done = pending[0] if pending is not None else None
+                self.comm.send((last_key, done), dest=0, tag=_TAG_REQUEST)
+                keep, directive, extra = self.comm.recv(source=0, tag=_TAG_ASSIGN)
+                if pending is not None:
+                    unit, stage = pending
+                    pending = None
+                    if keep:
+                        if stage is not None:
+                            self._merge_stage(kv, stage)
+                        if commit_hook is not None:
+                            commit_hook(unit)
+                    elif discard_hook is not None:
+                        discard_hook(unit)
+                    if stage is not None:
+                        stage.close()
+                        stage = None
+                if directive == _NO_MORE_WORK:
+                    # Retirement carries no membership; the master decides
+                    # the dead set once, after every worker is parked, and
+                    # distributes it with the report.
+                    report, dead = self.comm.recv(source=0, tag=_TAG_REPORT)
+                    return report, frozenset(dead)
+                if directive == _WAIT_RETRY:
+                    time.sleep(extra)
+                    continue
+                itask = directive
+                if speculating:
+                    stage = self._fresh_kv()
+                if begin_hook is not None:
+                    begin_hook(itask)
+                run_task(itask, stage if speculating else kv)
+                pending = (itask, stage)
+                stage = None
+                if key_of is not None:
+                    last_key = key_of(itask)
+        except RankFailure as exc:
+            if stage is not None:
+                stage.close()
+            if pending is not None and pending[1] is not None:
+                pending[1].close()
+            if degraded:
+                self.comm.network.mark_dead(self.comm.global_rank)
+                raise DegradedRankLoss(self.comm.global_rank, repr(exc)) from exc
+            raise
+
+    @staticmethod
+    def _merge_stage(kv: KVStore, stage: KVStore) -> None:
+        """Append a staging store's pairs to the real dataset, plane-aware."""
+        if isinstance(stage, ColumnarKeyValue):
+            for karr, vcol in stage.iter_batches():
+                kv.add_wire((karr,) + _v_to_arrays(vcol))
+            return
+        batch: list = []
+        for pair in stage:
+            batch.append(pair)
+            if len(batch) >= 1024:
+                kv.add_multi(batch)
+                batch = []
+        if batch:
+            kv.add_multi(batch)
 
     def _static_tasks(self, nmap: int, style: MapStyle):
         if style is MapStyle.STRIDED:

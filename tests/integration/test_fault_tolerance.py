@@ -330,6 +330,114 @@ class TestConfigValidation:
             cfg.validate()
 
 
+class TestStragglerMitigation:
+    """PR 8: speculative re-execution and degraded-mode completion."""
+
+    NP = 4  # the acceptance scenario: one stalled worker out of 4 ranks
+
+    def _mw_config(self, workload, out, **overrides):
+        return _config(workload, out, mapstyle=MapStyle.MASTER_WORKER,
+                       **overrides)
+
+    def test_speculation_output_is_byte_identical_to_fault_free(
+        self, workload, tmp_path
+    ):
+        import time
+
+        clean = mrblast_spmd(
+            self.NP, self._mw_config(workload, tmp_path / "clean")
+        )
+
+        def stall(item):  # one seeded straggler unit
+            if item.block_index == 0 and item.partition_index == 0:
+                time.sleep(0.5)
+
+        spec = mrblast_spmd(
+            self.NP,
+            self._mw_config(
+                workload,
+                tmp_path / "spec",
+                speculation_factor=2.0,
+                unit_fault_injector=stall,
+            ),
+        )
+        assert sum(r.speculated_units for r in spec) >= 1
+        assert all(not r.degraded for r in spec)
+        for c, s in zip(clean, spec):
+            with open(c.output_path, "rb") as a, open(s.output_path, "rb") as b:
+                assert a.read() == b.read(), f"rank {c.rank} output diverged"
+
+    def test_mid_map_crash_completes_degraded_with_counters(
+        self, workload, tmp_path
+    ):
+        clean = mrblast_spmd(
+            self.NP, self._mw_config(workload, tmp_path / "deg-clean")
+        )
+        clean_sig = _signatures(collect_rank_hits([r.output_path for r in clean]))
+
+        tripped = []
+
+        def die_once(item):
+            if item.block_index == 0 and item.partition_index == 0 and not tripped:
+                tripped.append(True)
+                raise RankFailure(-1, -1)
+
+        results = mrblast_spmd(
+            self.NP,
+            self._mw_config(
+                workload,
+                tmp_path / "deg",
+                degraded=True,
+                unit_fault_injector=die_once,
+            ),
+        )
+        dead = [i for i, r in enumerate(results) if r is None]
+        assert len(dead) == 1 and dead[0] != 0  # one worker died, never the master
+        live = [r for r in results if r is not None]
+        for r in live:
+            assert r.degraded
+            assert r.lost_ranks == (dead[0],)
+            assert r.reassigned_units >= 1
+        # Survivors redid the lost work: the merged HSP set is unchanged.
+        merged_sig = _signatures(collect_rank_hits([r.output_path for r in live]))
+        assert merged_sig == clean_sig
+
+    def test_degraded_mrsom_recovers_codebook(self, tmp_path):
+        matrix = os.path.join(tmp_path, "deg.mat")
+        rng = np.random.default_rng(11)
+        write_matrix_file(matrix, rng.normal(size=(200, 6)))
+
+        def cfg(**overrides):
+            kwargs = dict(matrix_path=matrix, grid=SOMGrid(5, 5), epochs=3,
+                          block_rows=20, seed=2)
+            kwargs.update(overrides)
+            return MrSomConfig(**kwargs)
+
+        from repro.core.mrsom.driver import run_mrsom
+        from repro.mpi.runtime import run_spmd
+
+        clean = mrsom_spmd(self.NP, cfg())
+        # Aim the crash at the middle of rank 2's measured clean op count.
+        probe = SpmdJob(self.NP, run_mrsom, (cfg(degraded=True),))
+        probe.run()
+        crash_at = max(4, probe.network.op_count(2) // 2)
+        plan = FaultPlan([CrashRank(rank=2, at_op=crash_at)])
+        results = run_spmd(self.NP, run_mrsom, cfg(degraded=True),
+                           fault_plan=plan)
+        assert results[2] is None
+        live = [r for r in results if r is not None]
+        for r in live:
+            assert r.degraded and r.lost_ranks == (2,)
+            assert np.allclose(r.codebook, clean[0].codebook)
+
+    def test_degraded_rejects_mrmpi_reduce_plane(self, tmp_path):
+        matrix = os.path.join(tmp_path, "m.mat")
+        write_matrix_file(matrix, np.ones((20, 4)))
+        with pytest.raises(ValueError, match="mrmpi"):
+            MrSomConfig(matrix_path=matrix, grid=SOMGrid(3, 3),
+                        degraded=True, reduce_mode="mrmpi")
+
+
 def _instants(session, name):
     """All ``(rank, attrs)`` pairs for instants called *name* in *session*."""
     found = []

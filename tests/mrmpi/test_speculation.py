@@ -1,0 +1,215 @@
+"""Scheduled dispatch on the real runtime: speculative re-execution and
+degraded-mode completion of ``MapReduce.map_items``.
+
+The stall/crash timings below are generous (hundreds of milliseconds vs
+~10 ms units) so the scheduler decisions under test are forced, not raced.
+"""
+
+import time
+
+import pytest
+
+from repro.mpi.exceptions import DegradedRankLoss, MPIError
+from repro.mpi.faultplan import FaultPlan
+from repro.mpi.runtime import RetryPolicy, SpmdJob, run_spmd
+from repro.mrmpi.mapreduce import MapReduce, MapStyle
+from repro.sched import SpeculationPolicy
+
+NPROCS = 4
+BACKENDS = ["thread", "process"]
+
+
+def _spec_job(comm):
+    """12 cheap units; rank 1 stalls 0.8 s on its first unit."""
+    mr = MapReduce(comm, mapstyle=MapStyle.MASTER_WORKER)
+    first = [True]
+
+    def mapper(itask, item, kv):
+        if comm.rank == 1 and first[0]:
+            first[0] = False
+            time.sleep(0.8)
+        else:
+            time.sleep(0.01)
+        kv.add(itask, item * 2)
+
+    mr.map_items(list(range(12)), mapper,
+                 speculation=SpeculationPolicy(factor=2.0, warmup=3))
+    pairs = sorted(mr.kv) if mr.kv is not None else []
+    sched = mr.sched
+    mr.close()
+    return pairs, sched
+
+
+def _degraded_job(comm):
+    mr = MapReduce(comm, mapstyle=MapStyle.MASTER_WORKER)
+
+    def mapper(itask, item, kv):
+        time.sleep(0.01)
+        kv.add(itask, item)
+
+    mr.map_items(list(range(12)), mapper, degraded=True)
+    pairs = sorted(mr.kv) if mr.kv is not None else []
+    sched = mr.sched
+    size_after = mr.comm.size
+    lost = mr.lost_ranks
+    mr.close()
+    return pairs, sched, size_after, lost
+
+
+class TestSpeculation:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_stalled_unit_is_cloned_and_output_deduped(self, backend):
+        results = run_spmd(NPROCS, _spec_job, backend=backend)
+        merged = sorted(p for pairs, _ in results for p in pairs)
+        # Exactly one copy of every unit survives, loser discarded by id.
+        assert merged == [(i, i * 2) for i in range(12)]
+        sched = results[0][1]
+        assert sched is not None
+        assert sched.completed == 12
+        assert sched.speculated >= 1
+        assert sched.wasted == sched.speculated  # every clone raced a winner
+        assert not sched.degraded
+        # Every rank got the same broadcast report.
+        assert all(r[1] == sched for r in results)
+
+    def test_speculation_ignored_off_master_worker(self):
+        def job(comm):
+            mr = MapReduce(comm, mapstyle=MapStyle.CHUNK)
+            mr.map_items(list(range(8)), lambda i, item, kv: kv.add(i, item),
+                         speculation=SpeculationPolicy())
+            n = len(sorted(mr.kv))
+            sched = mr.sched
+            mr.close()
+            return n, sched
+
+        results = run_spmd(NPROCS, job)
+        assert all(sched is None for _n, sched in results)
+        assert sum(n for n, _ in results) == 8
+
+
+class TestDegradedCompletion:
+    def _crash_plan(self, job, rank=2):
+        """Measure a clean run's op count and aim a crash at its middle."""
+        probe = SpmdJob(NPROCS, job)
+        probe.run()
+        ops = probe.network.op_count(rank)
+        return FaultPlan.parse(f"crash={rank}@{max(4, ops // 2)}", NPROCS)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_worker_death_reassigns_and_completes(self, backend):
+        plan = self._crash_plan(_degraded_job)
+        results = run_spmd(NPROCS, _degraded_job, fault_plan=plan,
+                           backend=backend)
+        assert results[2] is None  # the dead rank has no result
+        live = [r for r in results if r is not None]
+        assert len(live) == NPROCS - 1
+        merged = sorted(p for pairs, *_ in live for p in pairs)
+        assert merged == [(i, i) for i in range(12)]
+        for _pairs, sched, size_after, lost in live:
+            assert sched.degraded
+            assert sched.lost_ranks == (2,)
+            assert sched.reassigned >= 1
+            assert size_after == NPROCS - 1  # comm shrank around the corpse
+            assert lost == (2,)
+
+    def test_without_degraded_flag_crash_still_aborts(self):
+        def job(comm):
+            mr = MapReduce(comm, mapstyle=MapStyle.MASTER_WORKER)
+            mr.map_items(list(range(12)),
+                         lambda i, item, kv: (time.sleep(0.01), kv.add(i, item)))
+            out = sorted(mr.kv)
+            mr.close()
+            return out
+
+        plan = self._crash_plan(job)
+        with pytest.raises(MPIError):
+            SpmdJob(NPROCS, job, fault_plan=plan).run()
+
+    def test_degraded_rank_loss_pickles_roundtrip(self):
+        import pickle
+
+        exc = DegradedRankLoss(3, "RankFailure(...)")
+        clone = pickle.loads(pickle.dumps(exc))
+        assert isinstance(clone, DegradedRankLoss)
+        assert clone.rank == 3
+
+
+class TestUnitHooks:
+    """begin/commit/discard hooks stage side effects per unit."""
+
+    def test_discarded_duplicate_never_commits(self):
+        class Mapper:
+            def __init__(self, comm):
+                self.comm = comm
+                self.committed = []
+                self.discarded = []
+                self.pending = None
+                self.first = True
+
+            def begin_unit(self, itask):
+                self.pending = itask
+
+            def commit_unit(self, itask):
+                self.committed.append(itask)
+                self.pending = None
+
+            def discard_unit(self, itask):
+                self.discarded.append(itask)
+                self.pending = None
+
+            def __call__(self, itask, item, kv):
+                if self.comm.rank == 1 and self.first:
+                    self.first = False
+                    time.sleep(0.8)
+                else:
+                    time.sleep(0.01)
+                kv.add(itask, item)
+
+        def job(comm):
+            mr = MapReduce(comm, mapstyle=MapStyle.MASTER_WORKER)
+            mapper = Mapper(comm)
+            mr.map_items(list(range(12)), mapper,
+                         speculation=SpeculationPolicy(factor=2.0, warmup=3))
+            out = sorted(mr.kv)
+            sched = mr.sched
+            mr.close()
+            return out, mapper.committed, mapper.discarded, sched
+
+        results = run_spmd(NPROCS, job)
+        merged = sorted(p for pairs, *_ in results for p in pairs)
+        assert merged == [(i, i) for i in range(12)]
+        committed = sorted(u for _p, c, _d, _s in results for u in c)
+        discarded = [u for _p, _c, d, _s in results for u in d]
+        sched = results[0][3]
+        # Accepted copies commit exactly once per unit; every wasted copy
+        # was explicitly discarded on its worker.
+        assert committed == list(range(12))
+        assert len(discarded) == sched.wasted
+        assert sched.wasted >= 1
+
+
+class TestDecorrelatedJitter:
+    def test_schedule_is_seeded_and_bounded(self):
+        policy = RetryPolicy(max_attempts=8, backoff_base=0.1, backoff_max=2.0,
+                             jitter="decorrelated", seed=7)
+        a = [policy.backoff_schedule().next(i) for i in range(1, 8)]
+        b = [policy.backoff_schedule().next(i) for i in range(1, 8)]
+        assert a == b  # same seed, same schedule
+        assert all(0.1 <= d <= 2.0 for d in a)
+
+    def test_cap_applies_after_jitter(self):
+        policy = RetryPolicy(max_attempts=50, backoff_base=0.5, backoff_max=1.0,
+                             jitter="decorrelated", seed=1)
+        sched = policy.backoff_schedule()
+        delays = [sched.next(i) for i in range(1, 50)]
+        assert max(delays) <= 1.0
+
+    def test_none_jitter_matches_legacy_backoff(self):
+        policy = RetryPolicy(max_attempts=6, backoff_base=0.25, backoff_max=10.0)
+        sched = policy.backoff_schedule()
+        for attempt in range(1, 6):
+            assert sched.next(attempt) == policy.backoff(attempt)
+
+    def test_rejects_unknown_jitter(self):
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter="thundering-herd")
