@@ -92,7 +92,13 @@ class DistributedSeedIndex:
         # (word, posting) pairs by owner rank; word ownership is computed
         # per distinct word over the whole subject, not per position.
         self._owner_cache: dict[int, int] = {}
-        outgoing: list[list[tuple[int, str, int]]] = [[] for _ in range(comm.size)]
+        # Per-destination column batches — (words, subject ids, positions)
+        # as parallel arrays rather than tuples, so the exchange is three
+        # contiguous buffers per peer (zero-copy on an arena transport)
+        # instead of a pickled list of per-posting tuples.
+        out_words: list[list[np.ndarray]] = [[] for _ in range(comm.size)]
+        out_sids: list[list[np.ndarray]] = [[] for _ in range(comm.size)]
+        out_pos: list[list[np.ndarray]] = [[] for _ in range(comm.size)]
         for p in range(comm.rank, self.alias.num_partitions, comm.size):
             partition = self.alias.open_partition(p)
             for sid, codes in partition:
@@ -102,12 +108,25 @@ class DistributedSeedIndex:
                 owners = self._owners(words)
                 for r in np.unique(owners).tolist():
                     sel = np.flatnonzero(owners == r)
-                    outgoing[r].extend(
-                        (w, sid, pos) for w, pos in zip(words[sel].tolist(), sel.tolist())
-                    )
+                    out_words[r].append(words[sel])
+                    out_sids[r].append(np.full(sel.size, sid))
+                    out_pos[r].append(sel.astype(np.int64, copy=False))
+        outgoing = [
+            None if not out_words[r] else (
+                np.concatenate(out_words[r]),
+                np.concatenate(out_sids[r]),
+                np.concatenate(out_pos[r]),
+            )
+            for r in range(comm.size)
+        ]
         incoming = comm.alltoall(outgoing)
         for batch in incoming:
-            for w, sid, pos in batch:
+            if batch is None:
+                continue
+            w_col, sid_col, pos_col = batch
+            for w, sid, pos in zip(
+                w_col.tolist(), sid_col.tolist(), pos_col.tolist()
+            ):
                 self._postings.setdefault(w, []).append((sid, pos))
                 self.total_postings += 1
 
@@ -146,8 +165,12 @@ class DistributedSeedIndex:
         comm = self.comm
         my_queries = list(queries)[comm.rank :: comm.size]
 
-        # Phase 1: route (request_id, word, q_pos) lookups to word owners.
-        requests: list[list[tuple[int, int, int]]] = [[] for _ in range(comm.size)]
+        # Phase 1: route (request_id, word, q_pos) lookups to word owners,
+        # shipped as three parallel int64 columns per destination so the
+        # exchange stays on the transport's buffer fast path.
+        req_rid: list[list[np.ndarray]] = [[] for _ in range(comm.size)]
+        req_word: list[list[np.ndarray]] = [[] for _ in range(comm.size)]
+        req_qpos: list[list[np.ndarray]] = [[] for _ in range(comm.size)]
         contexts: list[tuple[str, int]] = []  # request id -> (query id, strand)
         if my_queries:
             from repro.blast.lookup import _window_unmasked
@@ -164,25 +187,59 @@ class DistributedSeedIndex:
                 owners = self._owners(ctx_words)
                 for r in np.unique(owners).tolist():
                     sel = np.flatnonzero(owners == r)
-                    requests[r].extend(
-                        (rid, w, q)
-                        for w, q in zip(ctx_words[sel].tolist(), usable[sel].tolist())
-                    )
+                    req_rid[r].append(np.full(sel.size, rid, dtype=np.int64))
+                    req_word[r].append(ctx_words[sel])
+                    req_qpos[r].append(usable[sel].astype(np.int64, copy=False))
+        requests = [
+            None if not req_rid[r] else (
+                np.concatenate(req_rid[r]),
+                np.concatenate(req_word[r]),
+                np.concatenate(req_qpos[r]),
+            )
+            for r in range(comm.size)
+        ]
 
         incoming = comm.alltoall(requests)
 
-        # Phase 2: owners answer with postings per request.
-        replies: list[list[tuple[int, int, str, int]]] = [[] for _ in range(comm.size)]
+        # Phase 2: owners answer with postings per request — columns again:
+        # (request id, q_pos, subject id, s_pos).
+        rep_rid: list[list[int]] = [[] for _ in range(comm.size)]
+        rep_qpos: list[list[int]] = [[] for _ in range(comm.size)]
+        rep_sid: list[list[str]] = [[] for _ in range(comm.size)]
+        rep_spos: list[list[int]] = [[] for _ in range(comm.size)]
         for src, batch in enumerate(incoming):
-            for rid, w, q_pos in batch:
+            if batch is None:
+                continue
+            rid_col, w_col, q_col = batch
+            for rid, w, q_pos in zip(
+                rid_col.tolist(), w_col.tolist(), q_col.tolist()
+            ):
                 for sid, s_pos in self._postings.get(w, ()):
-                    replies[src].append((rid, q_pos, sid, s_pos))
+                    rep_rid[src].append(rid)
+                    rep_qpos[src].append(q_pos)
+                    rep_sid[src].append(sid)
+                    rep_spos[src].append(s_pos)
+        replies = [
+            None if not rep_rid[src] else (
+                np.asarray(rep_rid[src], dtype=np.int64),
+                np.asarray(rep_qpos[src], dtype=np.int64),
+                np.asarray(rep_sid[src]),
+                np.asarray(rep_spos[src], dtype=np.int64),
+            )
+            for src in range(comm.size)
+        ]
         answers = comm.alltoall(replies)
 
         # Phase 3: per (query, subject, strand), count diagonal-banded hits.
         support: dict[tuple[int, str], dict[int, int]] = defaultdict(lambda: defaultdict(int))
         for batch in answers:
-            for rid, q_pos, sid, s_pos in batch:
+            if batch is None:
+                continue
+            rid_col, qp_col, sid_col, sp_col = batch
+            for rid, q_pos, sid, s_pos in zip(
+                rid_col.tolist(), qp_col.tolist(),
+                sid_col.tolist(), sp_col.tolist(),
+            ):
                 band = (s_pos - q_pos) // max(diagonal_band, 1)
                 support[(rid, sid)][band] += 1
 

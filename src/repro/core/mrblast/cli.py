@@ -37,6 +37,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="transport backend: 'process' runs each rank as an OS "
                          "process (real multi-core); 'thread' is the in-process "
                          "parity oracle (default: $REPRO_MPI_BACKEND or thread)")
+    ap.add_argument("--arena-mb", type=int, default=None,
+                    help="process backend: shared-memory arena MiB per rank "
+                         "(0 disables the arena; default: $REPRO_MPI_ARENA_MB "
+                         "or 64)")
     ap.add_argument("--out", default="mrblast_out", help="output directory")
     ap.add_argument("--program", choices=["blastn", "blastp", "blastx"], default="blastn")
     ap.add_argument("--engine", choices=["fused", "staged"], default="fused",
@@ -113,6 +117,7 @@ def main(argv: list[str] | None = None) -> int:
             target_unit_seconds=args.target_unit_seconds,
             locality_aware=args.locality,
             backend=args.backend,
+            arena_mb=args.arena_mb,
             speculation_factor=args.speculate,
             degraded=not args.no_degraded,
         ))
@@ -142,6 +147,7 @@ def main(argv: list[str] | None = None) -> int:
         resume=args.resume,
         trace_path=args.trace,
         backend=args.backend,
+        arena_mb=args.arena_mb,
         speculation_factor=args.speculate,
         degraded=not args.no_degraded,
     )

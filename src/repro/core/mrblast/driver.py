@@ -121,6 +121,11 @@ class MrBlastConfig:
     #: "process" (one OS process per rank, real multi-core map compute).
     #: None defers to the REPRO_MPI_BACKEND environment default.
     backend: str | None = None
+    #: process-backend shared-memory arena budget in MiB per rank (0
+    #: disables the arena, restoring the per-message shm path).  None
+    #: defers to $REPRO_MPI_ARENA_MB / the built-in default; ignored by
+    #: the thread backend.
+    arena_mb: int | None = None
     #: straggler mitigation: re-issue a work unit to an idle worker once its
     #: elapsed time exceeds this factor times the running median unit
     #: runtime (None disables speculation).  First completion wins; output
@@ -437,7 +442,7 @@ def mrblast_spmd(
     if trace is None and config.trace_path:
         trace = TraceSession(nprocs)
     results = run_spmd(nprocs, run_mrblast, config, trace=trace,
-                       backend=config.backend)
+                       backend=config.backend, arena_mb=config.arena_mb)
     if config.trace_path and trace is not None:
         write_chrome_trace(config.trace_path, trace)
     return results
@@ -479,6 +484,7 @@ def mrblast_supervised(
             prepare=prepare,
             trace=trace,
             backend=config.backend,
+            arena_mb=config.arena_mb,
         )
     finally:
         # Export even when supervision exhausts: the trace of a failed job

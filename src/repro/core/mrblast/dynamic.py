@@ -68,6 +68,8 @@ class DynamicChunkConfig:
     hit_filter: Callable[[str, HSP], bool] | None = None
     #: transport backend (None = REPRO_MPI_BACKEND default; see run_spmd)
     backend: str | None = None
+    #: process-backend arena budget in MiB per rank (see run_spmd)
+    arena_mb: int | None = None
     #: adaptive deadlines (the Fig. 4 knob closed-loop): process the query
     #: set in waves of ``queries_per_wave`` queries and re-size the block
     #: between waves from the *observed* unit-runtime distribution, instead
@@ -333,4 +335,5 @@ def run_mrblast_dynamic(comm: Comm, config: DynamicChunkConfig) -> DynamicRunRes
 
 def mrblast_dynamic_spmd(nprocs: int, config: DynamicChunkConfig) -> list[DynamicRunResult]:
     """Launch a full in-process MPI job running :func:`run_mrblast_dynamic`."""
-    return run_spmd(nprocs, run_mrblast_dynamic, config, backend=config.backend)
+    return run_spmd(nprocs, run_mrblast_dynamic, config,
+                    backend=config.backend, arena_mb=config.arena_mb)

@@ -98,6 +98,11 @@ class MrSomConfig:
     #: "process" (one OS process per rank, real multi-core epoch compute).
     #: None defers to the REPRO_MPI_BACKEND environment default.
     backend: str | None = None
+    #: process-backend shared-memory arena budget in MiB per rank (0
+    #: disables the arena, restoring the per-message shm path).  None
+    #: defers to $REPRO_MPI_ARENA_MB / the built-in default; ignored by
+    #: the thread backend.
+    arena_mb: int | None = None
     #: straggler threshold: re-issue a unit once its elapsed time exceeds
     #: ``speculation_factor ×`` the running median (None = no speculation).
     #: Only effective under MASTER_WORKER dispatch on >1 rank.
@@ -495,7 +500,7 @@ def mrsom_spmd(
     if trace is None and config.trace_path:
         trace = TraceSession(nprocs)
     results = run_spmd(nprocs, run_mrsom, config, trace=trace,
-                       backend=config.backend)
+                       backend=config.backend, arena_mb=config.arena_mb)
     if config.trace_path and trace is not None:
         write_chrome_trace(config.trace_path, trace)
     return results
@@ -538,6 +543,7 @@ def mrsom_supervised(
             prepare=prepare,
             trace=trace,
             backend=config.backend,
+            arena_mb=config.arena_mb,
         )
     finally:
         # Export even when supervision exhausts: the trace of a failed job

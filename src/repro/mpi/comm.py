@@ -80,13 +80,18 @@ def _wire(obj: Any) -> Any:
 
     MPI buffer semantics put the aliasing burden on the *caller*: a buffer
     handed to a send must not be mutated until the operation completes.
-    Under that contract a bare ndarray — or a tuple of ndarrays, the
+    Under that contract a bare ndarray — or a container of ndarrays, the
     columnar page wire format — needs no defensive copy at all: the thread
     transport passes a read-only *view* (receivers can read, nobody can
     write), and the process transport serialises straight out of the
-    caller's buffer into a shared-memory block.  Collectives double as
+    caller's buffer into the shared arena.  Collectives double as
     synchronisation fences, so the SOM epoch loop and the shuffle pipeline
     satisfy the contract naturally.
+
+    One extra nesting level is honoured — a sequence whose items are
+    ``None``, arrays, or sequences of arrays, which is exactly what
+    allgather's internal bcast-of-a-gathered-list and the paged columnar
+    gather produce — so those stay no-copy (and arena-frameable) too.
 
     Everything else keeps the conservative :func:`_isolate` deep copy.
     """
@@ -94,20 +99,25 @@ def _wire(obj: Any) -> Any:
         view = obj.view()
         view.setflags(write=False)
         return view
-    if (
-        isinstance(obj, (tuple, list))
-        and obj
-        and all(isinstance(a, np.ndarray) for a in obj)
-    ):
-        # A fresh container (so receivers can't reorder the sender's list)
-        # holding frozen views — this also keeps allgather's internal
-        # bcast-of-a-gathered-list on the no-copy path.
-        frozen = []
-        for a in obj:
-            view = a.view()
-            view.setflags(write=False)
-            frozen.append(view)
-        return tuple(frozen) if isinstance(obj, tuple) else frozen
+    if isinstance(obj, (tuple, list)) and obj:
+        if all(isinstance(a, np.ndarray) for a in obj):
+            # A fresh container (so receivers can't reorder the sender's
+            # list) holding frozen views.
+            frozen = []
+            for a in obj:
+                view = a.view()
+                view.setflags(write=False)
+                frozen.append(view)
+            return tuple(frozen) if isinstance(obj, tuple) else frozen
+        if all(
+            o is None
+            or isinstance(o, np.ndarray)
+            or (isinstance(o, (tuple, list)) and o
+                and all(isinstance(a, np.ndarray) for a in o))
+            for o in obj
+        ):
+            nested = [None if o is None else _wire(o) for o in obj]
+            return tuple(nested) if isinstance(obj, tuple) else nested
     return _isolate(obj)
 
 
@@ -472,15 +482,38 @@ class Comm:
 
     @_traced_collective("alltoall")
     def alltoall(self, sendobjs: Sequence[Any]) -> list:
-        """Personalised all-to-all: item ``i`` of my list goes to rank ``i``."""
+        """Personalised all-to-all: item ``i`` of my list goes to rank ``i``.
+
+        On an arena-backed transport the exchange runs the classic
+        pairwise XOR-peer schedule: round ``r`` pairs each rank with
+        ``rank ^ r`` (sendrecv), so at most one outbound payload per rank
+        is in flight at a time and peak arena residency per round is one
+        slot, not ``P-1`` — that is what lets a ring sized well below the
+        full shuffle volume keep a 100% hit rate.  Both schedules make
+        exactly ``size-1`` posts and ``size-1`` matches per rank, so
+        FaultPlan op/send counters (and therefore seeded fault traces)
+        are identical across backends.
+        """
         if len(sendobjs) != self.size:
             raise MPIError(f"alltoall needs {self.size} items, got {len(sendobjs)}")
-        for peer in range(self.size):
-            if peer != self._rank:
+        size, rank = self.size, self._rank
+        out: list[Any] = [None] * size
+        out[rank] = _wire(sendobjs[rank])
+        if getattr(self._network, "arena_enabled", False):
+            pow2 = 1
+            while pow2 < size:
+                pow2 <<= 1
+            for r in range(1, pow2):
+                peer = rank ^ r
+                if peer < size:
+                    self._post(sendobjs[peer], peer, _TAG_ALLTOALL)
+                    out[peer] = self._match(
+                        source=peer, tag=_TAG_ALLTOALL).payload
+            return out
+        for peer in range(size):
+            if peer != rank:
                 self._post(sendobjs[peer], peer, _TAG_ALLTOALL)
-        out: list[Any] = [None] * self.size
-        out[self._rank] = _wire(sendobjs[self._rank])
-        for _ in range(self.size - 1):
+        for _ in range(size - 1):
             msg = self._match(source=ANY_SOURCE, tag=_TAG_ALLTOALL)
             out[msg.src] = msg.payload  # comm-local sender rank
         return out

@@ -147,6 +147,17 @@ class Network(TransportEndpoint):
             return self._tracers[rank]
         return NULL_TRACER
 
+    # ------------------------------------------------------------------- arena
+
+    # Threads share one address space: payloads already cross as zero-copy
+    # frozen views, so there is no arena here — the contract's no-op
+    # passthrough (``arena_enabled = False``, empty ``arena_stats()``) is
+    # inherited from TransportEndpoint and restated for discoverability.
+    arena_enabled = False
+
+    def arena_stats(self) -> dict:
+        return {}
+
     # ------------------------------------------------------------------ faults
 
     def _pre_op(self, rank: int) -> None:

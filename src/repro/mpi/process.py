@@ -6,11 +6,16 @@ This backend forks one process per rank so map/convert/reduce compute
 runs on real cores, while keeping the exact transport contract of
 :mod:`repro.mpi.transport`:
 
-- **data plane** — an N×N mesh of unidirectional pipes.  Control-sized
-  payloads pickle straight through; bulk numpy payloads (the capitalized
-  ``Send``/``Bcast``/``Reduce`` path and the columnar page exchange) ship
-  as :mod:`repro.mpi.shm` shared-memory handles, so array bytes cross the
-  process boundary through one shared block, not the pipe buffer.
+- **data plane** — an N×N mesh of unidirectional pipes carrying typed
+  frames (first byte selects the codec).  Bulk numpy payloads (the
+  capitalized ``Send``/``Bcast``/``Reduce`` path, the columnar page
+  exchange and the seed-index alltoalls) travel as **arena frames**: the
+  bytes are written once into the sender's ring of the per-job shared
+  arena (:mod:`repro.mpi.arena`) and the pipe carries only a fixed-width
+  packed descriptor; the receiver gets read-only zero-copy views.
+  Control-sized payloads pickle straight through, and bulk payloads that
+  overflow the ring fall back to PR-6 per-message
+  :mod:`repro.mpi.shm` blocks — correctness never depends on arena hits.
 - **delivery** — each child runs a daemon *receiver thread* draining its
   inbound pipes into a rank-local mailbox; ``match`` then runs the very
   same (context, source, tag) scan the thread backend runs on its shared
@@ -49,6 +54,7 @@ import itertools
 import multiprocessing as mp
 import os
 import pickle
+import selectors
 import threading
 import time
 from multiprocessing import connection as mp_connection
@@ -56,6 +62,7 @@ from typing import Any, Callable, Optional, Sequence
 
 import numpy as np
 
+from repro.mpi.arena import Arena, create_arena_segments, resolve_arena_bytes
 from repro.mpi.exceptions import (
     AbortError,
     DeadlockError,
@@ -67,7 +74,15 @@ from repro.mpi.faultplan import CrashRank, FaultPlan, StallRank
 from repro.mpi.faultplan import DelayMessage, DropMessage, DuplicateMessage
 from repro.mpi.network import Message
 from repro.mpi.ops import ANY_SOURCE, ANY_TAG
-from repro.mpi.shm import decode_payload, encode_payload, sweep_job_blocks
+from repro.mpi.shm import (
+    FRAME_ARENA,
+    FRAME_PICKLE,
+    decode_payload,
+    encode_payload,
+    pack_arena_message,
+    sweep_job_blocks,
+    unpack_arena_message,
+)
 from repro.mpi.transport import TransportEndpoint, matches
 from repro.obs.metrics import MetricsRegistry, absorb_snapshot
 from repro.obs.trace import NULL_TRACER, set_current_tracer
@@ -126,6 +141,7 @@ class ProcessNetwork(TransportEndpoint):
         tracer,
         shm_prefix: str,
         dead_flags=None,
+        arena: Arena | None = None,
     ) -> None:
         self.rank = rank
         self.nprocs = nprocs
@@ -141,6 +157,7 @@ class ProcessNetwork(TransportEndpoint):
         self._dead_flags = dead_flags
         self._tracer = tracer if tracer is not None else NULL_TRACER
         self._shm_prefix = f"{shm_prefix}r{rank}_"
+        self._arena = arena
         self._cond = threading.Condition()
         self._mailbox: list[Message] = []
         self._next_seq = 0
@@ -161,29 +178,52 @@ class ProcessNetwork(TransportEndpoint):
 
         Runs for the life of the process so peers' eager sends always find
         a reader, even while the main thread is blocked in a collective or
-        unwinding from an abort.
+        unwinding from an abort.  The selector is registered once — per
+        message it costs one ``epoll_wait``, not a selector rebuild, which
+        matters for the α term of the machine model.
         """
-        conns = list(self._inbound) + [self._ctrl_r]
-        while conns:
+        sel = selectors.DefaultSelector()
+        for conn in self._inbound:
+            sel.register(conn, selectors.EVENT_READ, "data")
+        sel.register(self._ctrl_r, selectors.EVENT_READ, "ctrl")
+        live = len(self._inbound) + 1
+        while live:
             try:
-                ready = mp_connection.wait(conns, timeout=1.0)
+                ready = sel.select(timeout=1.0)
             except OSError:  # pragma: no cover - fds torn down at exit
                 return
-            for conn in ready:
-                try:
-                    kind, data = conn.recv()
-                except (EOFError, OSError):
-                    conns.remove(conn)
+            for key, _events in ready:
+                conn = key.fileobj
+                if key.data == "ctrl":
+                    try:
+                        kind, data = conn.recv()
+                    except (EOFError, OSError):
+                        sel.unregister(conn)
+                        live -= 1
+                        continue
+                    if kind == "abort":
+                        self._set_aborted(data)
                     continue
-                if kind == "msg":
-                    data.payload = _freeze_payload(decode_payload(data.payload))
-                    with self._cond:
-                        data.seq = self._next_seq
-                        self._next_seq += 1
-                        self._mailbox.append(data)
-                        self._cond.notify_all()
-                elif kind == "abort":
-                    self._set_aborted(data)
+                try:
+                    frame = conn.recv_bytes()
+                except (EOFError, OSError):
+                    sel.unregister(conn)
+                    live -= 1
+                    continue
+                msg = self._decode_frame(frame)
+                with self._cond:
+                    msg.seq = self._next_seq
+                    self._next_seq += 1
+                    self._mailbox.append(msg)
+                    self._cond.notify_all()
+
+    def _decode_frame(self, frame: bytes) -> Message:
+        """Typed-frame dispatch: arena descriptor or pickled Message."""
+        if frame and frame[0] == FRAME_ARENA:
+            return unpack_arena_message(frame, self._arena)
+        msg = pickle.loads(memoryview(frame)[1:])
+        msg.payload = _freeze_payload(decode_payload(msg.payload))
+        return msg
 
     def _set_aborted(self, exc: BaseException) -> None:
         with self._cond:
@@ -331,16 +371,27 @@ class ProcessNetwork(TransportEndpoint):
                 self._mailbox.append(msg)
                 self._cond.notify_all()
             return
-        # Each delivery encodes independently so a duplicated send owns two
-        # shm blocks — the receiver unlinks per delivery.
-        wire = Message(
-            src=msg.src, dst=msg.dst, tag=msg.tag, context=msg.context,
-            payload=encode_payload(
-                msg.payload, self._shm_prefix, next(self._block_seq)),
-            not_before=msg.not_before,
-        )
+        # Each delivery encodes independently so a duplicated send owns its
+        # own arena slot (or shm block) — releases/unlinks are per delivery.
+        frame = None
+        arena = self._arena
+        if arena is not None:
+            overflows = arena.stats.overflows
+            frame = pack_arena_message(msg, arena)
+            if frame is None and arena.stats.overflows > overflows \
+                    and self._tracer.enabled:
+                self._tracer.instant("arena.overflow", cat="mpi",
+                                     dst=msg.dst, tag=msg.tag)
+        if frame is None:
+            wire = Message(
+                src=msg.src, dst=msg.dst, tag=msg.tag, context=msg.context,
+                payload=encode_payload(
+                    msg.payload, self._shm_prefix, next(self._block_seq)),
+                not_before=msg.not_before,
+            )
+            frame = bytes([FRAME_PICKLE]) + pickle.dumps(wire)
         try:
-            self._outbound[msg.dst].send(("msg", wire))
+            self._outbound[msg.dst].send_bytes(frame)
         except (BrokenPipeError, OSError) as exc:
             # A closed pipe means the destination process exited.  If it
             # exited *failing*, the parent's abort broadcast is already on
@@ -436,6 +487,15 @@ class ProcessNetwork(TransportEndpoint):
                 return 0
             return len(self._mailbox)
 
+    @property
+    def arena_enabled(self) -> bool:
+        """True when bulk payloads ride the shared arena on this rank."""
+        return self._arena is not None
+
+    def arena_stats(self) -> dict:
+        """This rank's arena counters (empty dict when the arena is off)."""
+        return self._arena.stats.snapshot() if self._arena is not None else {}
+
 
 def _child_main(
     rank: int,
@@ -454,6 +514,7 @@ def _child_main(
     fault_plan: FaultPlan | None,
     trace,
     shm_prefix: str,
+    arena_bytes: int = 0,
     dead_flags=None,
 ) -> None:
     """Entry point of one forked rank process."""
@@ -468,10 +529,12 @@ def _child_main(
         tracer.metrics = MetricsRegistry()
         events_base_seq = tracer._seq
     fired_base = fault_plan.fired_count() if fault_plan is not None else 0
+    arena = (Arena(shm_prefix, rank, nprocs, arena_bytes)
+             if arena_bytes > 0 and nprocs > 1 else None)
     net = ProcessNetwork(
         rank, nprocs, inbound, outbound, ctrl_r, exit_w,
         heartbeats, op_counts, abort_flag, op_timeout, fault_plan, tracer,
-        shm_prefix, dead_flags,
+        shm_prefix, dead_flags, arena,
     )
     comm = Comm(net, rank, list(range(nprocs)), context=0)
     set_current_tracer(tracer)
@@ -506,7 +569,19 @@ def _child_main(
         "fired": fault_plan.fired_since(fired_base) if fault_plan is not None else [],
         "op_count": net._op_count,
         "trace": None,
+        "arena": arena.stats.snapshot() if arena is not None else None,
     }
+    if tracer.enabled and arena is not None:
+        # Ship the per-rank totals through the metrics registry too, so
+        # trace consumers see hit/overflow/peak-residency without having
+        # to pay per-send counter bumps on the hot path.
+        stats = arena.stats
+        tracer.metrics.counter("arena.sends").inc(stats.sends)
+        tracer.metrics.counter("arena.send_bytes").inc(stats.send_bytes)
+        tracer.metrics.counter("arena.overflows").inc(stats.overflows)
+        tracer.metrics.counter("arena.recv_views").inc(stats.recv_views)
+        tracer.metrics.counter("arena.peak_resident_bytes").inc(
+            stats.peak_resident_bytes)
     if tracer.enabled:
         envelope["trace"] = {
             "events": tracer.events,
@@ -549,6 +624,8 @@ class ProcessJob:
         op_timeout: float | None = None,
         fault_plan: FaultPlan | None = None,
         trace=None,
+        arena: bool | None = None,
+        arena_mb: int | None = None,
     ) -> None:
         if nprocs < 1:
             raise MPIError(f"nprocs must be >= 1, got {nprocs}")
@@ -559,6 +636,9 @@ class ProcessJob:
         self.fault_plan = fault_plan
         self.trace = trace
         self._shm_prefix = f"reprompi{os.getpid()}j{next(_JOB_COUNTER)}_"
+        # Single-rank jobs have no pipes, so no arena either.
+        self.arena_bytes = resolve_arena_bytes(arena, arena_mb) if nprocs > 1 else 0
+        self._arena_rank_stats: list[Optional[dict]] = [None] * nprocs
         self._results: list[Any] = [None] * nprocs
         self._errors: list[Optional[BaseException]] = [None] * nprocs
         self._abort_exc: Optional[BaseException] = None
@@ -592,7 +672,7 @@ class ProcessJob:
                       inbound, writers[rank], ctrl_r, exit_w,
                       self._heartbeats, self._op_counts, self._abort_flag,
                       self.op_timeout, fault_plan, trace, self._shm_prefix,
-                      self._dead_flags),
+                      self.arena_bytes, self._dead_flags),
                 name=f"mpi-rank-{rank}",
                 daemon=True,
             ))
@@ -627,11 +707,30 @@ class ProcessJob:
         return frozenset(
             r for r in range(self.nprocs) if self._dead_flags[r])
 
+    def arena_stats(self) -> dict:
+        """Job-wide arena counters aggregated over rank exit envelopes.
+
+        Counts are summed; ``peak_resident_bytes`` reports the worst
+        single rank (per-rank rings are independent budgets).  Empty when
+        the arena was off or no envelope arrived.
+        """
+        totals: dict = {}
+        for stats in self._arena_rank_stats:
+            if not stats:
+                continue
+            for name, value in stats.items():
+                if name == "peak_resident_bytes":
+                    totals[name] = max(totals.get(name, 0), value)
+                else:
+                    totals[name] = totals.get(name, 0) + value
+        return totals
+
     # ------------------------------------------------------------------- merge
 
     def _absorb_exit(self, rank: int, envelope: dict) -> None:
         self._results[rank] = envelope["result"]
         self._errors[rank] = envelope["error"]
+        self._arena_rank_stats[rank] = envelope.get("arena")
         if self.fault_plan is not None and envelope["fired"]:
             self.fault_plan.absorb_fired(envelope["fired"])
         shipped = envelope["trace"]
@@ -654,6 +753,11 @@ class ProcessJob:
         and a job past the join budget is aborted with a stall report
         naming the ranks whose heartbeats went stale.
         """
+        if self.arena_bytes:
+            # Segments must exist before fork so children attach by name;
+            # they share the job prefix, so the sweep below reclaims them
+            # (and any outstanding slots) even after an abnormal teardown.
+            create_arena_segments(self._shm_prefix, self.nprocs, self.arena_bytes)
         for p in self._procs:
             p.start()
         budget = join_timeout if join_timeout is not None else self.op_timeout * 4

@@ -87,6 +87,8 @@ class SpmdJob:
         fault_plan: FaultPlan | None = None,
         trace=None,
         backend: str | None = None,
+        arena: bool | None = None,
+        arena_mb: int | None = None,
     ) -> None:
         if nprocs < 1:
             raise MPIError(f"nprocs must be >= 1, got {nprocs}")
@@ -101,6 +103,7 @@ class SpmdJob:
             self._engine = ProcessJob(
                 nprocs, fn, args, kwargs,
                 op_timeout=op_timeout, fault_plan=fault_plan, trace=trace,
+                arena=arena, arena_mb=arena_mb,
             )
             # The parent-side coordinator doubles as the telemetry surface
             # (heartbeat_ages / op_count / abort), mirroring the shared
@@ -211,6 +214,8 @@ def run_spmd(
     fault_plan: FaultPlan | None = None,
     trace=None,
     backend: str | None = None,
+    arena: bool | None = None,
+    arena_mb: int | None = None,
     **kwargs: Any,
 ) -> list[Any]:
     """Run ``fn(comm, *args, **kwargs)`` on ``nprocs`` ranks; return results.
@@ -220,12 +225,16 @@ def run_spmd(
     optional :class:`~repro.obs.trace.TraceSession` whose per-rank tracers
     record the run; ``backend`` selects the transport (``"thread"`` or
     ``"process"``, default from ``REPRO_MPI_BACKEND``).  On the process
-    backend rank results cross a pipe and must be picklable.
+    backend rank results cross a pipe and must be picklable, and bulk
+    payloads ride a per-job shared arena (on by default; ``arena=False``
+    restores the PR-6 per-message path, ``arena_mb`` / the
+    ``$REPRO_MPI_ARENA_MB`` environment variable size the per-rank ring).
+    The thread backend ignores both arena knobs.
     """
     return SpmdJob(
         nprocs, fn, args, kwargs,
         op_timeout=op_timeout, fault_plan=fault_plan, trace=trace,
-        backend=backend,
+        backend=backend, arena=arena, arena_mb=arena_mb,
     ).run()
 
 
@@ -353,6 +362,8 @@ def run_supervised(
     sleep: Callable[[float], None] = time.sleep,
     trace=None,
     backend: str | None = None,
+    arena: bool | None = None,
+    arena_mb: int | None = None,
     **kwargs: Any,
 ) -> SupervisedOutcome:
     """Launch ``fn`` under supervision: detect, back off, relaunch.
@@ -380,7 +391,7 @@ def run_supervised(
         job = SpmdJob(
             nprocs, fn, use_args, use_kwargs,
             op_timeout=op_timeout, fault_plan=fault_plan, trace=trace,
-            backend=backend,
+            backend=backend, arena=arena, arena_mb=arena_mb,
         )
         try:
             results = job.run()

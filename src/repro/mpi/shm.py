@@ -1,41 +1,58 @@
-"""Shared-memory payload codec for the process transport.
+"""Payload codec for the process transport: arena frames + shm fallback.
 
-The columnar data plane ships tuples of contiguous numpy arrays (one page
-worth of keys plus value columns) and the capitalized ``Send``/``Bcast``/
-``Reduce`` path ships single arrays.  Pickling those through a pipe copies
-every byte twice (serialize + deserialize) and funnels them through the
-pipe buffer 64 KiB at a time.  Instead, bulk array payloads travel as one
-``multiprocessing.shared_memory`` block: the sender writes the raw bytes
-once, the envelope that crosses the pipe is just a tiny handle (block
-name + per-array dtype/shape/offset header), and the receiver maps the
-block and copies straight into process-local arrays.
+Two wire formats coexist on the data pipes, distinguished by the first
+byte of every frame:
 
-Lifetime protocol: the *sender* creates the block and never unlinks it;
-the *receiver* unlinks after decoding (decode happens on arrival in the
-receiver thread, so a block lives only for its pipe transit).  Blocks are
-named with a per-job prefix so the parent can sweep stragglers from
-``/dev/shm`` after an abnormal teardown.  Python's ``resource_tracker``
-would double-unlink blocks that cross a fork boundary, so blocks are
-explicitly unregistered from it on both sides.
+**Arena frames** (:data:`FRAME_ARENA`) are the bulk fast path.  Any
+payload that is a tree (two container levels deep) of numpy arrays /
+``None`` is written once into the sender's ring of the per-job shared
+arena (:mod:`repro.mpi.arena`) and described by one fixed-width packed
+struct — envelope fields, slot coordinates, a structure grammar and a
+per-array dtype/shape/offset table.  No pickle on either side; the
+receiver surfaces the bytes as read-only zero-copy views.
 
-Payloads below :data:`SHM_MIN_BYTES` and anything that is not a plain
-ndarray / tuple of ndarrays fall through untouched and get pickled by the
-pipe — the lowercase object path.
+**Pickle frames** (:data:`FRAME_PICKLE`) carry everything else — the
+lowercase object path — as a pickled :class:`~repro.mpi.network.Message`.
+Inside a pickle frame, bulk array payloads that missed the arena (arena
+disabled, ring overflow, slot table exhausted) still avoid the pipe
+buffer: they travel as a *per-message* ``shared_memory`` block behind a
+tiny :class:`ShmHandle`, the PR-6 protocol, which doubles as the parity
+oracle for the arena path.
+
+Per-message block lifetime: the *sender* creates the block and never
+unlinks it; the *receiver* unlinks after decoding.  Arena segments and
+per-message blocks share the job's name prefix, so the parent sweeps both
+kinds of straggler from ``/dev/shm`` after an abnormal teardown
+(:func:`sweep_job_blocks`).  Python's ``resource_tracker`` would
+double-unlink blocks that cross a fork boundary, so blocks are explicitly
+unregistered from it on both sides.
+
+Payloads below :data:`SHM_MIN_BYTES` that miss the arena are pickled
+straight through the pipe — two shm syscalls cost more than a small
+pickle.
 """
 
 from __future__ import annotations
 
+import ast
 import os
+import struct
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
 
 import numpy as np
 
+from repro.mpi.arena import Arena
+
 __all__ = [
+    "FRAME_ARENA",
+    "FRAME_PICKLE",
     "SHM_MIN_BYTES",
     "ShmHandle",
     "encode_payload",
     "decode_payload",
+    "pack_arena_message",
+    "unpack_arena_message",
     "sweep_job_blocks",
 ]
 
@@ -152,6 +169,221 @@ def decode_payload(wire):
     if wire.container == "array":
         return out[0]
     return tuple(out) if wire.container == "tuple" else out
+
+
+# --------------------------------------------------------------- arena frames
+
+#: First byte of every data-pipe frame.
+FRAME_PICKLE = 0x00
+FRAME_ARENA = 0x01
+
+#: Per-array start alignment inside a slot (keeps typed views aligned for
+#: any dtype numpy ships).
+_ARR_ALIGN = 16
+
+# Fixed-width envelope: frame byte, pad, src, dst, tag, context,
+# not_before, slot, epoch, slot offset, payload bytes, n_arrays,
+# structure-grammar length.
+_FIXED = struct.Struct("<B3xiiqqdIQQQHH")
+# Per-array entry: offset within the slot, ndim, dtype-string length
+# (dtype bytes and ndim x i64 shape follow).
+_META = struct.Struct("<QBH")
+
+# Structure grammar opcodes (a pre-order walk of the payload tree):
+# A = next array, N = None, T/L <u16 count> = tuple/list of count children.
+_OP_ARRAY, _OP_NONE, _OP_TUPLE, _OP_LIST = 0x41, 0x4E, 0x54, 0x4C
+
+
+class _Ineligible(Exception):
+    """Internal: payload must take the pickle path."""
+
+
+def _arena_flatten(obj) -> tuple[list, bytes] | None:
+    """Flatten an array tree into (arrays, structure grammar), or None.
+
+    Eligible payloads are numpy arrays (no object dtypes), ``None``, and
+    up to two nested levels of tuple/list of those — exactly the shapes
+    the columnar shuffle, the capitalized buffer path and the collectives'
+    gathered-list broadcasts produce.  Anything else pickles.
+    """
+    arrays: list = []
+    out = bytearray()
+
+    def walk(o, depth: int) -> None:
+        if isinstance(o, np.ndarray):
+            if o.dtype.hasobject or o.ndim > 255:
+                raise _Ineligible
+            arrays.append(o)
+            out.append(_OP_ARRAY)
+        elif o is None:
+            out.append(_OP_NONE)
+        elif isinstance(o, (tuple, list)):
+            if depth >= 2 or len(o) > 0xFFFF:
+                raise _Ineligible
+            out.append(_OP_TUPLE if isinstance(o, tuple) else _OP_LIST)
+            out.extend(len(o).to_bytes(2, "little"))
+            for child in o:
+                walk(child, depth + 1)
+        else:
+            raise _Ineligible
+
+    if obj is None:
+        return None  # a bare None pickles in a handful of bytes
+    try:
+        walk(obj, 0)
+    except _Ineligible:
+        return None
+    if not arrays or len(arrays) > 0xFFFF:
+        return None
+    return arrays, bytes(out)
+
+
+_DTYPE_DECODE_CACHE: dict[bytes, np.dtype] = {}
+_DTYPE_ENCODE_CACHE: dict = {}
+
+_SHAPE_STRUCTS: dict[int, struct.Struct] = {}
+
+
+def _shape_struct(ndim: int) -> struct.Struct:
+    s = _SHAPE_STRUCTS.get(ndim)
+    if s is None:
+        s = _SHAPE_STRUCTS[ndim] = struct.Struct(f"<{ndim}q")
+    return s
+
+
+def _dtype_to_bytes(dt: np.dtype) -> bytes:
+    enc = _DTYPE_ENCODE_CACHE.get(dt)
+    if enc is None:
+        if dt.names is not None:
+            # Structured dtypes (the mrblast VALUE_DTYPE records): ``descr``
+            # round-trips through literal_eval; plain ``str`` does not.
+            enc = b"D" + repr(dt.descr).encode("utf-8")
+        else:
+            enc = b"P" + dt.str.encode("ascii")
+        if len(enc) > 0xFFFF:
+            raise _Ineligible
+        _DTYPE_ENCODE_CACHE[dt] = enc
+    return enc
+
+
+def _dtype_from_bytes(raw: bytes) -> np.dtype:
+    dt = _DTYPE_DECODE_CACHE.get(raw)
+    if dt is None:
+        if raw[:1] == b"D":
+            dt = np.dtype(ast.literal_eval(raw[1:].decode("utf-8")))
+        else:
+            dt = np.dtype(raw[1:].decode("ascii"))
+        _DTYPE_DECODE_CACHE[raw] = dt
+    return dt
+
+
+def pack_arena_message(msg, arena: Arena) -> bytes | None:
+    """Pack ``msg`` into an arena frame, or None for the pickle fallback.
+
+    None either means the payload shape is not an array tree (object
+    path), or the ring could not hold it right now (overflow — already
+    counted in ``arena.stats``).  The caller owns the fallback; a packed
+    frame owns its slot, released when the receiver's views die.
+    """
+    flat = _arena_flatten(msg.payload)
+    if flat is None:
+        return None
+    arrays, structure = flat
+    try:
+        metas = []
+        total = 0
+        for a in arrays:
+            total = -(-total // _ARR_ALIGN) * _ARR_ALIGN
+            metas.append((total, a.ndim, _dtype_to_bytes(a.dtype), a.shape))
+            total += a.nbytes
+    except _Ineligible:  # pragma: no cover - >64KiB dtype string
+        return None
+    res = arena.alloc(total)
+    if res is None:
+        return None
+    slot, epoch, base = res
+    buf = arena.own_slice(base, total)
+    for a, (off, _nd, _db, _shape) in zip(arrays, metas):
+        if a.nbytes:
+            if a.flags.c_contiguous:
+                # Straight memcpy; the ndarray-wrapper assignment below
+                # costs a few µs of construction per array.
+                buf[off:off + a.nbytes] = a.data.cast("B")
+            else:
+                np.ndarray(a.shape, dtype=a.dtype,
+                           buffer=buf, offset=off)[...] = a
+    frame = bytearray(_FIXED.pack(
+        FRAME_ARENA, msg.src, msg.dst, msg.tag, msg.context, msg.not_before,
+        slot, epoch, base, total, len(arrays), len(structure)))
+    frame += structure
+    for off, ndim, dbytes, shape in metas:
+        frame += _META.pack(off, ndim, len(dbytes))
+        frame += dbytes
+        frame += _shape_struct(ndim).pack(*shape)
+    return bytes(frame)
+
+
+def unpack_arena_message(frame, arena: Arena):
+    """Rebuild a :class:`~repro.mpi.network.Message` from an arena frame.
+
+    The payload arrays are read-only zero-copy views over the sender's
+    slot; the slot is handed back to the sender when the last view is
+    garbage-collected (see :meth:`repro.mpi.arena.Arena.view`).
+    """
+    from repro.mpi.network import Message
+
+    mv = memoryview(frame)
+    (_frame, src, dst, tag, context, not_before,
+     slot, epoch, base, total, narr, slen) = _FIXED.unpack_from(mv, 0)
+    pos = _FIXED.size
+    structure = bytes(mv[pos:pos + slen])
+    pos += slen
+    wrapper = arena.view(src, slot, epoch, base, total)
+    arrays = []
+    for _ in range(narr):
+        off, ndim, dlen = _META.unpack_from(mv, pos)
+        pos += _META.size
+        dt = _dtype_from_bytes(bytes(mv[pos:pos + dlen]))
+        pos += dlen
+        shape = _shape_struct(ndim).unpack_from(mv, pos)
+        pos += 8 * ndim
+        nbytes = dt.itemsize
+        for dim in shape:
+            nbytes *= dim
+        arrays.append(wrapper[off:off + nbytes].view(dt).reshape(shape))
+    payload = _rebuild(structure, arrays)
+    return Message(src=src, dst=dst, tag=tag, context=context,
+                   payload=payload, not_before=not_before)
+
+
+def _rebuild(structure: bytes, arrays: list):
+    """Inverse of the :func:`_arena_flatten` pre-order walk.
+
+    Deliberately NOT written as a self-recursive inner closure: a closure
+    that names itself closes over its own cell, which is a reference
+    cycle, and that cycle's `arrays` cell would keep every zero-copy view
+    alive until the *cyclic* GC runs — the sender's slot would look
+    resident long after the receiver dropped the payload.  A module-level
+    helper with explicit state keeps release purely refcount-driven.
+    """
+    value, _, _ = _rebuild_node(structure, 0, arrays, 0)
+    return value
+
+
+def _rebuild_node(structure: bytes, pos: int, arrays: list, ai: int):
+    op = structure[pos]
+    pos += 1
+    if op == _OP_ARRAY:
+        return arrays[ai], pos, ai + 1
+    if op == _OP_NONE:
+        return None, pos, ai
+    count = int.from_bytes(structure[pos:pos + 2], "little")
+    pos += 2
+    children = []
+    for _ in range(count):
+        child, pos, ai = _rebuild_node(structure, pos, arrays, ai)
+        children.append(child)
+    return (tuple(children) if op == _OP_TUPLE else children), pos, ai
 
 
 def sweep_job_blocks(name_prefix: str) -> int:

@@ -64,6 +64,16 @@ class TransportEndpoint:
     op_timeout: float = DEFAULT_OP_TIMEOUT
     nprocs: int = 0
 
+    #: Whether bulk payloads ride a shared arena on this endpoint.  The
+    #: collectives consult this to pick arena-aware schedules (pairwise
+    #: alltoall bounds peak ring residency); backends without an arena
+    #: inherit the no-op default.
+    arena_enabled: bool = False
+
+    def arena_stats(self) -> dict:
+        """Arena hit/overflow/residency counters (empty without an arena)."""
+        return {}
+
     def post(self, msg, acting=None):
         """Deliver ``msg`` toward its destination mailbox (eager send)."""
         raise NotImplementedError

@@ -79,6 +79,25 @@ KVStore = Union[ObjectKeyValue, ColumnarKeyValue]
 KMVStore = Union[ObjectKeyMultiValue, ColumnarKeyMultiValue]
 
 
+def _arena_attrs(comm: Comm) -> dict:
+    """Arena hit/overflow/residency attributes for exchange-round instants.
+
+    Empty on transports without an arena (thread backend, arena=False), so
+    trace schemas stay backward compatible.  Counters are rank-local
+    running totals; per-round deltas fall out of consecutive instants.
+    """
+    stats_fn = getattr(comm.network, "arena_stats", None)
+    stats = stats_fn() if stats_fn is not None else {}
+    if not stats:
+        return {}
+    return {
+        "arena_sends": stats["sends"],
+        "arena_overflows": stats["overflows"],
+        "arena_resident_bytes": stats["resident_bytes"],
+        "arena_peak_resident_bytes": stats["peak_resident_bytes"],
+    }
+
+
 class MapStyle(IntEnum):
     CHUNK = 0
     STRIDED = 1
@@ -804,7 +823,8 @@ class MapReduce:
                 trc = self._tracer
                 if trc.enabled:
                     trc.instant("mr.exchange_round", cat="mr", round=round_idx,
-                                pairs=moved_pairs, bytes=moved_bytes)
+                                pairs=moved_pairs, bytes=moved_bytes,
+                                **_arena_attrs(self.comm))
                 round_idx += 1
                 if self.comm.allreduce(local_done, op=LAND):
                     break
@@ -883,7 +903,8 @@ class MapReduce:
                 trc = self._tracer
                 if trc.enabled:
                     trc.instant("mr.exchange_round", cat="mr", round=round_idx,
-                                pairs=round_pairs, bytes=round_bytes)
+                                pairs=round_pairs, bytes=round_bytes,
+                                **_arena_attrs(self.comm))
                 round_idx += 1
                 if self.comm.allreduce(local_done, op=LAND):
                     break

@@ -40,20 +40,58 @@ def som_workload(tmp_path_factory):
     return str(path)
 
 
+def _rank_outputs(results):
+    out = []
+    for r in results:
+        with open(r.output_path, "rb") as f:
+            out.append(f.read())
+    return out
+
+
 class TestMrBlastBackendParity:
     @pytest.mark.parametrize("nprocs", [2, 4])
     def test_per_rank_output_files_byte_identical(self, nt_workload, tmp_path, nprocs):
+        # Three-way: thread oracle vs process+arena (the default) vs the
+        # per-message process path (arena_mb=0).  Zero-copy framing must
+        # not change a single output byte.
         alias_path, blocks, options = nt_workload
         base = dict(alias_path=alias_path, query_blocks=blocks, options=options)
         thread = mrblast_spmd(nprocs, MrBlastConfig(
             **base, output_dir=str(tmp_path / "thread"), backend="thread"))
-        process = mrblast_spmd(nprocs, MrBlastConfig(
-            **base, output_dir=str(tmp_path / "process"), backend="process"))
-        assert len(thread) == len(process) == nprocs
-        for t, p in zip(thread, process):
-            assert t.hits_written == p.hits_written
-            with open(t.output_path, "rb") as ft, open(p.output_path, "rb") as fp:
-                assert ft.read() == fp.read(), f"rank {t.rank} output diverged"
+        arena = mrblast_spmd(nprocs, MrBlastConfig(
+            **base, output_dir=str(tmp_path / "arena"), backend="process"))
+        permsg = mrblast_spmd(nprocs, MrBlastConfig(
+            **base, output_dir=str(tmp_path / "permsg"), backend="process",
+            arena_mb=0))
+        assert len(thread) == len(arena) == len(permsg) == nprocs
+        t_bytes = _rank_outputs(thread)
+        assert _rank_outputs(arena) == t_bytes
+        assert _rank_outputs(permsg) == t_bytes
+        for t, a in zip(thread, arena):
+            assert t.hits_written == a.hits_written
+
+    def test_spill_outputs_byte_identical_with_and_without_arena(
+            self, nt_workload, tmp_path):
+        # A tiny memsize forces the collate plane through multi-page
+        # spill, so shuffle pages cross the transport in many exchanges;
+        # the arena and per-message paths must still agree byte-for-byte.
+        alias_path, blocks, options = nt_workload
+        base = dict(alias_path=alias_path, query_blocks=blocks,
+                    options=options, memsize=2048)
+        runs = {}
+        for label, extra in [
+            ("thread", dict(backend="thread")),
+            ("arena", dict(backend="process")),
+            ("permsg", dict(backend="process", arena_mb=0)),
+        ]:
+            spool = tmp_path / f"spool_{label}"
+            spool.mkdir()
+            runs[label] = mrblast_spmd(3, MrBlastConfig(
+                **base, output_dir=str(tmp_path / label),
+                spool_dir=str(spool), **extra))
+        t_bytes = _rank_outputs(runs["thread"])
+        assert _rank_outputs(runs["arena"]) == t_bytes
+        assert _rank_outputs(runs["permsg"]) == t_bytes
 
     def test_stats_identical_across_backends(self, nt_workload, tmp_path):
         alias_path, blocks, options = nt_workload

@@ -75,6 +75,8 @@ class TestCollectivesSanity:
 class TestSharedMemoryPath:
     def test_large_array_round_trips_through_shm(self):
         n = SHM_MIN_BYTES  # float64 -> 8x the threshold, firmly on the shm path
+        before = _shm_blocks()
+
         def prog(comm):
             if comm.rank == 0:
                 comm.send(np.arange(n, dtype=np.float64), dest=1)
@@ -84,8 +86,12 @@ class TestSharedMemoryPath:
 
         results = run_spmd(2, prog, backend="process", op_timeout=30.0)
         assert results[1] == (float(n * (n - 1) / 2), "<f8", True)
+        # Neither per-message blocks nor arena rings may outlive the job.
+        assert _shm_blocks() == before
 
     def test_tuple_of_arrays_round_trips(self):
+        before = _shm_blocks()
+
         def prog(comm):
             if comm.rank == 0:
                 page = (np.arange(10_000, dtype=np.int64),
@@ -97,6 +103,7 @@ class TestSharedMemoryPath:
 
         results = run_spmd(2, prog, backend="process", op_timeout=30.0)
         assert results[1] == (9999, 1.0)
+        assert _shm_blocks() == before
 
     def test_small_and_object_payloads_take_the_pipe(self):
         def prog(comm):
