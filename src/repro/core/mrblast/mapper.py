@@ -121,6 +121,18 @@ class MrBlastMapper:
         )
         self.fault_injector = fault_injector
 
+    def set_query_blocks(self, query_blocks: Sequence[Sequence[SeqRecord]]) -> None:
+        """Swap in a new set of query blocks, keeping every warm cache.
+
+        The resident service mode (:mod:`repro.serve`) reuses one mapper per
+        rank across its whole lifetime: the open DB partition, the
+        cross-partition :class:`~repro.blast.lookup.LookupCache` (keyed by
+        block *content*, so stale blocks simply age out of the LRU) and the
+        engine's Karlin/search-space caches all survive the swap — only the
+        queries change between jobs.
+        """
+        self.query_blocks = query_blocks
+
     def release(self) -> None:
         """Drop the cached DB partition (called when the rank unwinds)."""
         if self._partition is not None:

@@ -15,14 +15,14 @@ per-rank file exactly as in the paper.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.blast.hsp import HSP, top_hits
 from repro.blast.options import BlastOptions
-from repro.blast.tabular import write_tabular
+from repro.blast.tabular import format_tabular, write_tabular
 from repro.mrmpi.keyvalue import KeyValue
 
-__all__ = ["MrBlastReducer"]
+__all__ = ["MrBlastReducer", "DemuxReducer"]
 
 
 @dataclass
@@ -44,4 +44,32 @@ class MrBlastReducer:
         self.queries_written += 1
         self.hits_written += len(selected)
         # Emit a summary pair so callers can inspect result placement.
+        kv.add(query_id, len(selected))
+
+
+@dataclass
+class DemuxReducer:
+    """Per-request result demux: one tabular byte-string per query.
+
+    The resident service (:mod:`repro.serve`) streams each query's results
+    back to the submitter instead of appending them to a per-rank file, so
+    its reduce step keeps the selected hits *demultiplexed by query id*.
+    The bytes are produced by the exact formatter :class:`MrBlastReducer`
+    writes through, so a query's service response is byte-identical to the
+    slice a one-shot ``run_mrblast`` would have appended for it.
+    """
+
+    options: BlastOptions
+    #: query id -> encoded outfmt-6 block (empty queries never appear)
+    results: dict[str, bytes] = field(default_factory=dict)
+    queries_written: int = 0
+    hits_written: int = 0
+
+    def __call__(self, query_id: str, hsps: list[HSP], kv: KeyValue) -> None:
+        selected = top_hits(hsps, self.options.max_hits, self.options.evalue)
+        if not selected:
+            return
+        self.results[query_id] = format_tabular(selected).encode("ascii")
+        self.queries_written += 1
+        self.hits_written += len(selected)
         kv.add(query_id, len(selected))

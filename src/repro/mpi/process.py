@@ -745,13 +745,10 @@ class ProcessJob:
 
     # --------------------------------------------------------------------- run
 
-    def run(self, join_timeout: float | None = None) -> list[Any]:
-        """Fork all ranks, collect exit envelopes, return per-rank results.
+    def start(self) -> None:
+        """Fork all ranks without collecting them (resident-service mode).
 
-        Same failure semantics as the thread engine: the first *primary*
-        error is raised (AbortError fallout is suppressed in its favour)
-        and a job past the join budget is aborted with a stall report
-        naming the ranks whose heartbeats went stale.
+        Pair with :meth:`wait`; one-shot callers use :meth:`run`.
         """
         if self.arena_bytes:
             # Segments must exist before fork so children attach by name;
@@ -760,6 +757,25 @@ class ProcessJob:
             create_arena_segments(self._shm_prefix, self.nprocs, self.arena_bytes)
         for p in self._procs:
             p.start()
+
+    def run(self, join_timeout: float | None = None) -> list[Any]:
+        """Fork all ranks, collect exit envelopes, return per-rank results.
+
+        Same failure semantics as the thread engine: the first *primary*
+        error is raised (AbortError fallout is suppressed in its favour)
+        and a job past the join budget is aborted with a stall report
+        naming the ranks whose heartbeats went stale.
+        """
+        self.start()
+        return self.wait(join_timeout)
+
+    def wait(self, join_timeout: float | None = None) -> list[Any]:
+        """Collect a :meth:`start`-ed job's exit envelopes (see :meth:`run`).
+
+        The join budget runs from this call, not from :meth:`start`, so a
+        resident session that served jobs for hours still gets the full
+        budget to drain its ranks after the shutdown sentinel.
+        """
         budget = join_timeout if join_timeout is not None else self.op_timeout * 4
         deadline = time.monotonic() + budget
         try:

@@ -156,6 +156,20 @@ class SpmdJob:
                 trc.unwind()
             set_current_tracer(None)
 
+    def start(self) -> None:
+        """Launch all ranks without waiting for them (resident-service mode).
+
+        A long-lived job (``repro.serve``'s rank session) starts here and is
+        joined later by :meth:`wait` — typically from a watcher thread —
+        once the shutdown sentinel has been enqueued.  One-shot callers use
+        :meth:`run`, which is ``start()`` + ``wait()``.
+        """
+        if self._engine is not None:
+            self._engine.start()
+            return
+        for t in self._threads:
+            t.start()
+
     def run(self, join_timeout: float | None = None) -> list[Any]:
         """Start all ranks, join them, and return per-rank results.
 
@@ -164,13 +178,21 @@ class SpmdJob:
         is aborted with a report naming the ranks whose heartbeats went
         stale — the supervisor's stall detection.
         """
+        self.start()
+        return self.wait(join_timeout)
+
+    def wait(self, join_timeout: float | None = None) -> list[Any]:
+        """Join a :meth:`start`-ed job and return per-rank results.
+
+        The join budget defaults to ``op_timeout * 4``; resident sessions
+        pass their own (longer) budget since a service may legitimately run
+        for hours between :meth:`start` and :meth:`wait`.
+        """
         if self._engine is not None:
             try:
-                return self._engine.run(join_timeout)
+                return self._engine.wait(join_timeout)
             finally:
                 self._errors = self._engine.errors
-        for t in self._threads:
-            t.start()
         budget = join_timeout if join_timeout is not None else self.network.op_timeout * 4
         deadline = time.monotonic() + budget
         for t in self._threads:

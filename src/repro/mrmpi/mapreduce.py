@@ -301,6 +301,11 @@ class MapReduce:
         t0 = self._phase_begin("map")
         style = self.mapstyle if mapstyle is None else MapStyle(mapstyle)
         if self.kv is None or not addflag:
+            if self.kv is not None:
+                # Starting fresh over a live dataset (e.g. the previous
+                # iteration's reduce output): close it so its spill pages
+                # are reclaimed now, not at job teardown.
+                self.kv.close()
             self.kv = self._fresh_kv()
         kv = self.kv
         nmap = len(items)
@@ -1259,6 +1264,23 @@ class MapReduce:
         return out
 
     # ------------------------------------------------------------------- admin
+
+    def reset(self) -> None:
+        """Drop the KV/KMV datasets but keep the handle alive for the next job.
+
+        The resident service (:mod:`repro.serve`) reuses one MapReduce object
+        per rank across its whole session — one ``dup``'d communicator, one
+        spool directory, cumulative :attr:`timers`/:attr:`stats`/scheduler
+        counters — instead of tearing it down per job.  ``reset()`` is the
+        per-job boundary: both datasets are closed (spill pages reclaimed)
+        so the next ``map_items`` starts clean.
+        """
+        if self.kv is not None:
+            self.kv.close()
+            self.kv = None
+        if self.kmv is not None:
+            self.kmv.close()
+            self.kmv = None
 
     def close(self) -> None:
         if self.kv is not None:

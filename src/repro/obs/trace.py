@@ -183,17 +183,26 @@ class Tracer:
         """Context manager: ``with trc.span("phase"): ...``."""
         return _Span(self, name, cat, attrs)
 
-    def unwind(self, **attrs):
-        """Close every open span (rank crashed or is shutting down).
+    def unwind(self, to_depth=0, **attrs):
+        """Close open spans down to ``to_depth`` (default: all of them).
 
         Keeps traces balanced even when an exception unwound past the
         instrumentation, so exporters and reports never see a dangling
-        ``B``.
+        ``B``.  Resident services bracket each job with
+        ``depth = trc.open_depth`` / ``trc.unwind(to_depth=depth)`` so a
+        job that dies mid-span cannot leak open spans into the next job
+        on the same rank — the one-job-per-process-lifetime assumption
+        the original session design baked in.
         """
-        while self._open:
+        while len(self._open) > to_depth:
             self.end(**attrs)
 
     # -- reading API ---------------------------------------------------
+
+    @property
+    def open_depth(self):
+        """Number of currently open spans (snapshot for ``unwind(to_depth=)``)."""
+        return len(self._open)
 
     @property
     def open_spans(self):
@@ -260,8 +269,13 @@ class NullTracer:
         """Return a reusable no-op context manager."""
         return _NULL_SPAN
 
-    def unwind(self, **attrs):
+    def unwind(self, to_depth=0, **attrs):
         """No-op."""
+
+    @property
+    def open_depth(self):
+        """Always zero."""
+        return 0
 
     @property
     def open_spans(self):

@@ -1,0 +1,63 @@
+"""Always-on BLAST query service over the resident SPMD runtime.
+
+The one-shot drivers in ``repro.core.mrblast`` spawn ranks, load the
+database and tear everything down per call.  This package keeps the ranks
+*resident*: they come up once, hold warm DB partitions and lookup caches,
+and serve a stream of queries coalesced into query blocks.
+
+Layers (front to back):
+
+- :mod:`repro.serve.service` — :class:`QueryService`: async submit /
+  future-based results, admission control, backpressure, crash restart
+  with exactly-once delivery.
+- :mod:`repro.serve.coalescer` — deadline/size batching on an injected
+  clock, batch sizing advised by the measured α/β machine model.
+- :mod:`repro.serve.admission` — weighted-fair queueing, per-tenant
+  quotas, watermark backpressure.
+- :mod:`repro.serve.session` — the resident rank loop itself.
+- :mod:`repro.serve.cli` — the ``mrblast-serve`` console entry point.
+"""
+
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionError,
+    BackpressureGauge,
+    FairQueue,
+)
+from repro.serve.coalescer import (
+    Coalescer,
+    QueryBatch,
+    Submission,
+    advise_batch_size,
+    load_machine_model,
+)
+from repro.serve.service import DeliveryLedger, QueryFuture, QueryService
+from repro.serve.session import (
+    BlockJob,
+    BlockResult,
+    ResidentBlastSession,
+    ServeConfig,
+    ServeRankStats,
+    serve_rank_main,
+)
+
+__all__ = [
+    "QueryService",
+    "QueryFuture",
+    "DeliveryLedger",
+    "ServeConfig",
+    "ResidentBlastSession",
+    "BlockJob",
+    "BlockResult",
+    "ServeRankStats",
+    "serve_rank_main",
+    "Coalescer",
+    "Submission",
+    "QueryBatch",
+    "advise_batch_size",
+    "load_machine_model",
+    "AdmissionController",
+    "AdmissionError",
+    "BackpressureGauge",
+    "FairQueue",
+]

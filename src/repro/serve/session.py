@@ -1,0 +1,430 @@
+"""The resident rank session: ranks come up once, serve many query blocks.
+
+One-shot :func:`~repro.core.mrblast.driver.run_mrblast` pays its setup cost
+(rank spawn, DB alias load, partition open, lookup-table build) on every
+call.  The resident session keeps an SPMD job alive between requests: every
+rank holds one warm :class:`~repro.core.mrblast.mapper.MrBlastMapper` (open
+DB partition + cross-partition lookup cache) and one
+:class:`~repro.mrmpi.mapreduce.MapReduce` handle for its whole lifetime,
+and executes query blocks pushed through a job queue.
+
+Control flow per rank: rank 0 pops the next :class:`BlockJob` from the
+parent's queue and broadcasts it; every rank then runs the standard
+map → collate → sort → reduce pipeline over the block, with the reduce step
+demuxing per-query result bytes (:class:`~repro.core.mrblast.reducer.DemuxReducer`)
+instead of appending to rank files.  Rank 0 gathers the demuxed dicts and
+ships one result envelope back.  While the queue is idle, rank 0 broadcasts
+keepalive ticks so blocked ranks never trip the transport's operation
+timeout.
+
+Degraded mode composes unchanged: a worker dying mid-map raises
+:class:`~repro.mpi.exceptions.DegradedRankLoss` out of the rank loop (the
+rank leaves the session permanently), survivors shrink the session
+communicator past it and keep serving.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.bio.seq import SeqRecord
+from repro.blast.dbreader import DatabaseAlias
+from repro.blast.hsp import HSP
+from repro.blast.options import BlastOptions
+from repro.core.mrblast.mapper import MrBlastMapper
+from repro.core.mrblast.reducer import DemuxReducer
+from repro.core.mrblast.workitems import build_work_items
+from repro.mpi.comm import Comm
+from repro.mpi.faultplan import FaultPlan
+from repro.mpi.runtime import SpmdJob, resolve_backend
+from repro.mrmpi.mapreduce import MapReduce, MapStyle
+
+__all__ = [
+    "ServeConfig",
+    "BlockJob",
+    "BlockResult",
+    "ServeRankStats",
+    "ResidentBlastSession",
+    "serve_rank_main",
+]
+
+
+@dataclass
+class ServeConfig:
+    """Everything a resident BLAST service needs.
+
+    Mirrors the one-shot :class:`~repro.core.mrblast.driver.MrBlastConfig`
+    knobs that matter for a long-lived session, plus the service-side
+    batching/intake parameters.  ``idle_tick`` must stay well below the
+    transport operation timeout: it is the cadence of rank 0's keepalive
+    broadcasts while the job queue is empty.
+    """
+
+    alias_path: str
+    nprocs: int = 2
+    options: BlastOptions = field(default_factory=BlastOptions.blastn)
+    backend: str | None = None
+    arena_mb: int | None = None
+    memsize: int = 64 * 1024 * 1024
+    work_order: str = "partition_major"
+    locality_aware: bool = True
+    lookup_cache_blocks: int = 8
+    columnar: bool = True
+    id_width: int = 64
+    spool_dir: str | None = None
+    hit_filter: Callable[[str, HSP], bool] | None = None
+    #: resilience: degraded-mode completion on worker death is the default
+    #: for a service (finish the batch, keep serving on survivors)
+    degraded: bool = True
+    speculation_factor: float | None = None
+    #: test/chaos hook forwarded to the mapper (see MrBlastConfig)
+    unit_fault_injector: Callable[..., None] | None = None
+    #: keepalive cadence of the idle rank loop, seconds
+    idle_tick: float = 0.25
+    #: transport operation timeout override (None = transport default)
+    op_timeout: float | None = None
+    #: join budget for the whole session lifetime, seconds
+    session_budget: float = 3600.0
+    # ---- service-side intake/batching knobs -------------------------
+    max_batch: int = 8
+    max_delay: float = 0.05
+    max_pending: int = 256
+    tenant_weights: dict[str, float] = field(default_factory=dict)
+    #: backpressure watermarks as fractions of nprocs x memsize
+    high_watermark: float = 0.8
+    low_watermark: float = 0.5
+
+    def validate(self) -> None:
+        """Fail-fast checks before any rank spawns (raises ValueError)."""
+        if not os.path.isfile(self.alias_path):
+            raise ValueError(f"serve config: alias_path {self.alias_path!r} does not exist")
+        try:
+            DatabaseAlias.load(self.alias_path)
+        except Exception as exc:
+            raise ValueError(
+                f"serve config: alias_path {self.alias_path!r} is not a readable "
+                f"database alias ({exc})"
+            ) from exc
+        if self.nprocs < 1:
+            raise ValueError(f"serve config: nprocs must be >= 1, got {self.nprocs}")
+        if self.memsize < 1:
+            raise ValueError(f"serve config: memsize must be >= 1, got {self.memsize}")
+        if self.idle_tick <= 0:
+            raise ValueError(f"serve config: idle_tick must be > 0, got {self.idle_tick}")
+        if self.max_batch < 1:
+            raise ValueError(f"serve config: max_batch must be >= 1, got {self.max_batch}")
+        if self.max_delay < 0:
+            raise ValueError(f"serve config: max_delay must be >= 0, got {self.max_delay}")
+        if self.work_order not in ("partition_major", "query_major"):
+            raise ValueError(f"serve config: unknown work_order {self.work_order!r}")
+        if not 0 < self.low_watermark <= self.high_watermark <= 1.0:
+            raise ValueError(
+                "serve config: need 0 < low_watermark <= high_watermark <= 1.0")
+        resolve_backend(self.backend)
+
+
+@dataclass(frozen=True)
+class BlockJob:
+    """One coalesced query block submitted to the rank session."""
+
+    job_id: int
+    queries: tuple[SeqRecord, ...]
+
+
+@dataclass
+class BlockResult:
+    """Rank 0's result envelope for one :class:`BlockJob`.
+
+    ``results`` maps query id to its encoded outfmt-6 block; queries with
+    no surviving hits are simply absent (the service resolves them to empty
+    bytes).  ``kv_bytes`` is the exact summed ``nbytes`` of the columnar KV
+    dataset after map — the measurement the service's backpressure gauge
+    feeds on.
+    """
+
+    job_id: int
+    results: dict[str, bytes]
+    hits: int = 0
+    kv_bytes: int = 0
+    degraded: bool = False
+    lost_ranks: tuple[int, ...] = ()
+
+
+@dataclass
+class ServeRankStats:
+    """Per-rank lifetime counters, returned when the session shuts down."""
+
+    rank: int
+    jobs_run: int = 0
+    units_processed: int = 0
+    partition_switches: int = 0
+    hits_emitted: int = 0
+    lookup_cache_hits: int = 0
+    ticks_seen: int = 0
+    degraded: bool = False
+    lost_ranks: tuple[int, ...] = ()
+
+
+def _run_block_job(
+    cfg: ServeConfig,
+    alias: DatabaseAlias,
+    mapper: MrBlastMapper,
+    mr: MapReduce,
+    job: BlockJob,
+    speculation,
+) -> dict[str, bytes] | None:
+    """Execute one query block on this rank; rank 0 returns the merged demux."""
+    from repro.mpi.ops import SUM
+
+    mapper.set_query_blocks([list(job.queries)])
+    items = build_work_items(1, alias.num_partitions, cfg.work_order)
+    mr.reset()
+    mr.map_items(
+        items,
+        mapper,
+        locality_key=(lambda it: it.partition_index) if cfg.locality_aware else None,
+        speculation=speculation,
+        degraded=cfg.degraded,
+    )
+    kv_bytes = int(mr.comm.allreduce(getattr(mr.kv, "nbytes", 0), op=SUM))
+    mr.collate()
+    order = {rec.id: i for i, rec in enumerate(job.queries)}
+    mr.sort_kmv_keys(key=lambda qid: order.get(qid, len(order)))
+    demux = DemuxReducer(mapper.options)
+    mr.reduce(demux, out_schema=None)
+    gathered = mr.comm.gather(demux.results, root=0)
+    if mr.comm.rank != 0:
+        return None
+    merged: dict[str, bytes] = {}
+    for part in gathered or []:
+        merged.update(part)
+    # Stash the measurement for the envelope builder (rank 0 only).
+    merged["\x00kv_bytes"] = kv_bytes  # type: ignore[assignment]
+    return merged
+
+
+def serve_rank_main(comm: Comm, cfg: ServeConfig, jobs: Any, results: Any) -> ServeRankStats:
+    """SPMD body of the resident session: loop on broadcast directives.
+
+    ``jobs``/``results`` are queues shared with the parent (``queue.Queue``
+    on the thread backend, fork-inherited ``multiprocessing`` queues on the
+    process backend).  Only rank 0 touches them; peers learn everything via
+    broadcast.  Directives are ``("job", BlockJob)``, ``("tick", None)``
+    (keepalive) and ``("stop", None)``.
+    """
+    alias = DatabaseAlias.load(cfg.alias_path)
+    mapper = MrBlastMapper(
+        alias,
+        [],
+        cfg.options,
+        hit_filter=cfg.hit_filter,
+        lookup_cache_blocks=cfg.lookup_cache_blocks,
+        fault_injector=cfg.unit_fault_injector,
+    )
+    schema = None
+    if cfg.columnar:
+        from repro.core.mrblast.hspcodec import hsp_schema
+
+        schema = hsp_schema(cfg.id_width)
+    mr = MapReduce(
+        comm,
+        memsize=cfg.memsize,
+        mapstyle=MapStyle.MASTER_WORKER,
+        spool_dir=cfg.spool_dir,
+        schema=schema,
+    )
+    speculation = None
+    if cfg.speculation_factor is not None:
+        from repro.sched import SpeculationPolicy
+
+        speculation = SpeculationPolicy(factor=cfg.speculation_factor)
+
+    stats = ServeRankStats(rank=comm.rank)
+    live_comm = comm
+    trc = comm.tracer
+    try:
+        while True:
+            if live_comm.rank == 0:
+                try:
+                    directive = ("job", jobs.get(timeout=cfg.idle_tick))
+                except queue.Empty:
+                    # Keepalive: peers are blocked in this bcast; ticking
+                    # well inside the op timeout keeps the idle session from
+                    # tripping deadlock detection.
+                    directive = ("tick", None)
+                else:
+                    if directive[1] is None:
+                        directive = ("stop", None)
+            else:
+                directive = None
+            kind, payload = live_comm.bcast(directive, root=0)
+            if kind == "stop":
+                break
+            if kind == "tick":
+                stats.ticks_seen += 1
+                continue
+            job: BlockJob = payload
+            # Jobs must leave the span stack exactly as they found it:
+            # resident ranks outlive any one job, so an unwound exception
+            # (degraded loss, abort fallout) may not leak open spans into
+            # the next job's trace.
+            depth = trc.open_depth
+            sid = None
+            if trc.enabled:
+                sid = trc.begin("serve.job", cat="serve",
+                                job_id=job.job_id, queries=len(job.queries))
+            try:
+                merged = _run_block_job(cfg, alias, mapper, mr, job, speculation)
+                if live_comm.rank == 0 and merged is not None:
+                    kv_bytes = merged.pop("\x00kv_bytes", 0)
+                    results.put(BlockResult(
+                        job_id=job.job_id,
+                        results=merged,
+                        hits=sum(v.count(b"\n") for v in merged.values()),
+                        kv_bytes=int(kv_bytes),
+                        degraded=mr.degraded_run,
+                        lost_ranks=mr.lost_ranks,
+                    ))
+                if trc.enabled:
+                    trc.end(sid)
+            finally:
+                trc.unwind(to_depth=depth)
+            stats.jobs_run += 1
+            if mr.degraded_run and set(mr.lost_ranks) - set(stats.lost_ranks):
+                # Survivors agree on the newly dead global ranks (the sched
+                # master told everyone); shrink the session communicator so
+                # subsequent broadcasts span only the living.
+                newly = set(mr.lost_ranks) - set(stats.lost_ranks)
+                dead_local = [i for i, g in enumerate(live_comm.group) if g in newly]
+                live_comm = live_comm.shrink(sorted(dead_local))
+                stats.degraded = True
+                stats.lost_ranks = mr.lost_ranks
+    finally:
+        mr.close()
+        mapper.release()
+    stats.units_processed = mapper.stats.units_processed
+    stats.partition_switches = mapper.stats.partition_switches
+    stats.hits_emitted = mapper.stats.hits_emitted
+    stats.lookup_cache_hits = mapper.stats.lookup_cache_hits
+    return stats
+
+
+class ResidentBlastSession:
+    """Parent-side handle on one launched rank session.
+
+    ``start()`` brings the ranks up (DB partitions preload lazily on first
+    use, lookup caches stay warm across jobs); ``submit()`` enqueues a
+    :class:`BlockJob`; ``poll_result()`` retrieves envelopes; ``stop()``
+    broadcasts the shutdown sentinel and joins.  A watcher thread owns the
+    join so a crashed session is detected promptly: check :attr:`failed` /
+    :attr:`failure` between pumps.
+    """
+
+    def __init__(self, cfg: ServeConfig, trace=None, fault_plan: FaultPlan | None = None) -> None:
+        cfg.validate()
+        self.cfg = cfg
+        self.trace = trace
+        self.fault_plan = fault_plan
+        self.backend = resolve_backend(cfg.backend)
+        self._job: SpmdJob | None = None
+        self._jobs_q: Any = None
+        self._results_q: Any = None
+        self._watcher: threading.Thread | None = None
+        self._done = threading.Event()
+        self._failure: BaseException | None = None
+        self._rank_stats: list[ServeRankStats | None] | None = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> "ResidentBlastSession":
+        """Launch the ranks and return self (idempotent start is an error)."""
+        if self._job is not None:
+            raise RuntimeError("session already started")
+        if self.backend == "process":
+            import multiprocessing
+
+            ctx = multiprocessing.get_context("fork")
+            self._jobs_q = ctx.Queue()
+            self._results_q = ctx.Queue()
+        else:
+            self._jobs_q = queue.Queue()
+            self._results_q = queue.Queue()
+        self._job = SpmdJob(
+            self.cfg.nprocs,
+            serve_rank_main,
+            (self.cfg, self._jobs_q, self._results_q),
+            op_timeout=self.cfg.op_timeout,
+            fault_plan=self.fault_plan,
+            trace=self.trace,
+            backend=self.backend,
+            arena_mb=self.cfg.arena_mb,
+        )
+        self._job.start()
+        self._watcher = threading.Thread(
+            target=self._watch, name="serve-session-watcher", daemon=True)
+        self._watcher.start()
+        return self
+
+    def _watch(self) -> None:
+        try:
+            self._rank_stats = self._job.wait(self.cfg.session_budget)
+        except BaseException as exc:  # noqa: BLE001 - report anything
+            self._failure = exc
+        finally:
+            self._done.set()
+
+    @property
+    def failed(self) -> bool:
+        """True once the session died with an error (vs. clean shutdown)."""
+        return self._failure is not None
+
+    @property
+    def failure(self) -> BaseException | None:
+        """The terminal session error, if any."""
+        return self._failure
+
+    @property
+    def closed(self) -> bool:
+        """True once every rank has exited (cleanly or not)."""
+        return self._done.is_set()
+
+    @property
+    def rank_stats(self) -> list[ServeRankStats | None] | None:
+        """Per-rank lifetime counters after a clean shutdown (else None)."""
+        return self._rank_stats
+
+    # -- request plane -------------------------------------------------
+
+    def submit(self, job: BlockJob) -> None:
+        """Enqueue one query block for execution."""
+        if self._job is None:
+            raise RuntimeError("session not started")
+        if self._done.is_set():
+            raise RuntimeError("session is closed")
+        self._jobs_q.put(job)
+
+    def poll_result(self, timeout: float | None = 0.0) -> BlockResult | None:
+        """Next result envelope, or None when nothing is ready in time."""
+        if self._results_q is None:
+            return None
+        try:
+            if timeout is None or timeout <= 0:
+                return self._results_q.get_nowait()
+            return self._results_q.get(timeout=timeout)
+        except queue.Empty:
+            return None
+
+    def stop(self, timeout: float = 60.0) -> list[ServeRankStats | None] | None:
+        """Broadcast shutdown, join the ranks, return per-rank stats."""
+        if self._job is None:
+            return None
+        if not self._done.is_set():
+            self._jobs_q.put(None)
+        self._done.wait(timeout)
+        if self._failure is not None:
+            raise self._failure
+        return self._rank_stats

@@ -1,0 +1,47 @@
+"""Shared fixtures for the service-layer suite.
+
+One synthetic nt workload per session, plus a per-query *oracle*: the exact
+bytes a standalone single-rank ``run_mrblast`` produces for each query in
+isolation.  Every parity assertion in this package compares service output
+against these bytes.
+"""
+
+import os
+
+import pytest
+
+from repro.blast import BlastOptions, format_database
+from repro.bio import shred_records, synthetic_community, synthetic_nt_database
+from repro.core import MrBlastConfig, mrblast_spmd
+
+
+@pytest.fixture(scope="session")
+def serve_workload(tmp_path_factory):
+    """(alias_path, reads, options): a small nt database plus 8 query reads."""
+    tmp = tmp_path_factory.mktemp("nt_serve")
+    com = synthetic_community(n_genomes=3, genome_length=2000, seed=47)
+    db = synthetic_nt_database(
+        com, n_decoys=2, decoy_length=1200, homolog_rate=0.05, seed=48)
+    alias_path = format_database(db, tmp, "nt", kind="dna", max_volume_bytes=1500)
+    reads = list(shred_records(com.genomes))[:8]
+    options = BlastOptions.blastn(evalue=1e-4, max_hits=25)
+    return str(alias_path), reads, options
+
+
+@pytest.fixture(scope="session")
+def oracle(serve_workload, tmp_path_factory):
+    """query id -> bytes of a standalone one-shot run for that query alone."""
+    alias_path, reads, options = serve_workload
+    tmp = tmp_path_factory.mktemp("oracle")
+    out = {}
+    for i, rec in enumerate(reads):
+        results = mrblast_spmd(1, MrBlastConfig(
+            alias_path=alias_path,
+            query_blocks=[[rec]],
+            options=options,
+            output_dir=os.path.join(tmp, f"q{i}"),
+            backend="thread",
+        ))
+        with open(results[0].output_path, "rb") as fh:
+            out[rec.id] = fh.read()
+    return out
