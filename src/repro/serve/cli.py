@@ -22,11 +22,38 @@ import time
 
 from repro.blast.options import BlastOptions
 from repro.bio.fasta import read_fasta
+from repro.serve.admission import AdmissionError
 from repro.serve.coalescer import advise_batch_size, load_machine_model
 from repro.serve.service import DeliveryLedger, QueryService
 from repro.serve.session import ServeConfig
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "submit_all"]
+
+
+def submit_all(service: QueryService, records) -> list:
+    """Submit every record, pumping the service whenever intake is full.
+
+    A plain ``[service.submit(r) for r in records]`` overruns the admission
+    window as soon as ``len(records)`` exceeds ``max_pending`` (nothing
+    resolves between submits).  Here a refusal — capacity, tenant quota or
+    backpressure — runs scheduling steps until resolved queries free space,
+    then retries; only ``"closed"`` (service shut down) is terminal.
+    Returns the futures in submission order.
+    """
+    futures = []
+    for rec in records:
+        while True:
+            try:
+                futures.append(service.submit(rec))
+                break
+            except AdmissionError as exc:
+                if exc.reason == "closed":
+                    raise
+                if service.pump(wait=0.01) == 0:
+                    # Nothing resolved: push parked submissions out so the
+                    # ranks have work whose completion frees capacity.
+                    service.flush()
+    return futures
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -99,7 +126,7 @@ def main(argv: list[str] | None = None) -> int:
     service = QueryService(cfg, ledger=ledger).start()
     t0 = time.perf_counter()
     try:
-        futures = [service.submit(rec) for rec in records]
+        futures = submit_all(service, records)
         service.drain(timeout=args.timeout)
         results = [f.result(timeout=0.0) for f in futures]
     finally:

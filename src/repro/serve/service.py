@@ -95,7 +95,10 @@ class DeliveryLedger:
     ``{query_id: [offset, length]}`` atomically.  A service restarted over
     the same ledger recognises already-delivered queries, serves their
     bytes back from the sink and never appends them again — the
-    no-duplicates half of checkpoint resume.
+    no-duplicates half of checkpoint resume.  A crash *between* the sink
+    append and the ledger commit leaves orphaned bytes past the last
+    committed offset; reopening the ledger truncates the sink back to that
+    offset, so the sink itself — not just ledger reads — stays exactly-once.
     """
 
     def __init__(self, path: str, sink_path: str) -> None:
@@ -106,8 +109,14 @@ class DeliveryLedger:
             data = read_json(path)
             if data:
                 self._entries = {k: list(v) for k, v in data.get("entries", {}).items()}
+        committed_end = max(
+            (offset + length for offset, length in self._entries.values()),
+            default=0)
         if not os.path.exists(sink_path):
             open(sink_path, "wb").close()
+        elif os.path.getsize(sink_path) > committed_end:
+            with open(sink_path, "r+b") as fh:
+                fh.truncate(committed_end)
 
     def delivered(self, query_id: str) -> bool:
         """True when this query's results are already in the sink."""
@@ -143,6 +152,11 @@ class QueryService:
     ``serve.backpressure`` instants; ``session_factory`` builds (and
     starts) replacement sessions after a crash — it defaults to plain
     ``ResidentBlastSession(cfg).start()``.
+
+    The service is thread-safe: one re-entrant lock serialises
+    :meth:`submit`, :meth:`pump`, :meth:`flush` and :meth:`close`, so
+    callers may submit from any thread while a background pump
+    (``start(pump_interval=...)``) schedules and resolves.
     """
 
     def __init__(
@@ -177,6 +191,7 @@ class QueryService:
         self._next_job_id = 0
         self._closed = False
         self._bytes_per_query = 0.0
+        self._lock = threading.RLock()
         self._pump_thread: threading.Thread | None = None
         self._pump_stop = threading.Event()
         self.stats = {
@@ -203,27 +218,47 @@ class QueryService:
         while not self._pump_stop.wait(interval):
             try:
                 self.pump()
-            except Exception:  # pragma: no cover - background best effort
-                pass
+            except BaseException as exc:  # noqa: BLE001 - nobody above to catch
+                # An exception escaping pump() is terminal (e.g. restarts
+                # exceeded max_restarts).  Swallowing it would leave every
+                # outstanding future hanging until caller timeout with no
+                # indication of failure — fail them all loudly instead.
+                self._abort_service(exc)
+                return
+
+    def _abort_service(self, exc: BaseException) -> None:
+        """Terminal failure: stop intake and reject everything outstanding."""
+        with self._lock:
+            self._closed = True
+            for fut in list(self._futures.values()):
+                fut._reject(exc)
+            self._futures.clear()
+            self._inflight.clear()
+            self._tenant_pending.clear()
 
     def close(self, timeout: float = 60.0) -> None:
         """Stop intake, shut the session down, reject unresolved futures."""
         self._closed = True
+        # Stop the pump thread before taking the lock: it may be inside a
+        # pump() holding the lock right now, and it must never find the
+        # lock held by close() for the whole session teardown.
         if self._pump_thread is not None:
             self._pump_stop.set()
             self._pump_thread.join(timeout=5.0)
             self._pump_thread = None
-        if self._session is not None:
-            try:
-                if not self._session.failed:
-                    self._session.stop(timeout)
-            except BaseException:
-                pass
-            self._session = None
-        for fut in list(self._futures.values()):
-            fut._reject(AdmissionError("closed", "service shut down"))
-        self._futures.clear()
-        self._inflight.clear()
+        with self._lock:
+            if self._session is not None:
+                try:
+                    if not self._session.failed:
+                        self._session.stop(timeout)
+                except BaseException:
+                    pass
+                self._session = None
+            for fut in list(self._futures.values()):
+                fut._reject(AdmissionError("closed", "service shut down"))
+            self._futures.clear()
+            self._inflight.clear()
+            self._tenant_pending.clear()
 
     # -- intake --------------------------------------------------------
 
@@ -245,37 +280,38 @@ class QueryService:
         query must be flushed into a batch (it bounds queueing delay, not
         total completion time).
         """
-        now = self._clock()
-        if self._closed:
-            self.stats["rejected"] += 1
-            raise AdmissionError("closed", "service is shut down")
-        if self._gauge.engaged:
-            self.stats["rejected"] += 1
-            raise AdmissionError(
-                "backpressure",
-                f"KV working-set estimate {self._gauge.last_estimate} >= "
-                f"{self._gauge.high_bytes}")
-        try:
-            self._admission.try_admit(
-                tenant, self._unresolved(), self._tenant_pending.get(tenant, 0))
-        except AdmissionError:
-            self.stats["rejected"] += 1
-            raise
-        sub = Submission(
-            seq=self._next_seq, query=query, tenant=tenant,
-            submitted_at=now, deadline=deadline)
-        self._next_seq += 1
-        fut = QueryFuture(sub)
-        self._futures[sub.seq] = fut
-        self._tenant_pending[tenant] = self._tenant_pending.get(tenant, 0) + 1
-        self._coalescer.add(sub, now)
-        self.stats["submitted"] += 1
-        if self._tracer.enabled:
-            self._tracer.instant(
-                "serve.submit", cat="serve", seq=sub.seq, tenant=tenant,
-                query=query.id, pending=self._unresolved())
-        self._update_gauge()
-        return fut
+        with self._lock:
+            now = self._clock()
+            if self._closed:
+                self.stats["rejected"] += 1
+                raise AdmissionError("closed", "service is shut down")
+            if self._gauge.engaged:
+                self.stats["rejected"] += 1
+                raise AdmissionError(
+                    "backpressure",
+                    f"KV working-set estimate {self._gauge.last_estimate} >= "
+                    f"{self._gauge.high_bytes}")
+            try:
+                self._admission.try_admit(
+                    tenant, self._unresolved(), self._tenant_pending.get(tenant, 0))
+            except AdmissionError:
+                self.stats["rejected"] += 1
+                raise
+            sub = Submission(
+                seq=self._next_seq, query=query, tenant=tenant,
+                submitted_at=now, deadline=deadline)
+            self._next_seq += 1
+            fut = QueryFuture(sub)
+            self._futures[sub.seq] = fut
+            self._tenant_pending[tenant] = self._tenant_pending.get(tenant, 0) + 1
+            self._coalescer.add(sub, now)
+            self.stats["submitted"] += 1
+            if self._tracer.enabled:
+                self._tracer.instant(
+                    "serve.submit", cat="serve", seq=sub.seq, tenant=tenant,
+                    query=query.id, pending=self._unresolved())
+            self._update_gauge()
+            return fut
 
     def _update_gauge(self) -> None:
         transition = self._gauge.update(self._estimate_bytes())
@@ -382,26 +418,32 @@ class QueryService:
         a single blocking poll on the result queue (0 = non-blocking) — the
         drain loop uses it to avoid spinning.
         """
-        now = self._clock() if now is None else now
-        session = self._ensure_session()
-        for batch in self._coalescer.poll(now):
-            self._dispatch(batch)
-        delivered = 0
-        env = session.poll_result(timeout=wait)
-        while env is not None:
-            self._deliver(env)
-            delivered += 1
-            env = session.poll_result(timeout=0.0)
-        if session.failed:
-            self._restart()
-        return delivered
+        with self._lock:
+            if self._closed:
+                return 0
+            now = self._clock() if now is None else now
+            session = self._ensure_session()
+            for batch in self._coalescer.poll(now):
+                self._dispatch(batch)
+            delivered = 0
+            env = session.poll_result(timeout=wait)
+            while env is not None:
+                self._deliver(env)
+                delivered += 1
+                env = session.poll_result(timeout=0.0)
+            if session.failed:
+                self._restart()
+            return delivered
 
     def flush(self, now: float | None = None) -> None:
         """Force everything pending in the coalescer out as batches now."""
-        now = self._clock() if now is None else now
-        self._ensure_session()
-        for batch in self._coalescer.flush(now):
-            self._dispatch(batch)
+        with self._lock:
+            if self._closed:
+                return
+            now = self._clock() if now is None else now
+            self._ensure_session()
+            for batch in self._coalescer.flush(now):
+                self._dispatch(batch)
 
     def drain(self, timeout: float = 120.0) -> None:
         """Flush and pump until every admitted query has resolved."""

@@ -39,6 +39,7 @@ from repro.core.mrblast.mapper import MrBlastMapper
 from repro.core.mrblast.reducer import DemuxReducer
 from repro.core.mrblast.workitems import build_work_items
 from repro.mpi.comm import Comm
+from repro.mpi.exceptions import MPIError
 from repro.mpi.faultplan import FaultPlan
 from repro.mpi.runtime import SpmdJob, resolve_backend
 from repro.mrmpi.mapreduce import MapReduce, MapStyle
@@ -87,7 +88,10 @@ class ServeConfig:
     idle_tick: float = 0.25
     #: transport operation timeout override (None = transport default)
     op_timeout: float | None = None
-    #: join budget for the whole session lifetime, seconds
+    #: join budget for the shutdown drain, seconds — the clock starts when
+    #: :meth:`ResidentBlastSession.stop` enqueues the stop sentinel, never
+    #: at session start (a resident session may legitimately serve, or
+    #: idle, for hours)
     session_budget: float = 3600.0
     # ---- service-side intake/batching knobs -------------------------
     max_batch: int = 8
@@ -371,7 +375,14 @@ class ResidentBlastSession:
 
     def _watch(self) -> None:
         try:
-            self._rank_stats = self._job.wait(self.cfg.session_budget)
+            # No lifetime deadline: both engines' joins return as soon as a
+            # rank dies, so crash detection stays prompt without one, and a
+            # finite budget here would force-abort a perfectly healthy
+            # session once it had merely been *up* that long.  The
+            # ``session_budget`` join budget applies only to the shutdown
+            # drain and is enforced by :meth:`stop`, which aborts the
+            # transport if the ranks outlive it.
+            self._rank_stats = self._job.wait(float("inf"))
         except BaseException as exc:  # noqa: BLE001 - report anything
             self._failure = exc
         finally:
@@ -418,13 +429,26 @@ class ResidentBlastSession:
         except queue.Empty:
             return None
 
-    def stop(self, timeout: float = 60.0) -> list[ServeRankStats | None] | None:
-        """Broadcast shutdown, join the ranks, return per-rank stats."""
+    def stop(self, timeout: float | None = None) -> list[ServeRankStats | None] | None:
+        """Broadcast shutdown, join the ranks, return per-rank stats.
+
+        The join budget (``timeout``, defaulting to ``cfg.session_budget``)
+        runs from the shutdown sentinel enqueued here — a session that
+        served for hours still gets the full budget to drain.  Ranks that
+        outlive it are forcibly aborted and the stall is raised.
+        """
         if self._job is None:
             return None
+        budget = self.cfg.session_budget if timeout is None else timeout
         if not self._done.is_set():
             self._jobs_q.put(None)
-        self._done.wait(timeout)
+        if not self._done.wait(budget):
+            err = MPIError(
+                f"resident session did not drain within {budget:.0f}s of "
+                f"the shutdown sentinel")
+            self._job.network.abort(err)
+            self._done.wait(5.0)
+            raise err
         if self._failure is not None:
             raise self._failure
         return self._rank_stats

@@ -129,6 +129,36 @@ class TestSessionRestart:
         finally:
             svc.close()
 
+    def test_background_pump_failure_rejects_outstanding_futures(
+            self, serve_workload):
+        # Regression: the background pump used to swallow the terminal
+        # "restarts exhausted" error, leaving every outstanding future
+        # hanging until caller timeout with no indication of failure.
+        alias_path, reads, options = serve_workload
+        cfg = make_cfg(alias_path, options, degraded=False, nprocs=2)
+
+        def always_crash(item):
+            raise RuntimeError("permanently broken")
+
+        import dataclasses
+
+        broken = dataclasses.replace(cfg, unit_fault_injector=always_crash)
+        svc = QueryService(
+            cfg, session_factory=lambda: ResidentBlastSession(broken).start(),
+            max_restarts=1).start(pump_interval=0.01)
+        try:
+            fut = svc.submit(reads[0])
+            svc.flush()
+            with pytest.raises(RuntimeError, match="giving up"):
+                fut.result(timeout=120.0)
+            # Terminal: the service stopped intake too.
+            from repro.serve.admission import AdmissionError
+
+            with pytest.raises(AdmissionError, match="closed"):
+                svc.submit(reads[1])
+        finally:
+            svc.close()
+
 
 class TestLedgerResumeAcrossServices:
     def test_new_service_over_old_ledger_never_duplicates(
@@ -167,3 +197,21 @@ class TestLedgerResumeAcrossServices:
         assert len(ledger2) == 8  # one entry per query, no duplicates
         assert len(sink) == sum(
             ledger2._entries[r.id][1] for r in reads)
+
+    def test_reopen_truncates_orphaned_sink_bytes(self, tmp_path):
+        # A crash between the sink append and the ledger commit leaves
+        # uncommitted bytes in the sink; reopening must truncate them so
+        # the re-delivered query is not duplicated in the sink itself.
+        ledger_path = str(tmp_path / "ledger.json")
+        sink_path = str(tmp_path / "sink.tsv")
+        ledger = DeliveryLedger(ledger_path, sink_path)
+        ledger.record("q1", b"alpha\thit\n")
+        with open(sink_path, "ab") as fh:  # the simulated crash window
+            fh.write(b"orphaned-uncommitted-append\n")
+
+        reopened = DeliveryLedger(ledger_path, sink_path)
+        assert open(sink_path, "rb").read() == b"alpha\thit\n"
+        reopened.record("q2", b"beta\thit\n")
+        assert open(sink_path, "rb").read() == b"alpha\thit\nbeta\thit\n"
+        assert reopened.read("q1") == b"alpha\thit\n"
+        assert reopened.read("q2") == b"beta\thit\n"

@@ -106,6 +106,58 @@ class TestBatchBoundaryParity:
             svc.close()
 
 
+class TestConcurrentIntake:
+    def test_submit_all_backfills_past_max_pending(self, serve_workload, oracle):
+        # Regression: the CLI used to submit every record up front, so any
+        # stream longer than max_pending crashed with AdmissionError
+        # ("capacity").  submit_all interleaves submission with pumping.
+        from repro.serve.cli import submit_all
+
+        alias_path, reads, options = serve_workload
+        svc = make_service(alias_path, options, max_batch=2, max_pending=2)
+        try:
+            futures = submit_all(svc, reads)
+            svc.drain(timeout=120.0)
+            for r, fut in zip(reads, futures):
+                assert fut.result(timeout=0.0) == oracle[r.id]
+        finally:
+            svc.close()
+        assert len(futures) == len(reads)
+
+    def test_threaded_submits_with_background_pump(self, serve_workload, oracle):
+        # Regression: submit() on caller threads and pump() on the pump
+        # thread used to mutate shared state with no locking.
+        import threading
+
+        alias_path, reads, options = serve_workload
+        svc = make_service(alias_path, options, max_batch=2)
+        svc.start(pump_interval=0.005)
+        futures = {}
+        errors = []
+
+        def submitter(chunk):
+            try:
+                for r in chunk:
+                    futures[r.id] = svc.submit(r)
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=submitter, args=(reads[i::4],))
+            for i in range(4)
+        ]
+        try:
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors, f"concurrent submit failed: {errors!r}"
+            for r in reads:
+                assert futures[r.id].result(timeout=120.0) == oracle[r.id]
+        finally:
+            svc.close()
+
+
 class TestProcessBackendParity:
     def test_process_backend_matches_the_thread_oracle(
             self, serve_workload, oracle):

@@ -66,6 +66,27 @@ class TestResidentSession:
         assert all(s.ticks_seen >= 1 for s in stats)
         assert not session.failed
 
+    def test_session_budget_bounds_the_drain_not_the_lifetime(
+            self, serve_workload, oracle):
+        # Regression: the watcher used to pass session_budget to the join
+        # at start(), so a perfectly healthy resident session was
+        # force-aborted once it had merely been *up* that long.  The budget
+        # must only clock the shutdown drain after the stop sentinel.
+        import time
+
+        alias_path, reads, options = serve_workload
+        cfg = make_cfg(alias_path, options, session_budget=0.2)
+        session = ResidentBlastSession(cfg).start()
+        try:
+            time.sleep(0.5)  # several whole budget periods of healthy uptime
+            assert not session.failed and not session.closed
+            envs = run_jobs(session, [BlockJob(job_id=0, queries=(reads[0],))])
+            assert envs[0].results.get(reads[0].id, b"") == oracle[reads[0].id]
+        finally:
+            stats = session.stop(timeout=30.0)
+        assert not session.failed
+        assert stats is not None and all(s.jobs_run == 1 for s in stats)
+
     def test_session_reports_exact_kv_bytes(self, serve_workload):
         alias_path, reads, options = serve_workload
         session = ResidentBlastSession(make_cfg(alias_path, options)).start()
